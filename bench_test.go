@@ -1,0 +1,278 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§9), plus the ablations DESIGN.md calls out and the scalability sweep
+// the paper lists as future work. Quality metrics (F1 against the gold
+// mappings) are reported alongside time/allocations via b.ReportMetric, so
+// one `go test -bench=. -benchmem` run reproduces both the shape results
+// and the cost profile.
+package cupid_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/baselines/dike"
+	"repro/internal/baselines/momis"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/mapping"
+	"repro/internal/structural"
+	"repro/internal/thesaurus"
+	"repro/internal/workloads"
+)
+
+// benchWorkload runs a workload under a config and reports F1/precision/
+// recall as benchmark metrics.
+func benchWorkload(b *testing.B, w workloads.Workload, cfg core.Config) {
+	b.Helper()
+	var m eval.Metrics
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, m, err = eval.RunCupid(w, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(m.F1(), "F1")
+	b.ReportMetric(m.Precision(), "precision")
+	b.ReportMetric(m.Recall(), "recall")
+}
+
+// --- E4: Figure 2 running example ---------------------------------------
+
+func BenchmarkFigure2(b *testing.B) {
+	benchWorkload(b, workloads.Figure2(), core.DefaultConfig())
+}
+
+func BenchmarkFigure1(b *testing.B) {
+	benchWorkload(b, workloads.Figure1(), core.DefaultConfig())
+}
+
+// --- E8: shared types / context-dependent matching (§8.2) ---------------
+
+func BenchmarkSharedType(b *testing.B) {
+	benchWorkload(b, workloads.SharedTypePO(), core.DefaultConfig())
+}
+
+// --- E2: Table 2 (canonical examples vs DIKE and MOMIS) ------------------
+
+func BenchmarkTable2(b *testing.B) {
+	correct := 0
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		correct = 0
+		for _, r := range rows {
+			if r.Cupid == r.Expected[0] && r.DIKE == r.Expected[1] && r.MOMIS == r.Expected[2] {
+				correct++
+			}
+		}
+	}
+	b.ReportMetric(float64(correct), "rows-matching-paper")
+}
+
+// --- E3: Table 3 (CIDX -> Excel) -----------------------------------------
+
+func BenchmarkTable3(b *testing.B) {
+	var res *eval.Table3Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = eval.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	found := 0
+	for _, r := range res.Rows {
+		if r.Cupid {
+			found++
+		}
+	}
+	b.ReportMetric(float64(found), "cupid-rows")
+	b.ReportMetric(res.Leaf.F1(), "leaf-F1")
+}
+
+func BenchmarkCIDXExcel(b *testing.B) {
+	cfg := core.DefaultConfig()
+	cfg.Thesaurus = workloads.PaperThesaurus()
+	benchWorkload(b, workloads.CIDXExcel(), cfg)
+}
+
+// --- E5: RDB -> Star warehouse experiment (§9.2) --------------------------
+
+func BenchmarkRDBStar(b *testing.B) {
+	var res *eval.RDBStarResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = eval.RDBStar()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Leaf.F1(), "leaf-F1")
+	b.ReportMetric(boolMetric(res.SalesFromJoin), "sales-from-join")
+	b.ReportMetric(boolMetric(res.PostalCodeUnified), "postalcode-unified")
+}
+
+func boolMetric(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// --- E6: thesaurus ablation (§9.3 conclusion 2) ---------------------------
+
+func BenchmarkThesaurusAblation(b *testing.B) {
+	var rs []eval.AblationResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		rs, err = eval.ThesaurusAblation()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rs {
+		b.ReportMetric(r.Baseline.F1()-r.Variant.F1(), "F1-drop-"+r.Name)
+	}
+}
+
+// --- E7: linguistic-only over path names (§9.3 conclusion 3) --------------
+
+func BenchmarkLinguisticOnly(b *testing.B) {
+	var rs []eval.AblationResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		rs, err = eval.LinguisticOnly()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rs {
+		b.ReportMetric(float64(r.Variant.FP-r.Baseline.FP), "extra-FPs-"+r.Name)
+	}
+}
+
+// --- E1: parameter sensitivity (Table 1) ----------------------------------
+
+func BenchmarkParamSweep(b *testing.B) {
+	w := workloads.Figure2()
+	for _, wstruct := range []float64{0.50, 0.55, 0.60, 0.65} {
+		b.Run(fmt.Sprintf("wstruct=%.2f", wstruct), func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.Structural.WStruct = wstruct
+			benchWorkload(b, w, cfg)
+		})
+	}
+	for _, cinc := range []float64{1.1, 1.2, 1.25, 1.4} {
+		b.Run(fmt.Sprintf("cinc=%.2f", cinc), func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.Structural.CInc = cinc
+			benchWorkload(b, w, cfg)
+		})
+	}
+	for _, th := range []float64{0.40, 0.45, 0.50, 0.55} {
+		b.Run(fmt.Sprintf("thaccept=%.2f", th), func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.Structural.ThAccept = th
+			cfg.Mapping.ThAccept = th
+			benchWorkload(b, w, cfg)
+		})
+	}
+}
+
+// --- E10: design-choice ablations (§8.4, DESIGN.md §5) ---------------------
+
+func ablationConfig(mutate func(*core.Config)) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Thesaurus = workloads.PaperThesaurus()
+	mutate(&cfg)
+	return cfg
+}
+
+func BenchmarkAblation(b *testing.B) {
+	w := workloads.CIDXExcel()
+	cases := []struct {
+		name   string
+		mutate func(*core.Config)
+	}{
+		{"baseline", func(*core.Config) {}},
+		{"lazy-memo", func(c *core.Config) { c.Structural.LazyMemo = true }},
+		{"no-leafcount-pruning", func(c *core.Config) { c.Structural.LeafCountPruning = false }},
+		{"no-optional-discount", func(c *core.Config) { c.Structural.OptionalDiscount = false }},
+		{"children-basis", func(c *core.Config) { c.Structural.StructuralBasis = structural.BasisChildren }},
+		{"frontier-depth-2", func(c *core.Config) { c.Structural.FrontierDepth = 2 }},
+		{"one-to-one", func(c *core.Config) { c.Mapping.Cardinality = mapping.OneToOne }},
+		{"no-join-views", func(c *core.Config) { c.Tree.JoinViews = false }},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			benchWorkload(b, w, ablationConfig(tc.mutate))
+		})
+	}
+}
+
+// --- E9: scalability sweep (paper §10 future work) --------------------------
+
+func BenchmarkScalability(b *testing.B) {
+	specs := []workloads.SyntheticSpec{
+		{Tables: 2, ColsPerTable: 8, Depth: 2, Seed: 1, Rename: 0.3, Renest: 0.2},
+		{Tables: 4, ColsPerTable: 8, Depth: 2, Seed: 2, Rename: 0.3, Renest: 0.2},
+		{Tables: 8, ColsPerTable: 8, Depth: 2, Seed: 3, Rename: 0.3, Renest: 0.2},
+		{Tables: 8, ColsPerTable: 16, Depth: 2, Seed: 4, Rename: 0.3, Renest: 0.2},
+		{Tables: 16, ColsPerTable: 8, Depth: 3, Seed: 5, Rename: 0.3, Renest: 0.2, FKs: 4},
+	}
+	for _, spec := range specs {
+		w := workloads.Synthetic(spec)
+		name := fmt.Sprintf("t%dxc%dxd%d", spec.Tables, spec.ColsPerTable, spec.Depth)
+		b.Run(name, func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			b.ReportMetric(float64(w.Source.Len()+w.Target.Len()), "elements")
+			benchWorkload(b, w, cfg)
+		})
+	}
+}
+
+// Lazy expansion pays off on schemas with heavily shared types: compare
+// eager vs lazy on a synthetic schema where one big type is reused widely.
+func BenchmarkLazyExpansion(b *testing.B) {
+	build := func() *workloads.Workload {
+		w := workloads.SharedTypePO()
+		return &w
+	}
+	for _, lazy := range []bool{false, true} {
+		name := "eager"
+		if lazy {
+			name = "lazy"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.Structural.LazyMemo = lazy
+			benchWorkload(b, *build(), cfg)
+		})
+	}
+}
+
+// --- baselines on the real-world workload ----------------------------------
+
+func BenchmarkBaselineDIKE(b *testing.B) {
+	w := workloads.CIDXExcel()
+	for i := 0; i < b.N; i++ {
+		dike.Match(w.Source, w.Target, dike.DefaultOptions())
+	}
+}
+
+func BenchmarkBaselineMOMIS(b *testing.B) {
+	w := workloads.CIDXExcel()
+	opt := momis.DefaultOptions()
+	opt.Thesaurus = thesaurus.Base()
+	for i := 0; i < b.N; i++ {
+		momis.Match(w.Source, w.Target, opt)
+	}
+}
+
+// Extra generalization workload beyond the paper's domains.
+func BenchmarkUniversity(b *testing.B) {
+	benchWorkload(b, workloads.University(), core.DefaultConfig())
+}

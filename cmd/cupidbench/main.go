@@ -1,0 +1,146 @@
+// Command cupidbench regenerates the tables and figures of the paper's
+// evaluation section (§9) and prints the measured results next to the
+// paper's reported ones.
+//
+// Usage:
+//
+//	cupidbench [-exp NAME]
+//
+// Experiments (-exp):
+//
+//	table1     parameter table (Table 1)
+//	table2     canonical examples 1-6 vs DIKE and MOMIS (Table 2)
+//	table3     CIDX -> Excel element mappings and leaf metrics (Table 3)
+//	rdbstar    RDB -> Star warehouse experiment (§9.2)
+//	thesaurus  thesaurus ablation (§9.3 conclusion 2)
+//	lingonly   linguistic-only on full path names (§9.3 conclusion 3)
+//	university extra generalization workload (registrar vs SIS)
+//	scale      scalability sweep over synthetic schemas (§10 future work)
+//	ablation   design-choice ablations on CIDX-Excel (E10)
+//	tune       auto-tuning grid search (§10 future work)
+//	all        everything (default)
+//
+// With -csv, the scale and ablation experiments additionally emit CSV to
+// stdout (the raw series behind the figures).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/tuner"
+	"repro/internal/workloads"
+)
+
+func indent(s, prefix string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = prefix + lines[i]
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+func run(exp string, csvOut bool) error {
+	all := exp == "all"
+	if all || exp == "table1" {
+		fmt.Println(eval.Table1())
+	}
+	if all || exp == "table2" {
+		rows, err := eval.Table2()
+		if err != nil {
+			return err
+		}
+		fmt.Println(eval.RenderTable2(rows))
+	}
+	if all || exp == "table3" {
+		res, err := eval.Table3()
+		if err != nil {
+			return err
+		}
+		fmt.Println(eval.RenderTable3(res))
+	}
+	if all || exp == "rdbstar" {
+		res, err := eval.RDBStar()
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+	if all || exp == "thesaurus" {
+		rs, err := eval.ThesaurusAblation()
+		if err != nil {
+			return err
+		}
+		fmt.Println(eval.RenderAblations("thesaurus ablation (§9.3 conclusion 2)", rs, "no-thesaurus"))
+	}
+	if all || exp == "lingonly" {
+		rs, err := eval.LinguisticOnly()
+		if err != nil {
+			return err
+		}
+		fmt.Println(eval.RenderAblations("linguistic-only over path names (§9.3 conclusion 3)", rs, "ling-only"))
+	}
+	if all || exp == "university" {
+		w := workloads.University()
+		res, m, err := eval.RunCupid(w, core.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		fmt.Println("university generalization workload (registrar -> SIS)")
+		fmt.Printf("  leaf mapping: %s\n", m)
+		fmt.Print(indent(res.Mapping.String(), "  "))
+		fmt.Println()
+	}
+	if all || exp == "scale" {
+		pts, err := eval.Scalability()
+		if err != nil {
+			return err
+		}
+		fmt.Println(eval.RenderScale(pts))
+		if csvOut {
+			if err := eval.WriteScaleCSV(os.Stdout, pts); err != nil {
+				return err
+			}
+		}
+	}
+	if all || exp == "ablation" {
+		rows, err := eval.Ablations()
+		if err != nil {
+			return err
+		}
+		fmt.Println(eval.RenderAblationRows(rows))
+		if csvOut {
+			if err := eval.WriteAblationCSV(os.Stdout, rows); err != nil {
+				return err
+			}
+		}
+	}
+	if exp == "tune" { // not part of "all": the grid is slow
+		res, err := tuner.Grid(workloads.Figure2(), core.DefaultConfig(), tuner.DefaultSpace())
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render(10))
+	}
+	return nil
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1, table2, table3, rdbstar, thesaurus, lingonly, scale, ablation, tune, all")
+	csvOut := flag.Bool("csv", false, "also emit CSV for scale/ablation")
+	flag.Parse()
+	switch *exp {
+	case "all", "table1", "table2", "table3", "rdbstar", "thesaurus", "lingonly", "university", "scale", "ablation", "tune":
+	default:
+		fmt.Fprintf(os.Stderr, "cupidbench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	if err := run(*exp, *csvOut); err != nil {
+		fmt.Fprintln(os.Stderr, "cupidbench:", err)
+		os.Exit(1)
+	}
+}

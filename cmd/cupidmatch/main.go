@@ -1,0 +1,143 @@
+// Command cupidmatch matches two schema files with the Cupid algorithm
+// and prints the discovered mapping.
+//
+// Usage:
+//
+//	cupidmatch [flags] SOURCE TARGET
+//
+// SOURCE and TARGET are schema files; the format is inferred from the
+// extension: .sql (SQL DDL), .xsd (XML Schema), .dtd (XML DTD), or
+// .json (native schema JSON).
+//
+// Flags:
+//
+//	-thesaurus FILE   load a thesaurus JSON file (default: built-in base)
+//	-no-thesaurus     run with an empty thesaurus
+//	-one-to-one       generate a 1:1 mapping instead of the naive 1:n
+//	-mode MODE        full (default), linguistic, or structural
+//	-leaves-only      suppress non-leaf mapping elements
+//	-dump             print the expanded schema trees before the mapping
+//	-min FLOAT        acceptance threshold thaccept (default 0.5)
+//	-json             emit the mapping as JSON instead of text
+//	-xslt             emit an XSLT skeleton for the mapping instead of text
+//	-hierarchy        render the mapping as a nested (model-management) tree
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	cupid "repro"
+)
+
+func loadSchema(path string) (*cupid.Schema, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".sql":
+		return cupid.ParseSQL(name, string(data))
+	case ".xsd":
+		return cupid.ParseXSD(name, data)
+	case ".dtd":
+		return cupid.ParseDTD(name, string(data))
+	case ".json":
+		return cupid.ReadSchemaJSON(strings.NewReader(string(data)))
+	}
+	return nil, fmt.Errorf("unknown schema format %q (want .sql, .xsd, .dtd or .json)", filepath.Ext(path))
+}
+
+func run() error {
+	thesaurusPath := flag.String("thesaurus", "", "thesaurus JSON file (default: built-in base thesaurus)")
+	noThesaurus := flag.Bool("no-thesaurus", false, "run with an empty thesaurus")
+	oneToOne := flag.Bool("one-to-one", false, "generate a 1:1 mapping")
+	mode := flag.String("mode", "full", "matching mode: full, linguistic, structural")
+	leavesOnly := flag.Bool("leaves-only", false, "suppress non-leaf mapping elements")
+	dump := flag.Bool("dump", false, "print the expanded schema trees")
+	minAccept := flag.Float64("min", 0.5, "acceptance threshold thaccept")
+	asJSON := flag.Bool("json", false, "emit the mapping as JSON")
+	asXSLT := flag.Bool("xslt", false, "emit an XSLT skeleton")
+	asTree := flag.Bool("hierarchy", false, "render the mapping as a nested tree")
+	flag.Parse()
+
+	if flag.NArg() != 2 {
+		return fmt.Errorf("usage: cupidmatch [flags] SOURCE TARGET")
+	}
+	src, err := loadSchema(flag.Arg(0))
+	if err != nil {
+		return fmt.Errorf("loading source: %w", err)
+	}
+	dst, err := loadSchema(flag.Arg(1))
+	if err != nil {
+		return fmt.Errorf("loading target: %w", err)
+	}
+
+	cfg := cupid.DefaultConfig()
+	switch {
+	case *noThesaurus:
+		cfg.Thesaurus = cupid.NewThesaurus()
+	case *thesaurusPath != "":
+		f, err := os.Open(*thesaurusPath)
+		if err != nil {
+			return err
+		}
+		th, err := cupid.ReadThesaurus(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("loading thesaurus: %w", err)
+		}
+		cfg.Thesaurus = th
+	}
+	if *oneToOne {
+		cfg.Mapping.Cardinality = cupid.OneToOne
+	}
+	switch *mode {
+	case "full":
+	case "linguistic":
+		cfg.Mode = cupid.ModeLinguisticOnly
+	case "structural":
+		cfg.Mode = cupid.ModeStructuralOnly
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+	cfg.Mapping.NonLeaves = !*leavesOnly
+	cfg.Mapping.ThAccept = *minAccept
+
+	m, err := cupid.NewMatcher(cfg)
+	if err != nil {
+		return err
+	}
+	res, err := m.Match(src, dst)
+	if err != nil {
+		return err
+	}
+	if *dump {
+		fmt.Println("source tree:")
+		fmt.Print(res.SourceTree.Dump())
+		fmt.Println("target tree:")
+		fmt.Print(res.TargetTree.Dump())
+	}
+	switch {
+	case *asJSON:
+		return res.Mapping.WriteJSON(os.Stdout)
+	case *asXSLT:
+		return res.Mapping.WriteXSLT(os.Stdout, res.TargetTree)
+	case *asTree:
+		fmt.Print(res.Mapping.Hierarchy())
+	default:
+		fmt.Print(res.Mapping)
+	}
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cupidmatch:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLoadSchemaDispatch(t *testing.T) {
+	dir := t.TempDir()
+	sql := write(t, dir, "a.sql", `CREATE TABLE T (X INT);`)
+	xsd := write(t, dir, "b.xsd", `<?xml version="1.0"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="R"><xs:complexType>
+    <xs:attribute name="a" type="xs:int"/>
+  </xs:complexType></xs:element>
+</xs:schema>`)
+	dtd := write(t, dir, "c.dtd", `<!ELEMENT R EMPTY> <!ATTLIST R a CDATA #REQUIRED>`)
+	jsn := write(t, dir, "d.json", `{"name":"J","root":{"name":"J","children":[{"name":"A"}]}}`)
+
+	for _, p := range []string{sql, xsd, dtd, jsn} {
+		s, err := loadSchema(p)
+		if err != nil {
+			t.Errorf("loadSchema(%s): %v", p, err)
+			continue
+		}
+		if s.Len() == 0 {
+			t.Errorf("loadSchema(%s): empty schema", p)
+		}
+	}
+
+	// Unknown extension rejected.
+	txt := write(t, dir, "e.txt", "hello")
+	if _, err := loadSchema(txt); err == nil {
+		t.Error("unknown extension accepted")
+	}
+	// Missing file.
+	if _, err := loadSchema(filepath.Join(dir, "missing.sql")); err == nil {
+		t.Error("missing file accepted")
+	}
+	// Malformed content.
+	bad := write(t, dir, "f.sql", "DROP EVERYTHING;")
+	if _, err := loadSchema(bad); err == nil {
+		t.Error("malformed DDL accepted")
+	}
+}

@@ -1,0 +1,255 @@
+// Package cupid is a Go implementation of the Cupid generic schema
+// matching algorithm (Madhavan, Bernstein, Rahm: "Generic Schema Matching
+// with Cupid", VLDB 2001 / MSR-TR-2001-58).
+//
+// Cupid discovers mappings between the elements of two schemas using
+// their names, data types, constraints and structure. Matching runs in
+// three phases: linguistic matching (tokenization, abbreviation expansion,
+// thesaurus-driven name similarity, categorization), structural matching
+// (the TreeMatch algorithm over expanded schema trees, biased toward leaf
+// similarity), and mapping generation. The implementation covers the
+// paper's full scope: generic schema graphs with containment, aggregation,
+// IsDerivedFrom and reference relationships; context-dependent matching of
+// shared types; referential constraints reified as join views; views;
+// optionality; initial (user-supplied) mappings; and lazy expansion.
+//
+// # Quick start
+//
+//	src := cupid.NewSchema("PO")
+//	item := src.AddChild(src.Root(), "Item", cupid.KindElement)
+//	qty := src.AddChild(item, "Qty", cupid.KindAttribute)
+//	qty.Type = cupid.DTInt
+//	// ... build or parse the target schema ...
+//	result, err := cupid.Match(src, dst)
+//	for _, e := range result.Mapping.Leaves {
+//	    fmt.Println(e)
+//	}
+//
+// Schemas can also be imported from SQL DDL (ParseSQL), XML Schema
+// (ParseXSD), DTDs (ParseDTD), or the native JSON format (ReadSchemaJSON).
+package cupid
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/dtd"
+	"repro/internal/linguistic"
+	"repro/internal/mapping"
+	"repro/internal/model"
+	"repro/internal/schematree"
+	"repro/internal/sqlddl"
+	"repro/internal/structural"
+	"repro/internal/thesaurus"
+	"repro/internal/tuner"
+	"repro/internal/workloads"
+	"repro/internal/xsdlite"
+)
+
+// Schema is a generic schema graph: a rooted graph of elements connected
+// by containment, aggregation, IsDerivedFrom and reference relationships
+// (paper §8.1).
+type Schema = model.Schema
+
+// Element is a node of a schema graph.
+type Element = model.Element
+
+// Kind classifies an element by its role in its native data model.
+type Kind = model.Kind
+
+// Element kinds.
+const (
+	KindOther     = model.KindOther
+	KindSchema    = model.KindSchema
+	KindTable     = model.KindTable
+	KindColumn    = model.KindColumn
+	KindElement   = model.KindElement
+	KindAttribute = model.KindAttribute
+	KindType      = model.KindType
+	KindKey       = model.KindKey
+	KindRefInt    = model.KindRefInt
+	KindView      = model.KindView
+	KindJoinView  = model.KindJoinView
+)
+
+// DataType is the broad data-type classification used for the leaf
+// compatibility table and the linguistic data-type categories.
+type DataType = model.DataType
+
+// Broad data types.
+const (
+	DTNone     = model.DTNone
+	DTString   = model.DTString
+	DTInt      = model.DTInt
+	DTFloat    = model.DTFloat
+	DTDecimal  = model.DTDecimal
+	DTBool     = model.DTBool
+	DTDate     = model.DTDate
+	DTTime     = model.DTTime
+	DTDateTime = model.DTDateTime
+	DTBinary   = model.DTBinary
+	DTEnum     = model.DTEnum
+	DTID       = model.DTID
+	DTIDRef    = model.DTIDRef
+	DTComplex  = model.DTComplex
+	DTAny      = model.DTAny
+)
+
+// NewSchema creates an empty schema whose root carries the given name.
+func NewSchema(name string) *Schema { return model.New(name) }
+
+// ParseDataType maps a concrete type name (SQL, XSD, or programming-language
+// spelling) to its broad class.
+func ParseDataType(name string) DataType { return model.ParseDataType(name) }
+
+// Thesaurus holds the auxiliary linguistic knowledge Cupid consumes:
+// synonym and hypernym entries annotated with strengths in [0,1],
+// abbreviation expansions, stop-words, and concept tags.
+type Thesaurus = thesaurus.Thesaurus
+
+// NewThesaurus returns an empty thesaurus.
+func NewThesaurus() *Thesaurus { return thesaurus.New() }
+
+// BaseThesaurus returns the curated base thesaurus shipped with the
+// library (the offline substitute for WordNet and hand-curated thesauri).
+func BaseThesaurus() *Thesaurus { return thesaurus.Base() }
+
+// ReadThesaurus parses a thesaurus from its JSON serialization.
+func ReadThesaurus(r io.Reader) (*Thesaurus, error) { return thesaurus.ReadJSON(r) }
+
+// Config collects every knob of the matching pipeline; start from
+// DefaultConfig.
+type Config = core.Config
+
+// Mode selects full, linguistic-only, or structural-only matching.
+type Mode = core.Mode
+
+// Matching modes.
+const (
+	ModeFull           = core.ModeFull
+	ModeLinguisticOnly = core.ModeLinguisticOnly
+	ModeStructuralOnly = core.ModeStructuralOnly
+)
+
+// PathPair names a source and target element by containment path; used
+// for initial mappings (§8.4).
+type PathPair = core.PathPair
+
+// LinguisticParams holds the per-token-type weights and the category
+// compatibility threshold thns (§5).
+type LinguisticParams = linguistic.Params
+
+// StructuralParams holds the TreeMatch thresholds and factors of Table 1
+// plus the §8.4 feature toggles.
+type StructuralParams = structural.Params
+
+// CompatTable is the data-type compatibility table initializing leaf
+// structural similarity (entries in [0, 0.5]).
+type CompatTable = structural.CompatTable
+
+// DefaultCompat returns the default compatibility table.
+func DefaultCompat() *CompatTable { return structural.DefaultCompat() }
+
+// TreeOptions controls schema-graph-to-tree expansion (join views, views,
+// node cap).
+type TreeOptions = schematree.Options
+
+// MappingOptions controls mapping generation (threshold, cardinality,
+// non-leaf output).
+type MappingOptions = mapping.Options
+
+// Cardinality selects 1:n (the paper's naive scheme) or 1:1 output.
+type Cardinality = mapping.Cardinality
+
+// Mapping cardinalities.
+const (
+	OneToN   = mapping.OneToN
+	OneToOne = mapping.OneToOne
+)
+
+// Mapping is the result of the Match operation: a set of mapping elements
+// (correspondences between schema-tree nodes).
+type Mapping = mapping.Mapping
+
+// MappingElement is one correspondence, annotated with the similarities
+// that produced it.
+type MappingElement = mapping.Element
+
+// Result is the full output of one Match run: the mapping plus every
+// intermediate artifact (similarity matrices, expanded trees, linguistic
+// analysis).
+type Result = core.Result
+
+// Tree is an expanded schema tree; Result exposes the source and target
+// trees for similarity inspection.
+type Tree = schematree.Tree
+
+// Node is one context of one schema element in an expanded schema tree.
+type Node = schematree.Node
+
+// DefaultConfig returns the paper's typical configuration (Table 1 values,
+// base thesaurus, join views enabled, naive 1:n generation).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Matcher runs the Cupid pipeline for one configuration. A Matcher may be
+// reused across schema pairs; it is not safe for concurrent use.
+type Matcher = core.Matcher
+
+// NewMatcher builds a Matcher, validating the configuration.
+func NewMatcher(cfg Config) (*Matcher, error) { return core.NewMatcher(cfg) }
+
+// Match runs the full pipeline with DefaultConfig.
+func Match(source, target *Schema) (*Result, error) { return core.Match(source, target) }
+
+// ParseSQL imports a relational schema from SQL DDL (CREATE TABLE with
+// PRIMARY KEY / FOREIGN KEY constraints, CREATE VIEW).
+func ParseSQL(schemaName, ddl string) (*Schema, error) { return sqlddl.Parse(schemaName, ddl) }
+
+// ParseXSD imports an XML Schema document (elements, attributes, named
+// complex types as shared types, key/keyref as referential constraints).
+func ParseXSD(schemaName string, doc []byte) (*Schema, error) {
+	return xsdlite.Parse(schemaName, doc)
+}
+
+// ParseDTD imports an XML DTD (element content models, attribute lists,
+// ID/IDREF as referential constraints).
+func ParseDTD(schemaName, doc string) (*Schema, error) { return dtd.Parse(schemaName, doc) }
+
+// ReadSchemaJSON parses a schema from the native JSON format.
+func ReadSchemaJSON(r io.Reader) (*Schema, error) { return model.ReadJSON(r) }
+
+// BuildTree expands a schema graph into a schema tree without running the
+// matcher — useful for inspecting context expansion and join-view
+// augmentation.
+func BuildTree(s *Schema, opt TreeOptions) (*Tree, error) { return schematree.Build(s, opt) }
+
+// DefaultTreeOptions enables join views and view expansion.
+func DefaultTreeOptions() TreeOptions { return schematree.DefaultOptions() }
+
+// --- gold mappings and auto-tuning (paper §10 future work) --------------
+
+// GoldPair is one expected correspondence, named by schema-tree node
+// paths; used to score mappings and to drive auto-tuning.
+type GoldPair = workloads.GoldPair
+
+// Gold is a gold-standard mapping: expected pairs, forbidden pairs, and
+// per-target alternative acceptable sources.
+type Gold = workloads.Gold
+
+// TuneSpace lists candidate values per tunable structural parameter for
+// the auto-tuning grid search.
+type TuneSpace = tuner.Space
+
+// TuneResult holds the evaluated trials of a grid search, best first.
+type TuneResult = tuner.Result
+
+// DefaultTuneSpace is a small grid around the paper's Table 1 values.
+func DefaultTuneSpace() TuneSpace { return tuner.DefaultSpace() }
+
+// Tune grid-searches the structural parameters against a gold mapping,
+// addressing the paper's open problem of automatic parameter tuning (§9.3
+// conclusion 8). It returns every valid trial scored by F1, best first.
+func Tune(source, target *Schema, gold Gold, base Config, space TuneSpace) (*TuneResult, error) {
+	w := workloads.Workload{Name: "tune", Source: source, Target: target, Gold: gold}
+	return tuner.Grid(w, base, space)
+}

@@ -1,0 +1,129 @@
+package cupid_test
+
+import (
+	"strings"
+	"testing"
+
+	cupid "repro"
+)
+
+// buildPair builds a small schema pair through the public API only.
+func buildPair() (*cupid.Schema, *cupid.Schema) {
+	src := cupid.NewSchema("PO")
+	item := src.AddChild(src.Root(), "Item", cupid.KindElement)
+	qty := src.AddChild(item, "Qty", cupid.KindAttribute)
+	qty.Type = cupid.DTInt
+	uom := src.AddChild(item, "UoM", cupid.KindAttribute)
+	uom.Type = cupid.DTString
+
+	dst := cupid.NewSchema("PurchaseOrder")
+	item2 := dst.AddChild(dst.Root(), "Item", cupid.KindElement)
+	q := dst.AddChild(item2, "Quantity", cupid.KindAttribute)
+	q.Type = cupid.DTInt
+	u := dst.AddChild(item2, "UnitOfMeasure", cupid.KindAttribute)
+	u.Type = cupid.DTString
+	return src, dst
+}
+
+func TestPublicMatch(t *testing.T) {
+	src, dst := buildPair()
+	res, err := cupid.Match(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Mapping.HasPair("PO.Item.Qty", "PurchaseOrder.Item.Quantity") {
+		t.Errorf("missing Qty mapping:\n%s", res.Mapping)
+	}
+	if !res.Mapping.HasPair("PO.Item.UoM", "PurchaseOrder.Item.UnitOfMeasure") {
+		t.Errorf("missing UoM mapping:\n%s", res.Mapping)
+	}
+}
+
+func TestPublicConfigKnobs(t *testing.T) {
+	cfg := cupid.DefaultConfig()
+	cfg.Mapping.Cardinality = cupid.OneToOne
+	cfg.Structural.LazyMemo = true
+	cfg.Thesaurus = cupid.BaseThesaurus()
+	m, err := cupid.NewMatcher(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, dst := buildPair()
+	if _, err := m.Match(src, dst); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicImporters(t *testing.T) {
+	sql, err := cupid.ParseSQL("DB", `CREATE TABLE T (A INT PRIMARY KEY, B VARCHAR(10));`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sql.Len() < 4 {
+		t.Error("sql import too small")
+	}
+	xsd, err := cupid.ParseXSD("X", []byte(`<?xml version="1.0"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="R"><xs:complexType>
+    <xs:attribute name="a" type="xs:int"/>
+  </xs:complexType></xs:element>
+</xs:schema>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xsd.Root().Name != "R" {
+		t.Error("xsd root wrong")
+	}
+	d, err := cupid.ParseDTD("", `<!ELEMENT R EMPTY> <!ATTLIST R a CDATA #REQUIRED>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Root().Name != "R" {
+		t.Error("dtd root wrong")
+	}
+	js, err := cupid.ReadSchemaJSON(strings.NewReader(
+		`{"name":"J","root":{"name":"J","children":[{"name":"A","type":"int"}]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if js.Len() != 2 {
+		t.Error("json import wrong")
+	}
+}
+
+func TestPublicThesaurusRoundTrip(t *testing.T) {
+	th := cupid.NewThesaurus()
+	th.AddSynonym("foo", "bar", 0.7)
+	var sb strings.Builder
+	if err := th.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cupid.ReadThesaurus(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, ok := got.Lookup("foo", "bar"); !ok || s != 0.7 {
+		t.Errorf("round trip lost entry: %v %v", s, ok)
+	}
+}
+
+func TestPublicBuildTree(t *testing.T) {
+	src, _ := buildPair()
+	tr, err := cupid.BuildTree(src, cupid.DefaultTreeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != src.Len() {
+		t.Errorf("tree len %d vs schema %d", tr.Len(), src.Len())
+	}
+}
+
+func TestPublicDataTypes(t *testing.T) {
+	if cupid.ParseDataType("varchar(20)") != cupid.DTString {
+		t.Error("ParseDataType")
+	}
+	c := cupid.DefaultCompat()
+	if c.Lookup(cupid.DTInt, cupid.DTInt) != 0.5 {
+		t.Error("compat lookup")
+	}
+}

@@ -1,0 +1,88 @@
+package cupid_test
+
+import (
+	"fmt"
+
+	cupid "repro"
+)
+
+// ExampleMatch demonstrates the minimal end-to-end flow: build two
+// schemas, match, and print the discovered leaf correspondences.
+func ExampleMatch() {
+	src := cupid.NewSchema("PO")
+	item := src.AddChild(src.Root(), "Item", cupid.KindElement)
+	qty := src.AddChild(item, "Qty", cupid.KindAttribute)
+	qty.Type = cupid.DTInt
+
+	dst := cupid.NewSchema("PurchaseOrder")
+	item2 := dst.AddChild(dst.Root(), "Item", cupid.KindElement)
+	q := dst.AddChild(item2, "Quantity", cupid.KindAttribute)
+	q.Type = cupid.DTInt
+
+	res, err := cupid.Match(src, dst)
+	if err != nil {
+		panic(err)
+	}
+	for _, e := range res.Mapping.Leaves {
+		fmt.Printf("%s <-> %s\n", e.Source.Path(), e.Target.Path())
+	}
+	// Output:
+	// PO.Item.Qty <-> PurchaseOrder.Item.Quantity
+}
+
+// ExampleParseSQL shows the SQL DDL importer: foreign keys become
+// referential constraints that the matcher reifies as join views.
+func ExampleParseSQL() {
+	s, err := cupid.ParseSQL("DB", `
+CREATE TABLE Customers (CustomerID INT PRIMARY KEY, Name VARCHAR(80));
+CREATE TABLE Orders (
+    OrderID INT PRIMARY KEY,
+    CustomerID INT REFERENCES Customers (CustomerID)
+);`)
+	if err != nil {
+		panic(err)
+	}
+	st := s.ComputeStats()
+	fmt.Printf("elements=%d refints=%d\n", st.Elements, st.RefInts)
+	// Output:
+	// elements=10 refints=1
+}
+
+// ExampleThesaurus shows extending the linguistic knowledge: a domain
+// synonym turns two unrelated names into a match.
+func ExampleThesaurus() {
+	th := cupid.NewThesaurus()
+	th.AddSynonym("vendor", "supplier", 1.0)
+	fmt.Printf("%.1f\n", th.Sim("Vendors", "Supplier")) // stemmed lookup
+	// Output:
+	// 1.0
+}
+
+// ExampleNewMatcher shows a configured run: 1:1 cardinality and a
+// user-supplied initial mapping (§8.4).
+func ExampleNewMatcher() {
+	src := cupid.NewSchema("A")
+	t1 := src.AddChild(src.Root(), "T", cupid.KindTable)
+	x := src.AddChild(t1, "X", cupid.KindColumn)
+	x.Type = cupid.DTInt
+
+	dst := cupid.NewSchema("B")
+	t2 := dst.AddChild(dst.Root(), "U", cupid.KindTable)
+	y := dst.AddChild(t2, "Y", cupid.KindColumn)
+	y.Type = cupid.DTInt
+
+	cfg := cupid.DefaultConfig()
+	cfg.Mapping.Cardinality = cupid.OneToOne
+	cfg.InitialMapping = []cupid.PathPair{{Source: "A.T.X", Target: "B.U.Y"}}
+	m, err := cupid.NewMatcher(cfg)
+	if err != nil {
+		panic(err)
+	}
+	res, err := m.Match(src, dst)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Mapping.HasPair("A.T.X", "B.U.Y"))
+	// Output:
+	// true
+}

@@ -1,0 +1,78 @@
+// Quickstart: the paper's running example (Figure 2). Two purchase-order
+// schemas with naming and nesting variations are built through the public
+// API and matched; the output shows the thesaurus-driven pairs
+// (Qty<->Quantity, UoM<->UnitOfMeasure), the purely structural
+// Line<->ItemNumber match, and the context-correct binding of the
+// City/Street pairs (POBillTo to InvoiceTo because Bill ~ Invoice).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	cupid "repro"
+)
+
+func buildPO() *cupid.Schema {
+	s := cupid.NewSchema("PO")
+	attr := func(p *cupid.Element, name string, t cupid.DataType) {
+		e := s.AddChild(p, name, cupid.KindAttribute)
+		e.Type = t
+	}
+	lines := s.AddChild(s.Root(), "POLines", cupid.KindElement)
+	item := s.AddChild(lines, "Item", cupid.KindElement)
+	attr(item, "Line", cupid.DTInt)
+	attr(item, "Qty", cupid.DTInt)
+	attr(item, "UoM", cupid.DTString)
+	attr(lines, "Count", cupid.DTInt)
+	ship := s.AddChild(s.Root(), "POShipTo", cupid.KindElement)
+	attr(ship, "Street", cupid.DTString)
+	attr(ship, "City", cupid.DTString)
+	bill := s.AddChild(s.Root(), "POBillTo", cupid.KindElement)
+	attr(bill, "Street", cupid.DTString)
+	attr(bill, "City", cupid.DTString)
+	return s
+}
+
+func buildPurchaseOrder() *cupid.Schema {
+	s := cupid.NewSchema("PurchaseOrder")
+	attr := func(p *cupid.Element, name string, t cupid.DataType) {
+		e := s.AddChild(p, name, cupid.KindAttribute)
+		e.Type = t
+	}
+	address := func(p *cupid.Element) {
+		a := s.AddChild(p, "Address", cupid.KindElement)
+		attr(a, "Street", cupid.DTString)
+		attr(a, "City", cupid.DTString)
+	}
+	address(s.AddChild(s.Root(), "DeliverTo", cupid.KindElement))
+	address(s.AddChild(s.Root(), "InvoiceTo", cupid.KindElement))
+	items := s.AddChild(s.Root(), "Items", cupid.KindElement)
+	item := s.AddChild(items, "Item", cupid.KindElement)
+	attr(item, "ItemNumber", cupid.DTInt)
+	attr(item, "Quantity", cupid.DTInt)
+	attr(item, "UnitOfMeasure", cupid.DTString)
+	attr(items, "ItemCount", cupid.DTInt)
+	return s
+}
+
+func main() {
+	src := buildPO()
+	dst := buildPurchaseOrder()
+
+	res, err := cupid.Match(src, dst)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("discovered mapping:")
+	fmt.Print(res.Mapping)
+
+	// The intermediate similarities are available for inspection.
+	line := res.SourceTree.NodeByPath("PO.POLines.Item.Line")
+	itemNo := res.TargetTree.NodeByPath("PurchaseOrder.Items.Item.ItemNumber")
+	fmt.Printf("\nLine <-> ItemNumber: lsim=%.2f ssim=%.2f wsim=%.2f (purely structural: no name evidence)\n",
+		res.LSim[line.Idx][itemNo.Idx],
+		res.Struct.SSim[line.Idx][itemNo.Idx],
+		res.Struct.WSim[line.Idx][itemNo.Idx])
+}

@@ -1,0 +1,173 @@
+// Integration tests across modules: cross-data-model matching through the
+// importers, and property-style checks of the whole pipeline over randomly
+// generated synthetic schema pairs.
+package cupid_test
+
+import (
+	"strings"
+	"testing"
+
+	cupid "repro"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/workloads"
+)
+
+// TestCrossModelMatching runs one logical schema expressed in three data
+// models (SQL, XSD, DTD) through the importers and matches every pair: the
+// Match operation is generic across data models (paper §1-2).
+func TestCrossModelMatching(t *testing.T) {
+	sql, err := cupid.ParseSQL("SQL", `
+CREATE TABLE Customer (
+    CustomerNumber INT PRIMARY KEY,
+    Name VARCHAR(80),
+    Address VARCHAR(120),
+    Telephone VARCHAR(24)
+);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xsd, err := cupid.ParseXSD("XSD", []byte(`<?xml version="1.0"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="CustomerDB">
+    <xs:complexType><xs:sequence>
+      <xs:element name="Customer">
+        <xs:complexType>
+          <xs:attribute name="CustomerNumber" type="xs:int"/>
+          <xs:attribute name="Name" type="xs:string"/>
+          <xs:attribute name="Address" type="xs:string"/>
+          <xs:attribute name="Telephone" type="xs:string" use="optional"/>
+        </xs:complexType>
+      </xs:element>
+    </xs:sequence></xs:complexType>
+  </xs:element>
+</xs:schema>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dtdS, err := cupid.ParseDTD("DTD", `
+<!ELEMENT CustomerDB (Customer*)>
+<!ELEMENT Customer EMPTY>
+<!ATTLIST Customer
+  CustomerNumber CDATA #REQUIRED
+  Name CDATA #REQUIRED
+  Address CDATA #REQUIRED
+  Telephone CDATA #IMPLIED>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	schemas := map[string]*cupid.Schema{"sql": sql, "xsd": xsd, "dtd": dtdS}
+	for an, a := range schemas {
+		for bn, b := range schemas {
+			if an >= bn {
+				continue
+			}
+			res, err := cupid.Match(a, b)
+			if err != nil {
+				t.Fatalf("%s vs %s: %v", an, bn, err)
+			}
+			// All four attributes must align by name across models.
+			for _, col := range []string{"CustomerNumber", "Name", "Address", "Telephone"} {
+				found := false
+				for _, e := range res.Mapping.Leaves {
+					if strings.HasSuffix(e.Source.Path(), col) && strings.HasSuffix(e.Target.Path(), col) {
+						found = true
+					}
+				}
+				if !found {
+					t.Errorf("%s vs %s: column %s not aligned\n%s", an, bn, col, res.Mapping)
+				}
+			}
+		}
+	}
+}
+
+// TestPipelinePropertiesOnRandomSchemas checks pipeline invariants over a
+// set of randomly generated (seeded) synthetic schema pairs: similarities
+// stay in [0,1], results are deterministic, the lazy memo is
+// result-identical to the eager computation, and the identity pair always
+// achieves perfect recall.
+func TestPipelinePropertiesOnRandomSchemas(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		w := workloads.Synthetic(workloads.SyntheticSpec{
+			Tables:       int(2 + seed%3),
+			ColsPerTable: int(4 + seed%5),
+			Depth:        int(1 + seed%3),
+			Seed:         seed,
+			Rename:       0.4,
+			Renest:       0.3,
+			FKs:          int(seed % 3),
+		})
+		cfgE := core.DefaultConfig()
+		resE, _, err := eval.RunCupid(w, cfgE)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// Bounds.
+		for i := range resE.WSim {
+			for j := range resE.WSim[i] {
+				if resE.WSim[i][j] < 0 || resE.WSim[i][j] > 1 {
+					t.Fatalf("seed %d: wsim out of range: %v", seed, resE.WSim[i][j])
+				}
+				if resE.LSim[i][j] < 0 || resE.LSim[i][j] > 1 {
+					t.Fatalf("seed %d: lsim out of range: %v", seed, resE.LSim[i][j])
+				}
+			}
+		}
+		// Determinism.
+		resE2, _, err := eval.RunCupid(w, cfgE)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resE.Mapping.String() != resE2.Mapping.String() {
+			t.Fatalf("seed %d: nondeterministic mapping", seed)
+		}
+		// Lazy == eager.
+		cfgL := core.DefaultConfig()
+		cfgL.Structural.LazyMemo = true
+		resL, _, err := eval.RunCupid(w, cfgL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resE.Mapping.String() != resL.Mapping.String() {
+			t.Fatalf("seed %d: lazy memo changed the mapping:\n%s\nvs\n%s",
+				seed, resE.Mapping, resL.Mapping)
+		}
+	}
+}
+
+// TestIdentityMatchIsPerfect: matching a synthetic schema against an
+// unperturbed copy of itself must recover every leaf.
+func TestIdentityMatchIsPerfect(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		w := workloads.Synthetic(workloads.SyntheticSpec{
+			Tables: 3, ColsPerTable: 6, Depth: 2, Seed: seed, // Rename/Renest zero
+		})
+		_, m, err := eval.RunCupid(w, core.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Recall() < 1 {
+			t.Errorf("seed %d: identity recall = %v, want 1", seed, m.Recall())
+		}
+	}
+}
+
+// TestPublicTune exercises the auto-tuning facade.
+func TestPublicTune(t *testing.T) {
+	w := workloads.Figure1()
+	res, err := cupid.Tune(w.Source, w.Target, w.Gold, cupid.DefaultConfig(), cupid.TuneSpace{
+		WStructLeaf: []float64{0.5, 0.58},
+		CInc:        []float64{1.25, 1.4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trials) != 4 {
+		t.Errorf("trials = %d, want 4", len(res.Trials))
+	}
+	if res.Best.Metrics.F1() < res.Trials[len(res.Trials)-1].Metrics.F1() {
+		t.Error("best is not best")
+	}
+}

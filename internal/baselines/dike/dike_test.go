@@ -1,0 +1,123 @@
+package dike
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+func TestIdenticalSchemas(t *testing.T) {
+	ex := workloads.Canonical()[0]
+	res := Match(ex.Source, ex.Target, DefaultOptions())
+	for _, g := range ex.Gold.Pairs {
+		if !res.HasPair(g.Source, g.Target) {
+			t.Errorf("missing %v\n%s", g, res)
+		}
+	}
+	if !res.HasPair("Schema1.Customer", "Schema2.Customer") {
+		t.Errorf("entities not merged\n%s", res)
+	}
+}
+
+func TestDifferentDataTypes(t *testing.T) {
+	ex := workloads.Canonical()[1]
+	res := Match(ex.Source, ex.Target, DefaultOptions())
+	// Telephone string vs int still merges on identical names (data type
+	// compatibility modulates but does not veto).
+	if !res.HasPair("Schema1.Customer.Telephone", "Schema2.Customer.Telephone") {
+		t.Errorf("telephone not merged\n%s", res)
+	}
+}
+
+func TestRenamedNeedsLSPD(t *testing.T) {
+	ex := workloads.Canonical()[2]
+	// Without LSPD entries the renamed attributes are not merged
+	// (Table 2 footnote a).
+	res := Match(ex.Source, ex.Target, DefaultOptions())
+	found := 0
+	for _, g := range ex.Gold.Pairs {
+		if res.HasPair(g.Source, g.Target) {
+			found++
+		}
+	}
+	if found == len(ex.Gold.Pairs) {
+		t.Errorf("renamed attributes merged without LSPD entries\n%s", res)
+	}
+	// With LSPD entries, all gold pairs merge.
+	opt := DefaultOptions()
+	opt.LSPD = map[[2]string]float64{}
+	for _, e := range [][2]string{
+		{"Address", "StreetAddress"},
+		{"Name", "CustomerName"},
+		{"CustomerNumber", "CustomerNumberID"},
+		{"Telephone", "TelephoneNumber"},
+	} {
+		a, b := strings.ToLower(e[0]), strings.ToLower(e[1])
+		if a > b {
+			a, b = b, a
+		}
+		opt.LSPD[[2]string{a, b}] = 1
+	}
+	res = Match(ex.Source, ex.Target, opt)
+	for _, g := range ex.Gold.Pairs {
+		if !res.HasPair(g.Source, g.Target) {
+			t.Errorf("with LSPD: missing %v\n%s", g, res)
+		}
+	}
+}
+
+func TestDifferentClassNames(t *testing.T) {
+	// DIKE merges the entities even without an LSPD entry because the
+	// attribute vicinity matches (canonical example 4).
+	ex := workloads.Canonical()[3]
+	res := Match(ex.Source, ex.Target, DefaultOptions())
+	for _, g := range ex.Gold.Pairs {
+		if !res.HasPair(g.Source, g.Target) {
+			t.Errorf("missing %v\n%s", g, res)
+		}
+	}
+}
+
+func TestNestingHandled(t *testing.T) {
+	ex := workloads.Canonical()[4]
+	res := Match(ex.Source, ex.Target, DefaultOptions())
+	for _, g := range ex.Gold.Pairs {
+		if !res.HasPair(g.Source, g.Target) {
+			t.Errorf("missing %v\n%s", g, res)
+		}
+	}
+}
+
+func TestContextDependentFails(t *testing.T) {
+	// Canonical example 6: DIKE operates on elements, not contexts, so it
+	// cannot produce both context-qualified Street mappings (Table 2: N).
+	ex := workloads.Canonical()[5]
+	res := Match(ex.Source, ex.Target, DefaultOptions())
+	found := 0
+	for _, g := range ex.Gold.Pairs {
+		if res.HasPair(g.Source, g.Target) {
+			found++
+		}
+	}
+	if found == len(ex.Gold.Pairs) {
+		t.Errorf("DIKE unexpectedly achieved context-dependent mapping\n%s", res)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	ex := workloads.Canonical()[0]
+	a := Match(ex.Source, ex.Target, DefaultOptions())
+	b := Match(ex.Source, ex.Target, DefaultOptions())
+	if a.String() != b.String() {
+		t.Error("DIKE baseline not deterministic")
+	}
+}
+
+func TestZeroOptionsDefaulted(t *testing.T) {
+	ex := workloads.Canonical()[0]
+	res := Match(ex.Source, ex.Target, Options{})
+	if len(res.Attributes) == 0 {
+		t.Error("zero options should fall back to defaults")
+	}
+}

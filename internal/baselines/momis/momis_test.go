@@ -1,0 +1,140 @@
+package momis
+
+import (
+	"testing"
+
+	"repro/internal/thesaurus"
+	"repro/internal/workloads"
+)
+
+func optWithBase() Options {
+	o := DefaultOptions()
+	o.Thesaurus = thesaurus.Base()
+	return o
+}
+
+func TestIdenticalSchemas(t *testing.T) {
+	ex := workloads.Canonical()[0]
+	res := Match(ex.Source, ex.Target, optWithBase())
+	if !res.Clustered("Schema1.Customer", "Schema2.Customer") {
+		t.Fatalf("Customer classes not clustered\n%s", res)
+	}
+	for _, g := range ex.Gold.Pairs {
+		if !res.HasPair(g.Source, g.Target) {
+			t.Errorf("missing %v\n%s", g, res)
+		}
+	}
+}
+
+func TestRenamedNeedsUserEntries(t *testing.T) {
+	ex := workloads.Canonical()[2]
+	// Whole-name affinity: renamed attributes are not fused without
+	// explicit entries (Table 2 footnote b).
+	res := Match(ex.Source, ex.Target, optWithBase())
+	found := 0
+	for _, g := range ex.Gold.Pairs {
+		if res.HasPair(g.Source, g.Target) {
+			found++
+		}
+	}
+	if found == len(ex.Gold.Pairs) {
+		t.Errorf("renamed attributes fused without user entries\n%s", res)
+	}
+	// Emulating the user adding synonym relationships makes it work.
+	opt := optWithBase()
+	opt.Thesaurus = thesaurus.Base()
+	opt.Thesaurus.AddSynonym("Address", "StreetAddress", 1)
+	opt.Thesaurus.AddSynonym("Name", "CustomerName", 1)
+	opt.Thesaurus.AddSynonym("CustomerNumber", "CustomerNumberID", 1)
+	opt.Thesaurus.AddSynonym("Telephone", "TelephoneNumber", 1)
+	res = Match(ex.Source, ex.Target, opt)
+	for _, g := range ex.Gold.Pairs {
+		if !res.HasPair(g.Source, g.Target) {
+			t.Errorf("with entries: missing %v\n%s", g, res)
+		}
+	}
+}
+
+func TestHypernymClustersPersonCustomer(t *testing.T) {
+	// Canonical example 4: Person is a hypernym of Customer (WordNet
+	// substitute), so the classes cluster and attributes fuse.
+	ex := workloads.Canonical()[3]
+	res := Match(ex.Source, ex.Target, optWithBase())
+	if !res.Clustered("Schema1.Customer", "Schema2.Person") {
+		t.Fatalf("Customer/Person not clustered\n%s", res)
+	}
+	for _, g := range ex.Gold.Pairs {
+		if !res.HasPair(g.Source, g.Target) {
+			t.Errorf("missing %v\n%s", g, res)
+		}
+	}
+}
+
+func TestNestingFails(t *testing.T) {
+	// Canonical example 5 (Table 2: N for MOMIS): class-level clustering
+	// fragments the nested schema; nested-only attributes are not fused.
+	ex := workloads.Canonical()[4]
+	res := Match(ex.Source, ex.Target, optWithBase())
+	if !res.Clustered("NestedSchema.Customer", "FlatSchema.Customer") {
+		t.Errorf("Customer classes should still cluster\n%s", res)
+	}
+	found := 0
+	for _, g := range ex.Gold.Pairs {
+		if res.HasPair(g.Source, g.Target) {
+			found++
+		}
+	}
+	if found == len(ex.Gold.Pairs) {
+		t.Errorf("MOMIS unexpectedly handled different nesting\n%s", res)
+	}
+}
+
+func TestContextDependentFails(t *testing.T) {
+	// Canonical example 6 (Table 2: N): the address classes cluster
+	// together, but no context-qualified mapping is produced.
+	ex := workloads.Canonical()[5]
+	res := Match(ex.Source, ex.Target, optWithBase())
+	if !res.Clustered("Schema1.PurchaseOrder", "Schema2.PurchaseOrder") {
+		t.Errorf("PurchaseOrder classes should cluster\n%s", res)
+	}
+	found := 0
+	for _, g := range ex.Gold.Pairs {
+		if res.HasPair(g.Source, g.Target) {
+			found++
+		}
+	}
+	if found == len(ex.Gold.Pairs) {
+		t.Errorf("MOMIS unexpectedly achieved context-dependent mapping\n%s", res)
+	}
+}
+
+func TestAddressClassesClusterTogether(t *testing.T) {
+	// §9.2 observation: the five address-like classes cluster together in
+	// ARTEMIS. Reproduce on canonical 6: Address, ShipTo, BillTo share
+	// identical attributes, hence structural affinity 1.
+	ex := workloads.Canonical()[5]
+	res := Match(ex.Source, ex.Target, optWithBase())
+	if !res.Clustered("Address", "ShipTo") {
+		t.Errorf("Address/ShipTo not clustered\n%s", res)
+	}
+	if !res.Clustered("Address", "BillTo") {
+		t.Errorf("Address/BillTo not clustered\n%s", res)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	ex := workloads.Canonical()[3]
+	a := Match(ex.Source, ex.Target, optWithBase())
+	b := Match(ex.Source, ex.Target, optWithBase())
+	if a.String() != b.String() {
+		t.Error("MOMIS baseline not deterministic")
+	}
+}
+
+func TestZeroOptionsDefaulted(t *testing.T) {
+	ex := workloads.Canonical()[0]
+	res := Match(ex.Source, ex.Target, Options{})
+	if len(res.Attributes) == 0 {
+		t.Errorf("zero options should fall back to defaults\n%s", res)
+	}
+}

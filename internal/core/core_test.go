@@ -1,0 +1,413 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mapping"
+	"repro/internal/model"
+	"repro/internal/structural"
+	"repro/internal/thesaurus"
+)
+
+// figure2PO builds the PO schema of the paper's Figure 2.
+func figure2PO() *model.Schema {
+	s := model.New("PO")
+	str := func(p *model.Element, name string) {
+		s.AddChild(p, name, model.KindAttribute).Type = model.DTString
+	}
+	lines := s.AddChild(s.Root(), "POLines", model.KindElement)
+	item := s.AddChild(lines, "Item", model.KindElement)
+	intCol := s.AddChild(item, "Line", model.KindAttribute)
+	intCol.Type = model.DTInt
+	qty := s.AddChild(item, "Qty", model.KindAttribute)
+	qty.Type = model.DTInt
+	str(item, "UoM")
+	cnt := s.AddChild(lines, "Count", model.KindAttribute)
+	cnt.Type = model.DTInt
+	ship := s.AddChild(s.Root(), "POShipTo", model.KindElement)
+	str(ship, "Street")
+	str(ship, "City")
+	bill := s.AddChild(s.Root(), "POBillTo", model.KindElement)
+	str(bill, "Street")
+	str(bill, "City")
+	return s
+}
+
+// figure2POrder builds the PurchaseOrder schema of Figure 2.
+func figure2POrder() *model.Schema {
+	s := model.New("PurchaseOrder")
+	str := func(p *model.Element, name string) {
+		s.AddChild(p, name, model.KindAttribute).Type = model.DTString
+	}
+	addr := func(p *model.Element) {
+		a := s.AddChild(p, "Address", model.KindElement)
+		str(a, "Street")
+		str(a, "City")
+	}
+	deliver := s.AddChild(s.Root(), "DeliverTo", model.KindElement)
+	addr(deliver)
+	invoice := s.AddChild(s.Root(), "InvoiceTo", model.KindElement)
+	addr(invoice)
+	items := s.AddChild(s.Root(), "Items", model.KindElement)
+	item := s.AddChild(items, "Item", model.KindElement)
+	in := s.AddChild(item, "ItemNumber", model.KindAttribute)
+	in.Type = model.DTInt
+	q := s.AddChild(item, "Quantity", model.KindAttribute)
+	q.Type = model.DTInt
+	str(item, "UnitOfMeasure")
+	ic := s.AddChild(items, "ItemCount", model.KindAttribute)
+	ic.Type = model.DTInt
+	return s
+}
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidateRejectsBadParams(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Structural.CInc = 0.1
+	if _, err := NewMatcher(cfg); err == nil {
+		t.Error("NewMatcher accepted invalid structural params")
+	}
+	cfg = DefaultConfig()
+	cfg.Mapping.ThAccept = 2
+	if _, err := NewMatcher(cfg); err == nil {
+		t.Error("NewMatcher accepted invalid mapping threshold")
+	}
+}
+
+// TestFigure2RunningExample verifies the paper's §4 running example:
+// matching PO against PurchaseOrder finds Line↔ItemNumber (via parents and
+// siblings), Qty↔Quantity and UoM↔UnitOfMeasure (thesaurus), and binds the
+// City/Street pairs context-correctly (Bill~Invoice, Ship~Deliver).
+func TestFigure2RunningExample(t *testing.T) {
+	res, err := Match(figure2PO(), figure2POrder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Mapping
+	mustPair := func(src, dst string) {
+		t.Helper()
+		if !m.HasPair(src, dst) {
+			t.Errorf("missing %s <-> %s\n%s", src, dst, m)
+		}
+	}
+	mustPair("PO.POLines.Item.Qty", "PurchaseOrder.Items.Item.Quantity")
+	mustPair("PO.POLines.Item.UoM", "PurchaseOrder.Items.Item.UnitOfMeasure")
+	mustPair("PO.POLines.Item.Line", "PurchaseOrder.Items.Item.ItemNumber")
+	mustPair("PO.POLines.Count", "PurchaseOrder.Items.ItemCount")
+	mustPair("PO.POBillTo.City", "PurchaseOrder.InvoiceTo.Address.City")
+	mustPair("PO.POBillTo.Street", "PurchaseOrder.InvoiceTo.Address.Street")
+	mustPair("PO.POShipTo.City", "PurchaseOrder.DeliverTo.Address.City")
+	mustPair("PO.POShipTo.Street", "PurchaseOrder.DeliverTo.Address.Street")
+	// The wrong cross-context pairs must be absent.
+	if m.HasPair("PO.POBillTo.City", "PurchaseOrder.DeliverTo.Address.City") {
+		t.Errorf("POBillTo.City bound to DeliverTo context\n%s", m)
+	}
+	if m.HasPair("PO.POShipTo.City", "PurchaseOrder.InvoiceTo.Address.City") {
+		t.Errorf("POShipTo.City bound to InvoiceTo context\n%s", m)
+	}
+	// Non-leaf structure. Under the naive 1:n generator the target Items
+	// may take either POLines or Item (their wsim ties via the items/item
+	// stem); the 1:1 generator below resolves it the way Table 3 reports.
+	mustPair("PO.POLines.Item", "PurchaseOrder.Items.Item")
+	mustPair("PO", "PurchaseOrder")
+
+	cfg := DefaultConfig()
+	cfg.Mapping.Cardinality = mapping.OneToOne
+	mm, err := NewMatcher(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res11, err := mm.Match(figure2PO(), figure2POrder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res11.Mapping.HasPair("PO.POLines", "PurchaseOrder.Items") {
+		t.Errorf("1:1: missing POLines <-> Items\n%s", res11.Mapping)
+	}
+	if !res11.Mapping.HasPair("PO.POLines.Item", "PurchaseOrder.Items.Item") {
+		t.Errorf("1:1: missing Item <-> Item\n%s", res11.Mapping)
+	}
+}
+
+func TestMatchWithoutThesaurusDegrades(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Thesaurus = thesaurus.New()
+	m, err := NewMatcher(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Match(figure2PO(), figure2POrder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without Qty->Quantity etc. the mapping loses thesaurus-driven pairs
+	// (§9.3 conclusion 2: dropping the thesaurus hurts the PO example).
+	if res.Mapping.HasPair("PO.POLines.Item.UoM", "PurchaseOrder.Items.Item.UnitOfMeasure") &&
+		res.Mapping.HasPair("PO.POBillTo.City", "PurchaseOrder.InvoiceTo.Address.City") &&
+		res.Mapping.HasPair("PO.POShipTo.City", "PurchaseOrder.DeliverTo.Address.City") {
+		t.Errorf("empty thesaurus still produced every thesaurus-dependent pair\n%s", res.Mapping)
+	}
+}
+
+func TestInitialMappingGuidesMatch(t *testing.T) {
+	// Two schemas with opaque names: only the initial mapping links them.
+	s1 := model.New("A")
+	t1 := s1.AddChild(s1.Root(), "Alpha", model.KindTable)
+	x := s1.AddChild(t1, "X1", model.KindColumn)
+	x.Type = model.DTInt
+	y := s1.AddChild(t1, "Y1", model.KindColumn)
+	y.Type = model.DTString
+
+	s2 := model.New("B")
+	t2 := s2.AddChild(s2.Root(), "Beta", model.KindTable)
+	u := s2.AddChild(t2, "U2", model.KindColumn)
+	u.Type = model.DTInt
+	v := s2.AddChild(t2, "V2", model.KindColumn)
+	v.Type = model.DTString
+
+	cfg := DefaultConfig()
+	cfg.InitialMapping = []PathPair{
+		{Source: "A.Alpha.X1", Target: "B.Beta.U2"},
+		{Source: "A.Alpha.Y1", Target: "B.Beta.V2"},
+	}
+	m, err := NewMatcher(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Match(s1, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Mapping.HasPair("A.Alpha.X1", "B.Beta.U2") {
+		t.Errorf("initial mapping pair not in result\n%s", res.Mapping)
+	}
+	// The hint propagates upward: Alpha and Beta become structurally
+	// similar because their leaves now strongly link (§8.4).
+	if !res.Mapping.HasPair("A.Alpha", "B.Beta") {
+		t.Errorf("initial mapping did not lift ancestor similarity\n%s", res.Mapping)
+	}
+}
+
+func TestInitialMappingUnknownPath(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.InitialMapping = []PathPair{{Source: "PO.Nope", Target: "PurchaseOrder.DeliverTo"}}
+	m, err := NewMatcher(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Match(figure2PO(), figure2POrder()); err == nil {
+		t.Error("unknown initial-mapping path accepted")
+	}
+}
+
+func TestLinguisticOnlyMode(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mode = ModeLinguisticOnly
+	m, err := NewMatcher(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Match(figure2PO(), figure2POrder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Struct != nil {
+		t.Error("linguistic-only mode ran structural matching")
+	}
+	// Path-name matching still finds the obvious pairs.
+	if !res.Mapping.HasPair("PO.POLines.Item.Qty", "PurchaseOrder.Items.Item.Quantity") {
+		t.Errorf("linguistic-only missed Qty/Quantity\n%s", res.Mapping)
+	}
+	// WSim is exactly the path-name linguistic similarity.
+	for i := range res.WSim {
+		for j := range res.WSim[i] {
+			if res.WSim[i][j] != res.LSim[i][j] {
+				t.Fatal("linguistic-only wsim must equal lsim")
+			}
+		}
+	}
+}
+
+func TestStructuralOnlyMode(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mode = ModeStructuralOnly
+	m, err := NewMatcher(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Match(figure2PO(), figure2POrder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.LSim {
+		for j := range res.LSim[i] {
+			if res.LSim[i][j] != 0 {
+				t.Fatal("structural-only mode must zero lsim")
+			}
+		}
+	}
+}
+
+func TestOneToOneCardinality(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mapping.Cardinality = mapping.OneToOne
+	m, err := NewMatcher(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Match(figure2PO(), figure2POrder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seenSrc := map[string]bool{}
+	for _, e := range res.Mapping.Leaves {
+		p := e.Source.Path()
+		if seenSrc[p] {
+			t.Errorf("1:1 mapping reuses source %s", p)
+		}
+		seenSrc[p] = true
+	}
+}
+
+func TestMatchRejectsCyclicSchema(t *testing.T) {
+	s := model.New("S")
+	a := s.AddChild(s.Root(), "A", model.KindType)
+	b := s.AddChild(a, "B", model.KindElement)
+	if err := s.DeriveFrom(b, a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Match(s, figure2PO()); err == nil {
+		t.Error("cyclic source schema accepted")
+	}
+	if _, err := Match(figure2PO(), s); err == nil {
+		t.Error("cyclic target schema accepted")
+	}
+}
+
+func TestResultExposesDiagnostics(t *testing.T) {
+	res, err := Match(figure2PO(), figure2POrder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SourceInfo == nil || res.TargetInfo == nil {
+		t.Error("linguistic analysis not exposed")
+	}
+	if res.Struct == nil || res.Struct.Comparisons == 0 {
+		t.Error("structural stats not exposed")
+	}
+	if len(res.LSim) != res.SourceTree.Len() {
+		t.Error("lsim not node-indexed")
+	}
+	if res.WSim == nil {
+		t.Error("wsim missing")
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	var outs []string
+	for i := 0; i < 3; i++ {
+		res, err := Match(figure2PO(), figure2POrder())
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, res.Mapping.String())
+	}
+	if outs[0] != outs[1] || outs[1] != outs[2] {
+		t.Error("Match is not deterministic across runs")
+	}
+}
+
+// TestSharedTypeContextMapping is the §8.2 example: Address shared by
+// DeliverTo and InvoiceTo must still yield context-qualified mappings.
+func TestSharedTypeContextMapping(t *testing.T) {
+	shared := model.New("PurchaseOrder")
+	addrT := shared.NewElement("Address", model.KindType)
+	shared.AddChild(addrT, "Street", model.KindAttribute).Type = model.DTString
+	shared.AddChild(addrT, "City", model.KindAttribute).Type = model.DTString
+	del := shared.AddChild(shared.Root(), "DeliverTo", model.KindElement)
+	inv := shared.AddChild(shared.Root(), "InvoiceTo", model.KindElement)
+	if err := shared.DeriveFrom(del, addrT); err != nil {
+		t.Fatal(err)
+	}
+	if err := shared.DeriveFrom(inv, addrT); err != nil {
+		t.Fatal(err)
+	}
+
+	po := model.New("PO")
+	ship := po.AddChild(po.Root(), "POShipTo", model.KindElement)
+	po.AddChild(ship, "Street", model.KindAttribute).Type = model.DTString
+	po.AddChild(ship, "City", model.KindAttribute).Type = model.DTString
+	bill := po.AddChild(po.Root(), "POBillTo", model.KindElement)
+	po.AddChild(bill, "Street", model.KindAttribute).Type = model.DTString
+	po.AddChild(bill, "City", model.KindAttribute).Type = model.DTString
+
+	res, err := Match(po, shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Mapping
+	if !m.HasPair("PO.POShipTo.Street", "PurchaseOrder.DeliverTo.Street") {
+		t.Errorf("shared-type: POShipTo.Street should map to DeliverTo context\n%s", m)
+	}
+	if !m.HasPair("PO.POBillTo.Street", "PurchaseOrder.InvoiceTo.Street") {
+		t.Errorf("shared-type: POBillTo.Street should map to InvoiceTo context\n%s", m)
+	}
+	if m.HasPair("PO.POBillTo.Street", "PurchaseOrder.DeliverTo.Street") {
+		t.Errorf("shared-type: POBillTo.Street bound to wrong context\n%s", m)
+	}
+}
+
+func TestLazyMemoMatchesEager(t *testing.T) {
+	cfgE := DefaultConfig()
+	cfgE.Structural.LazyMemo = false
+	cfgL := DefaultConfig()
+	cfgL.Structural.LazyMemo = true
+	me, err := NewMatcher(cfgE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ml, err := NewMatcher(cfgL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := me.Match(figure2PO(), figure2POrder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, err := ml.Match(figure2PO(), figure2POrder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Mapping.String() != rl.Mapping.String() {
+		t.Errorf("lazy and eager mappings differ:\n%s\nvs\n%s", re.Mapping, rl.Mapping)
+	}
+}
+
+func TestValidateStructuralToggle(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Structural.StructuralBasis = structural.BasisChildren
+	m, err := NewMatcher(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Match(figure2PO(), figure2POrder()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMappingStringMentionsSchemas(t *testing.T) {
+	res, err := Match(figure2PO(), figure2POrder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Mapping.String()
+	if !strings.Contains(s, "PO") || !strings.Contains(s, "PurchaseOrder") {
+		t.Error("mapping string missing schema names")
+	}
+}

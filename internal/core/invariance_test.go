@@ -1,0 +1,67 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+// buildPermuted builds Figure 2's PO schema with children declared in a
+// different order. The set of discovered leaf pairs must be identical:
+// matching must not depend on declaration order beyond deterministic
+// tie-breaking among genuinely tied alternatives, and Figure 2 has no such
+// ties for the gold pairs.
+func buildPermutedPO() *model.Schema {
+	s := model.New("PO")
+	str := func(p *model.Element, name string) {
+		s.AddChild(p, name, model.KindAttribute).Type = model.DTString
+	}
+	// Declare POBillTo before POShipTo, and reverse the item columns.
+	bill := s.AddChild(s.Root(), "POBillTo", model.KindElement)
+	str(bill, "City")
+	str(bill, "Street")
+	ship := s.AddChild(s.Root(), "POShipTo", model.KindElement)
+	str(ship, "City")
+	str(ship, "Street")
+	lines := s.AddChild(s.Root(), "POLines", model.KindElement)
+	cnt := s.AddChild(lines, "Count", model.KindAttribute)
+	cnt.Type = model.DTInt
+	item := s.AddChild(lines, "Item", model.KindElement)
+	str(item, "UoM")
+	qty := s.AddChild(item, "Qty", model.KindAttribute)
+	qty.Type = model.DTInt
+	line := s.AddChild(item, "Line", model.KindAttribute)
+	line.Type = model.DTInt
+	return s
+}
+
+func leafPairSet(res *Result) map[[2]string]bool {
+	out := map[[2]string]bool{}
+	for _, e := range res.Mapping.Leaves {
+		out[[2]string{e.Source.Path(), e.Target.Path()}] = true
+	}
+	return out
+}
+
+func TestChildOrderInvariance(t *testing.T) {
+	orig, err := Match(figure2PO(), figure2POrder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm, err := Match(buildPermutedPO(), figure2POrder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := leafPairSet(orig)
+	b := leafPairSet(perm)
+	for p := range a {
+		if !b[p] {
+			t.Errorf("pair %v lost after permuting child order\n%s", p, perm.Mapping)
+		}
+	}
+	for p := range b {
+		if !a[p] {
+			t.Errorf("pair %v appeared only after permuting child order", p)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sqlddl"
+)
+
+// TestViewMatchesDenormalizedTable exercises the §8.4 "Views" feature end
+// to end: a view definition becomes a schema-tree node whose children are
+// the view's columns, and that node can match a denormalized table of the
+// other schema.
+func TestViewMatchesDenormalizedTable(t *testing.T) {
+	src, err := sqlddl.Parse("OLTP", `
+CREATE TABLE Orders (
+    OrderID INT PRIMARY KEY,
+    OrderDate DATE,
+    Freight DECIMAL(10,2)
+);
+CREATE TABLE Customers (
+    CustomerID INT PRIMARY KEY,
+    CompanyName VARCHAR(80),
+    City VARCHAR(40)
+);
+CREATE VIEW OrderReport AS SELECT Orders.OrderID, Orders.OrderDate,
+    Customers.CompanyName, Customers.City
+FROM Orders, Customers;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := sqlddl.Parse("Reporting", `
+CREATE TABLE OrderReport (
+    OrderID INT PRIMARY KEY,
+    OrderDate DATE,
+    CompanyName VARCHAR(80),
+    City VARCHAR(40)
+);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Match(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The view node must map to the denormalized table.
+	if !res.Mapping.HasPair("OLTP.OrderReport", "Reporting.OrderReport") {
+		t.Errorf("view did not match the denormalized table\n%s", res.Mapping)
+	}
+	// And it should be the *best* source: the individual Orders/Customers
+	// tables cover only half the columns each.
+	vn := res.SourceTree.NodeByPath("OLTP.OrderReport")
+	on := res.SourceTree.NodeByPath("OLTP.Orders")
+	tn := res.TargetTree.NodeByPath("Reporting.OrderReport")
+	if vn == nil || on == nil || tn == nil {
+		t.Fatalf("nodes missing:\n%s", res.SourceTree.Dump())
+	}
+	if res.WSim[vn.Idx][tn.Idx] <= res.WSim[on.Idx][tn.Idx] {
+		t.Errorf("view wsim %v should beat table wsim %v",
+			res.WSim[vn.Idx][tn.Idx], res.WSim[on.Idx][tn.Idx])
+	}
+	// With view expansion disabled the pair disappears.
+	cfg := DefaultConfig()
+	cfg.Tree.Views = false
+	m, err := NewMatcher(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := m.Match(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Mapping.HasPair("OLTP.OrderReport", "Reporting.OrderReport") {
+		t.Error("view matched despite Views=false")
+	}
+}
+
+// TestConcurrentMatchers: independent Matcher instances are safe to run in
+// parallel (each owns its caches); run with -race to verify.
+func TestConcurrentMatchers(t *testing.T) {
+	done := make(chan string, 4)
+	for i := 0; i < 4; i++ {
+		go func() {
+			m, err := NewMatcher(DefaultConfig())
+			if err != nil {
+				done <- err.Error()
+				return
+			}
+			res, err := m.Match(figure2PO(), figure2POrder())
+			if err != nil {
+				done <- err.Error()
+				return
+			}
+			done <- res.Mapping.String()
+		}()
+	}
+	first := <-done
+	for i := 1; i < 4; i++ {
+		if got := <-done; got != first {
+			t.Fatal("concurrent matchers disagree")
+		}
+	}
+}

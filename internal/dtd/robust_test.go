@@ -1,0 +1,37 @@
+package dtd
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: the DTD parser never panics on arbitrary input.
+func TestParseNeverPanics(t *testing.T) {
+	f := func(s string) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on %q: %v", s, r)
+				ok = false
+			}
+		}()
+		schema, err := Parse("F", s)
+		if err == nil && schema.Validate() != nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+	// Near-miss declarations.
+	for _, s := range []string{
+		"<!ELEMENT", "<!ELEMENT >", "<!ELEMENT A", "<!ELEMENT A (", "<!ATTLIST",
+		"<!ATTLIST A x", "<!ATTLIST A x CDATA", "<!-- <!ELEMENT A EMPTY> -->",
+		"<!ELEMENT A ((((B))))>", "<!ELEMENT A (#PCDATA | B)*>",
+		"<!ELEMENT A EMPTY><!ATTLIST A x ( a | b", "<!NOTATION n SYSTEM 'x'>",
+	} {
+		if !f(s) {
+			t.Fatalf("panic on %q", s)
+		}
+	}
+}

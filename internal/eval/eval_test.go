@@ -1,0 +1,226 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+func TestMetricsMath(t *testing.T) {
+	gold := workloads.Gold{
+		Pairs: []workloads.GoldPair{
+			{Source: "a", Target: "x"},
+			{Source: "b", Target: "y"},
+			{Source: "c", Target: "z"},
+		},
+		Forbidden: []workloads.GoldPair{{Source: "a", Target: "y"}},
+	}
+	pred := []workloads.GoldPair{
+		{Source: "a", Target: "x"}, // tp
+		{Source: "b", Target: "y"}, // tp
+		{Source: "a", Target: "y"}, // fp + forbidden
+		{Source: "q", Target: "r"}, // fp
+		{Source: "q", Target: "r"}, // duplicate, ignored
+	}
+	m := Score(pred, gold)
+	if m.TP != 2 || m.FP != 2 || m.FN != 1 || m.ForbiddenHits != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if p := m.Precision(); p != 0.5 {
+		t.Errorf("precision = %v", p)
+	}
+	if r := m.Recall(); r < 0.66 || r > 0.67 {
+		t.Errorf("recall = %v", r)
+	}
+	if m.F1() <= 0 {
+		t.Error("f1 should be positive")
+	}
+	var empty Metrics
+	if empty.Precision() != 0 || empty.Recall() != 0 || empty.F1() != 0 {
+		t.Error("empty metrics should be zero")
+	}
+	if !strings.Contains(m.String(), "P=0.50") {
+		t.Errorf("String: %s", m)
+	}
+}
+
+func TestAchieved(t *testing.T) {
+	gold := workloads.Gold{
+		Pairs:     []workloads.GoldPair{{Source: "a", Target: "x"}},
+		Forbidden: []workloads.GoldPair{{Source: "a", Target: "y"}},
+	}
+	has := func(pairs map[[2]string]bool) func(string, string) bool {
+		return func(s, d string) bool { return pairs[[2]string{s, d}] }
+	}
+	if !Achieved(has(map[[2]string]bool{{"a", "x"}: true}), gold) {
+		t.Error("exact gold should be achieved")
+	}
+	if Achieved(has(map[[2]string]bool{}), gold) {
+		t.Error("missing pair should not be achieved")
+	}
+	if Achieved(has(map[[2]string]bool{{"a", "x"}: true, {"a", "y"}: true}), gold) {
+		t.Error("forbidden pair should not be achieved")
+	}
+}
+
+func TestTable1Rendering(t *testing.T) {
+	s := Table1()
+	for _, want := range []string{"thns", "thhigh", "thlow", "cinc", "cdec", "thaccept", "wstruct"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table1 missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestTable2Shape is the headline Table 2 reproduction: Cupid answers Y on
+// all six canonical examples; DIKE fails the context-dependent example 6;
+// MOMIS fails nesting (5) and context (6).
+func TestTable2Shape(t *testing.T) {
+	rows, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Cupid != r.Expected[0] {
+			t.Errorf("example %d: Cupid = %v, paper %v", r.ID, r.Cupid, r.Expected[0])
+		}
+		if r.DIKE != r.Expected[1] {
+			t.Errorf("example %d: DIKE = %v, paper %v", r.ID, r.DIKE, r.Expected[1])
+		}
+		if r.MOMIS != r.Expected[2] {
+			t.Errorf("example %d: MOMIS = %v, paper %v", r.ID, r.MOMIS, r.Expected[2])
+		}
+	}
+	out := RenderTable2(rows)
+	if !strings.Contains(out, "Table 2") {
+		t.Error("render missing title")
+	}
+	t.Log("\n" + out)
+}
+
+// TestTable3Shape checks the CIDX-Excel element rows: Cupid finds every
+// row (paper: all Yes); DIKE misses the POBillTo/POShipTo rows; and the
+// naive 1:n leaf generator produces the false positives the paper calls
+// out while recall stays complete.
+func TestTable3Shape(t *testing.T) {
+	res, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		if r.Cupid != r.PaperCupid {
+			t.Errorf("row %s -> %s: Cupid = %v, paper %v", r.Source, r.Target, r.Cupid, r.PaperCupid)
+		}
+		if r.DIKE != r.PaperDIKE {
+			t.Errorf("row %s -> %s: DIKE = %v, paper %v", r.Source, r.Target, r.DIKE, r.PaperDIKE)
+		}
+	}
+	if res.Leaf.Recall() < 0.95 {
+		t.Errorf("leaf recall = %v, want ~1 (Cupid identifies all correct attribute pairs)", res.Leaf.Recall())
+	}
+	if len(res.LeafFPs) == 0 {
+		t.Error("naive 1:n generator should produce false positives (paper reports two)")
+	}
+	if res.Leaf.ForbiddenHits != 0 {
+		t.Errorf("context confusions = %d, want 0", res.Leaf.ForbiddenHits)
+	}
+	t.Log("\n" + RenderTable3(res))
+}
+
+// TestRDBStarShape checks the warehouse experiment's qualitative findings.
+func TestRDBStarShape(t *testing.T) {
+	res, err := RDBStar()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.SalesFromJoin {
+		t.Errorf("Sales columns do not span Orders ⋈ OrderDetails (element source %q)", res.SalesJoinView)
+	}
+	if !res.PostalCodeUnified {
+		t.Errorf("PostalCode columns not unified on Customers.PostalCode: %v", res.PostalCodeSources)
+	}
+	if !res.GeographyFromTerritoryRegion {
+		t.Error("Geography keys did not map into the TerritoryRegion join")
+	}
+	if res.CustomerNameToContact {
+		t.Error("CustomerName matched to contact names without a Customer~Contact synonym (paper: no system did)")
+	}
+	if !res.DIKEMergesProducts {
+		t.Error("DIKE should merge the two Products entities")
+	}
+	if !res.MOMISClustersProducts || !res.MOMISClustersCustomers {
+		t.Error("MOMIS should cluster Products and Customers")
+	}
+	if res.MOMISClustersSales {
+		t.Error("MOMIS should not cluster Orders with Sales (paper: other tables not clustered)")
+	}
+	if res.Leaf.Recall() < 0.6 {
+		t.Errorf("leaf recall = %v, want >= 0.6", res.Leaf.Recall())
+	}
+	t.Log("\n" + res.Render())
+}
+
+// TestThesaurusAblationShape reproduces §9.3 conclusion 2: the CIDX-Excel
+// mapping degrades without the thesaurus; RDB-Star is unchanged.
+func TestThesaurusAblationShape(t *testing.T) {
+	rs, err := ThesaurusAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]AblationResult{}
+	for _, r := range rs {
+		byName[r.Name] = r
+	}
+	cidx := byName["cidx-excel"]
+	if cidx.Variant.F1() >= cidx.Baseline.F1() {
+		t.Errorf("cidx-excel: no-thesaurus F1 %v should be below full F1 %v",
+			cidx.Variant.F1(), cidx.Baseline.F1())
+	}
+	rdb := byName["rdb-star"]
+	if d := rdb.Baseline.F1() - rdb.Variant.F1(); d > 0.02 || d < -0.02 {
+		t.Errorf("rdb-star: thesaurus should not matter, delta = %v", d)
+	}
+	t.Log("\n" + RenderAblations("thesaurus ablation", rs, "no-thesaurus"))
+}
+
+// TestLinguisticOnlyShape reproduces §9.3 conclusion 3: path-name-only
+// matching loses recall on RDB-Star and gains false positives on
+// CIDX-Excel relative to the full algorithm.
+func TestLinguisticOnlyShape(t *testing.T) {
+	rs, err := LinguisticOnly()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]AblationResult{}
+	for _, r := range rs {
+		byName[r.Name] = r
+	}
+	cidx := byName["cidx-excel"]
+	if cidx.Variant.FP <= cidx.Baseline.FP {
+		t.Errorf("cidx-excel: linguistic-only FPs (%d) should exceed full FPs (%d)",
+			cidx.Variant.FP, cidx.Baseline.FP)
+	}
+	// Paper: "only 2 of the correct matching XML attribute pairs went
+	// undetected" on CIDX-Excel — recall drops below the full run's.
+	if cidx.Variant.FN < 1 || cidx.Variant.Recall() >= cidx.Baseline.Recall() {
+		t.Errorf("cidx-excel: linguistic-only should miss pairs (fn=%d, recall %v vs full %v)",
+			cidx.Variant.FN, cidx.Variant.Recall(), cidx.Baseline.Recall())
+	}
+	// On RDB-Star the paper measured a recall drop to 68%; our element-path
+	// gold accepts denormalized alternatives, so the degradation shows up
+	// as extra false positives instead.
+	rdb := byName["rdb-star"]
+	if rdb.Variant.FP <= rdb.Baseline.FP {
+		t.Errorf("rdb-star: linguistic-only FPs (%d) should exceed full FPs (%d)",
+			rdb.Variant.FP, rdb.Baseline.FP)
+	}
+	if rdb.Variant.F1() > rdb.Baseline.F1() {
+		t.Errorf("rdb-star: linguistic-only F1 %v should not exceed full %v",
+			rdb.Variant.F1(), rdb.Baseline.F1())
+	}
+	t.Log("\n" + RenderAblations("linguistic-only (path names)", rs, "ling-only"))
+}

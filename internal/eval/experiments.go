@@ -1,0 +1,274 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/baselines/dike"
+	"repro/internal/baselines/momis"
+	"repro/internal/core"
+	"repro/internal/linguistic"
+	"repro/internal/mapping"
+	"repro/internal/structural"
+	"repro/internal/thesaurus"
+	"repro/internal/workloads"
+)
+
+func yn(b bool) string {
+	if b {
+		return "Y"
+	}
+	return "N"
+}
+
+// Table1 renders the parameter table (paper Table 1) with the values this
+// implementation uses, noting deltas from the paper's typical values.
+func Table1() string {
+	sp := structural.DefaultParams()
+	lp := linguistic.DefaultParams()
+	var b strings.Builder
+	b.WriteString("Table 1: threshold parameter values (paper typical -> this implementation)\n")
+	fmt.Fprintf(&b, "  %-12s paper=%-7s here=%-7.2f %s\n", "thns", "0.5", lp.Thns,
+		"category-compatibility pruning threshold")
+	fmt.Fprintf(&b, "  %-12s paper=%-7s here=%-7.2f %s\n", "thhigh", "0.6", sp.ThHigh,
+		"increase leaf ssim when wsim > thhigh")
+	fmt.Fprintf(&b, "  %-12s paper=%-7s here=%-7.2f %s\n", "thlow", "0.35", sp.ThLow,
+		"decrease leaf ssim when wsim < thlow (lowered: unrelated sibling pairs hover near wstruct*0.5)")
+	fmt.Fprintf(&b, "  %-12s paper=%-7s here=%-7.2f %s\n", "cinc", "1.2", sp.CInc,
+		"multiplicative increase; a function of max schema depth")
+	fmt.Fprintf(&b, "  %-12s paper=%-7s here=%-7.2f %s\n", "cdec", "0.9", sp.CDec,
+		"multiplicative decrease, about 1/cinc")
+	fmt.Fprintf(&b, "  %-12s paper=%-7s here=%-7.2f %s\n", "thaccept", "0.5", sp.ThAccept,
+		"strong link / valid mapping element threshold")
+	fmt.Fprintf(&b, "  %-12s paper=%-7s here=%-7.2f %s\n", "wstruct", "0.5-0.6", sp.WStruct,
+		"structural weight for non-leaf pairs")
+	fmt.Fprintf(&b, "  %-12s paper=%-7s here=%-7.2f %s\n", "wstruct(leaf)", "<wstruct", sp.WStructLeaf,
+		"structural weight for leaf pairs (lower than non-leaf)")
+	return b.String()
+}
+
+// Table2Row is one row of the Table 2 reproduction.
+type Table2Row struct {
+	ID          int
+	Description string
+	Cupid       bool
+	DIKE        bool
+	MOMIS       bool
+	Expected    [3]bool // the paper's row
+}
+
+// Table2 runs the six canonical examples through Cupid, the DIKE-like
+// baseline, and the MOMIS-like baseline. Per the paper's footnotes, the
+// baselines receive the manual user effort Table 2 assumes: LSPD entries
+// (DIKE) and synonym relationships (MOMIS) for the renamed elements of
+// example 3.
+func Table2() ([]Table2Row, error) {
+	var rows []Table2Row
+	for _, ex := range workloads.Canonical() {
+		row := Table2Row{ID: ex.ID, Description: ex.Description, Expected: ex.Expected}
+
+		res, _, err := RunCupid(ex.Workload, core.DefaultConfig())
+		if err != nil {
+			return nil, fmt.Errorf("example %d: %w", ex.ID, err)
+		}
+		row.Cupid = Achieved(res.Mapping.HasPair, ex.Gold)
+
+		dopt := dike.DefaultOptions()
+		mopt := momis.DefaultOptions()
+		mopt.Thesaurus = thesaurus.Base()
+		if ex.ID == 3 {
+			// Footnote a/b: corresponding entries added manually.
+			dopt.LSPD = map[[2]string]float64{}
+			for _, e := range ex.Gold.Pairs {
+				sName := e.Source[strings.LastIndexByte(e.Source, '.')+1:]
+				tName := e.Target[strings.LastIndexByte(e.Target, '.')+1:]
+				a, b := strings.ToLower(sName), strings.ToLower(tName)
+				if a > b {
+					a, b = b, a
+				}
+				dopt.LSPD[[2]string{a, b}] = 1
+				mopt.Thesaurus.AddSynonym(sName, tName, 1)
+			}
+		}
+		dres := dike.Match(ex.Source, ex.Target, dopt)
+		row.DIKE = Achieved(dres.HasPair, ex.Gold)
+		mres := momis.Match(ex.Source, ex.Target, mopt)
+		row.MOMIS = Achieved(mres.HasPair, ex.Gold)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderTable2 formats the Table 2 reproduction next to the paper's
+// expectations.
+func RenderTable2(rows []Table2Row) string {
+	var b strings.Builder
+	b.WriteString("Table 2: canonical examples (measured vs paper)\n")
+	b.WriteString("  #  Cupid      DIKE       MOMIS      description\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %d  %s (p:%s)  %s (p:%s)  %s (p:%s)  %s\n",
+			r.ID,
+			yn(r.Cupid), yn(r.Expected[0]),
+			yn(r.DIKE), yn(r.Expected[1]),
+			yn(r.MOMIS), yn(r.Expected[2]),
+			r.Description)
+	}
+	return b.String()
+}
+
+// Table3Row is one element-level row of the Table 3 reproduction.
+type Table3Row struct {
+	Source string
+	Target string
+	Cupid  bool
+	DIKE   bool
+	MOMIS  bool // "clustered together" in MOMIS terms
+	// PaperCupid/PaperDIKE record the paper's row where it is a clean
+	// Yes/No (the paper's MOMIS column is textual).
+	PaperCupid bool
+	PaperDIKE  bool
+}
+
+// Table3Result bundles the element rows with the leaf-level metrics and
+// the false positives the paper highlights.
+type Table3Result struct {
+	Rows    []Table3Row
+	Leaf    Metrics
+	LeafFPs []workloads.GoldPair // predicted leaf pairs outside the gold
+}
+
+// momisUserMeanings emulates "the best possible meanings were chosen for
+// each of the schema elements" for the MOMIS run on CIDX-Excel: whole-name
+// entries pinning the WordNet senses the user would pick.
+func momisUserMeanings() *thesaurus.Thesaurus {
+	t := thesaurus.Base()
+	t.AddSynonym("POHeader", "Header", 1)
+	t.AddSynonym("PO", "PurchaseOrder", 1)
+	t.AddSynonym("POBillTo", "InvoiceTo", 0.8)
+	t.AddSynonym("POShipTo", "DeliverTo", 0.8)
+	return t
+}
+
+// paperTable3 returns the paper's Cupid/DIKE verdicts per row (the second
+// DIKE modeling of §9.2, which found POBillTo->InvoiceTo and
+// POShipTo->DeliverTo but not POLines->Items, is not used; we compare to
+// the first, tabulated one).
+func paperTable3() map[[2]string][2]bool {
+	return map[[2]string][2]bool{
+		{"PO.POHeader", "PurchaseOrder.Header"}:           {true, true},
+		{"PO.POLines.Item", "PurchaseOrder.Items.Item"}:   {true, true},
+		{"PO.POLines", "PurchaseOrder.Items"}:             {true, true},
+		{"PO.POBillTo", "PurchaseOrder.InvoiceTo"}:        {true, false},
+		{"PO.POShipTo", "PurchaseOrder.DeliverTo"}:        {true, false},
+		{"PO.Contact", "PurchaseOrder.InvoiceTo.Contact"}: {true, true},
+		{"PO", "PurchaseOrder"}:                           {true, true},
+	}
+}
+
+// Table3 runs the CIDX-Excel experiment (§9.2) with the paper's minimal
+// thesaurus and reports the element-level rows plus the leaf metrics.
+func Table3() (*Table3Result, error) {
+	w := workloads.CIDXExcel()
+
+	cfg := core.DefaultConfig()
+	cfg.Thesaurus = workloads.PaperThesaurus()
+	cfg.Mapping.Cardinality = mapping.OneToOne // element rows are reported 1:1
+	m, err := core.NewMatcher(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res11, err := m.Match(w.Source, w.Target)
+	if err != nil {
+		return nil, err
+	}
+	// Leaf metrics use the paper's naive 1:n generator.
+	cfgN := core.DefaultConfig()
+	cfgN.Thesaurus = workloads.PaperThesaurus()
+	resN, leaf, err := RunCupid(w, cfgN)
+	if err != nil {
+		return nil, err
+	}
+
+	dopt := dike.DefaultOptions()
+	dopt.LSPD = lspdFromCupid(resN)
+	dres := dike.Match(w.Source, w.Target, dopt)
+
+	mopt := momis.DefaultOptions()
+	mopt.Thesaurus = momisUserMeanings()
+	mres := momis.Match(w.Source, w.Target, mopt)
+
+	paper := paperTable3()
+	out := &Table3Result{Leaf: leaf}
+	for _, row := range workloads.Table3Rows() {
+		r := Table3Row{Source: row.Source, Target: row.Target}
+		if p, ok := paper[[2]string{row.Source, row.Target}]; ok {
+			r.PaperCupid, r.PaperDIKE = p[0], p[1]
+		}
+		r.Cupid = res11.Mapping.HasPair(row.Source, row.Target)
+		r.DIKE = dres.HasPair(row.Source, row.Target)
+		r.MOMIS = mres.Clustered(row.Source, row.Target)
+		// The Excel Contact exists in two contexts; either satisfies the
+		// Contact -> Contact row.
+		if !r.Cupid && row.Source == "PO.Contact" {
+			r.Cupid = res11.Mapping.HasPair(row.Source, "PurchaseOrder.DeliverTo.Contact")
+		}
+		if !r.MOMIS && row.Source == "PO.Contact" {
+			r.MOMIS = mres.Clustered(row.Source, "PurchaseOrder.DeliverTo.Contact")
+		}
+		if !r.DIKE && row.Source == "PO.Contact" {
+			r.DIKE = dres.HasPair(row.Source, "PurchaseOrder.DeliverTo.Contact")
+		}
+		out.Rows = append(out.Rows, r)
+	}
+	// The false positives of the naive 1:n generator (paper: e.g.
+	// CIDX.contactName mapped to both contactName and companyName).
+	goldSet := map[workloads.GoldPair]bool{}
+	for _, g := range w.Gold.Pairs {
+		goldSet[g] = true
+	}
+	for _, p := range LeafPairs(resN) {
+		if !goldSet[p] {
+			out.LeafFPs = append(out.LeafFPs, p)
+		}
+	}
+	return out, nil
+}
+
+// lspdFromCupid builds the DIKE LSPD the way the paper did: "we added
+// linguistic similarity entries that were similar to the linguistic
+// similarity coefficients computed by Cupid".
+func lspdFromCupid(res *core.Result) map[[2]string]float64 {
+	out := map[[2]string]float64{}
+	for i, sn := range res.SourceTree.Nodes {
+		for j, tn := range res.TargetTree.Nodes {
+			if v := res.LSim[i][j]; v >= 0.3 {
+				a, b := strings.ToLower(sn.Name()), strings.ToLower(tn.Name())
+				if a > b {
+					a, b = b, a
+				}
+				if v > out[[2]string{a, b}] {
+					out[[2]string{a, b}] = v
+				}
+			}
+		}
+	}
+	return out
+}
+
+// RenderTable3 formats the Table 3 reproduction.
+func RenderTable3(t *Table3Result) string {
+	var b strings.Builder
+	b.WriteString("Table 3: CIDX -> Excel element mappings (measured vs paper)\n")
+	b.WriteString("  Cupid      DIKE       MOMIS  row\n")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "  %s (p:%s)    %s (p:%s)    %s      %s -> %s\n",
+			yn(r.Cupid), yn(r.PaperCupid), yn(r.DIKE), yn(r.PaperDIKE),
+			yn(r.MOMIS), r.Source, r.Target)
+	}
+	fmt.Fprintf(&b, "  leaf mapping: %s\n", t.Leaf)
+	fmt.Fprintf(&b, "  naive 1:n false positives (%d):\n", len(t.LeafFPs))
+	for _, fp := range t.LeafFPs {
+		fmt.Fprintf(&b, "    %s -> %s\n", fp.Source, fp.Target)
+	}
+	return b.String()
+}

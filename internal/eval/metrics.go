@@ -1,0 +1,157 @@
+// Package eval implements the evaluation harness for the comparative
+// study of the paper's §9: precision/recall scoring against gold
+// mappings, and one driver per table/figure — Table 1 (parameters), Table
+// 2 (canonical examples), Table 3 (CIDX-Excel), the RDB-Star warehouse
+// experiment, and the §9.3 ablations (thesaurus, linguistic-only).
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+// Metrics scores a predicted mapping against a gold standard.
+type Metrics struct {
+	TP int // gold pairs found
+	FP int // predicted pairs outside the gold set
+	FN int // gold pairs missed
+	// ForbiddenHits counts predicted pairs the gold explicitly forbids
+	// (context confusions); they are also included in FP.
+	ForbiddenHits int
+}
+
+// Precision returns TP/(TP+FP), or 0 when nothing was predicted.
+func (m Metrics) Precision() float64 {
+	if m.TP+m.FP == 0 {
+		return 0
+	}
+	return float64(m.TP) / float64(m.TP+m.FP)
+}
+
+// Recall returns TP/(TP+FN), or 0 when the gold set is empty.
+func (m Metrics) Recall() float64 {
+	if m.TP+m.FN == 0 {
+		return 0
+	}
+	return float64(m.TP) / float64(m.TP+m.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (m Metrics) F1() float64 {
+	p, r := m.Precision(), m.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// String renders "P=0.92 R=0.88 F1=0.90 (tp=22 fp=2 fn=3)".
+func (m Metrics) String() string {
+	return fmt.Sprintf("P=%.2f R=%.2f F1=%.2f (tp=%d fp=%d fn=%d forbidden=%d)",
+		m.Precision(), m.Recall(), m.F1(), m.TP, m.FP, m.FN, m.ForbiddenHits)
+}
+
+// Score compares predicted pairs against gold. Both sides are sets of
+// (source path, target path) pairs. A prediction whose target has an
+// AltSources entry counts as correct when its source is listed there.
+func Score(pred []workloads.GoldPair, gold workloads.Gold) Metrics {
+	goldSet := map[workloads.GoldPair]bool{}
+	for _, g := range gold.Pairs {
+		goldSet[g] = true
+	}
+	altOK := map[workloads.GoldPair]bool{}
+	for t, srcs := range gold.AltSources {
+		for _, s := range srcs {
+			altOK[workloads.GoldPair{Source: s, Target: t}] = true
+		}
+	}
+	forbidden := map[workloads.GoldPair]bool{}
+	for _, f := range gold.Forbidden {
+		forbidden[f] = true
+	}
+	var m Metrics
+	seen := map[workloads.GoldPair]bool{}
+	satisfied := map[string]bool{} // gold targets satisfied (exactly or via alt)
+	for _, p := range pred {
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		switch {
+		case goldSet[p]:
+			m.TP++
+			satisfied[p.Target] = true
+		case altOK[p]:
+			m.TP++
+			satisfied[p.Target] = true
+		default:
+			m.FP++
+			if forbidden[p] {
+				m.ForbiddenHits++
+			}
+		}
+	}
+	for _, g := range gold.Pairs {
+		if !satisfied[g.Target] {
+			m.FN++
+		}
+	}
+	return m
+}
+
+// Achieved reports whether the mapping fully achieves the gold: every gold
+// pair present and no forbidden pair present.
+func Achieved(has func(src, dst string) bool, gold workloads.Gold) bool {
+	for _, g := range gold.Pairs {
+		if !has(g.Source, g.Target) {
+			return false
+		}
+	}
+	for _, f := range gold.Forbidden {
+		if has(f.Source, f.Target) {
+			return false
+		}
+	}
+	return true
+}
+
+// LeafPairs extracts the leaf-level predicted pairs from a Cupid result,
+// named by schema-tree (context) paths.
+func LeafPairs(res *core.Result) []workloads.GoldPair {
+	out := make([]workloads.GoldPair, 0, len(res.Mapping.Leaves))
+	for _, e := range res.Mapping.Leaves {
+		out = append(out, workloads.GoldPair{Source: e.Source.Path(), Target: e.Target.Path()})
+	}
+	return out
+}
+
+// LeafElemPairs extracts the leaf-level predicted pairs named by
+// schema-element paths: context copies (join views, shared types) collapse
+// to the element they stand for.
+func LeafElemPairs(res *core.Result) []workloads.GoldPair {
+	out := make([]workloads.GoldPair, 0, len(res.Mapping.Leaves))
+	for _, e := range res.Mapping.Leaves {
+		out = append(out, workloads.GoldPair{Source: e.Source.Elem.Path(), Target: e.Target.Elem.Path()})
+	}
+	return out
+}
+
+// RunCupid matches a workload with the given configuration and scores the
+// leaf mapping against the gold, honoring the workload's scoring mode.
+func RunCupid(w workloads.Workload, cfg core.Config) (*core.Result, Metrics, error) {
+	m, err := core.NewMatcher(cfg)
+	if err != nil {
+		return nil, Metrics{}, err
+	}
+	res, err := m.Match(w.Source, w.Target)
+	if err != nil {
+		return nil, Metrics{}, err
+	}
+	pairs := LeafPairs(res)
+	if w.ScoreByElement {
+		pairs = LeafElemPairs(res)
+	}
+	return res, Score(pairs, w.Gold), nil
+}

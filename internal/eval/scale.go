@@ -1,0 +1,69 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+// ScalePoint is one measurement of the scalability sweep (E9; the paper's
+// §10 lists scalability analysis as necessary future work).
+type ScalePoint struct {
+	Name     string
+	Elements int // total elements across both schemas
+	Leaves   int
+	Duration time.Duration
+	Metrics  Metrics
+}
+
+// ScalabilitySpecs returns the synthetic sweep used by both the CLI and
+// BenchmarkScalability.
+func ScalabilitySpecs() []workloads.SyntheticSpec {
+	return []workloads.SyntheticSpec{
+		{Tables: 2, ColsPerTable: 8, Depth: 2, Seed: 1, Rename: 0.3, Renest: 0.2},
+		{Tables: 4, ColsPerTable: 8, Depth: 2, Seed: 2, Rename: 0.3, Renest: 0.2},
+		{Tables: 8, ColsPerTable: 8, Depth: 2, Seed: 3, Rename: 0.3, Renest: 0.2},
+		{Tables: 8, ColsPerTable: 16, Depth: 2, Seed: 4, Rename: 0.3, Renest: 0.2},
+		{Tables: 16, ColsPerTable: 8, Depth: 3, Seed: 5, Rename: 0.3, Renest: 0.2, FKs: 4},
+		{Tables: 16, ColsPerTable: 16, Depth: 2, Seed: 6, Rename: 0.3, Renest: 0.2},
+	}
+}
+
+// Scalability runs the sweep, timing each match.
+func Scalability() ([]ScalePoint, error) {
+	var out []ScalePoint
+	for _, spec := range ScalabilitySpecs() {
+		w := workloads.Synthetic(spec)
+		cfg := core.DefaultConfig()
+		start := time.Now()
+		_, m, err := RunCupid(w, cfg)
+		if err != nil {
+			return nil, err
+		}
+		src := w.Source.ComputeStats()
+		dst := w.Target.ComputeStats()
+		out = append(out, ScalePoint{
+			Name:     w.Name,
+			Elements: w.Source.Len() + w.Target.Len(),
+			Leaves:   src.Leaves + dst.Leaves,
+			Duration: time.Since(start),
+			Metrics:  m,
+		})
+	}
+	return out, nil
+}
+
+// RenderScale formats the sweep as a table.
+func RenderScale(points []ScalePoint) string {
+	var b strings.Builder
+	b.WriteString("scalability sweep (synthetic perturbed copies; paper §10 future work)\n")
+	b.WriteString("  elements  leaves  time        quality\n")
+	for _, p := range points {
+		fmt.Fprintf(&b, "  %8d  %6d  %-10s  %s  %s\n",
+			p.Elements, p.Leaves, p.Duration.Round(time.Millisecond), p.Metrics, p.Name)
+	}
+	return b.String()
+}

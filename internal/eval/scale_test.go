@@ -1,0 +1,36 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScalabilitySweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scalability sweep in -short mode")
+	}
+	pts, err := Scalability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(ScalabilitySpecs()) {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Sizes grow monotonically with the sweep order's intent; every run
+	// completes with reasonable quality (the perturbations are mild).
+	for i, p := range pts {
+		if p.Elements <= 0 || p.Leaves <= 0 {
+			t.Errorf("point %d: empty workload", i)
+		}
+		if p.Metrics.Recall() < 0.9 {
+			t.Errorf("point %s: recall %v below 0.9", p.Name, p.Metrics.Recall())
+		}
+		if p.Duration <= 0 {
+			t.Errorf("point %s: non-positive duration", p.Name)
+		}
+	}
+	out := RenderScale(pts)
+	if !strings.Contains(out, "scalability sweep") || !strings.Contains(out, "synthetic-t2-c8-d2") {
+		t.Errorf("render:\n%s", out)
+	}
+}

@@ -1,0 +1,41 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+// TestUniversityWorkload checks the matcher generalizes beyond the paper's
+// purchase-order domain: the registrar/SIS pair aligns via abbreviation
+// expansion (DOB -> date of birth), synonymy (Surname~LastName,
+// Semester~Term), and structure.
+func TestUniversityWorkload(t *testing.T) {
+	res, m, err := RunCupid(workloads.University(), core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Recall() < 0.8 {
+		t.Errorf("recall = %v, want >= 0.8\n%s\n%s", m.Recall(), m, res.Mapping)
+	}
+	if m.F1() < 0.7 {
+		t.Errorf("F1 = %v, want >= 0.7\n%s", m.F1(), res.Mapping)
+	}
+	// The thesaurus-driven pairs specifically.
+	for _, p := range [][2]string{
+		{"Registrar.Students.DOB", "SIS.Student.BirthDate"},
+		{"Registrar.Students.LastName", "SIS.Student.Surname"},
+		{"Registrar.Enrollment.Semester", "SIS.Registration.Term"},
+	} {
+		found := false
+		for _, e := range res.Mapping.Leaves {
+			if e.Source.Elem.Path() == p[0] && e.Target.Elem.Path() == p[1] {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing %s <-> %s\n%s", p[0], p[1], res.Mapping)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package linguistic
+
+// Acronym detection: a heuristic complement to the thesaurus's explicit
+// acronym table (§5.1 expands acronyms by lookup; the paper's §10 calls
+// for "integrating Cupid transparently with an off-the-shelf thesaurus",
+// and unknown project-specific acronyms are the common gap). When one
+// name's content reduces to a single short token whose letters are exactly
+// the initials of the other name's content tokens — UOM vs Unit Of
+// Measure, PO vs Purchase Order — the pair is credited with
+// acronymStrength even though no dictionary entry exists.
+//
+// The heuristic is deliberately conservative: the acronym must be 2-6
+// letters, the expansion must have the same number of content+common
+// tokens as the acronym has letters, and every initial must match in
+// order. It is applied as a floor on the name similarity, so explicit
+// thesaurus entries (which normalize to 1.0) always dominate.
+
+const (
+	acronymMinLen   = 2
+	acronymMaxLen   = 6
+	acronymStrength = 0.75
+)
+
+// acronymMatch reports whether single is an initialism of the words list.
+func acronymMatch(single string, words []string) bool {
+	n := len(single)
+	if n < acronymMinLen || n > acronymMaxLen || len(words) != n {
+		return false
+	}
+	for i, w := range words {
+		if len(w) == 0 || w[0] != single[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// wordsOf lists the raw content and common tokens in order (common words
+// participate in initialisms: UoM = Unit *of* Measure).
+func wordsOf(ts TokenSet) []string {
+	var out []string
+	for _, t := range ts.Tokens {
+		if t.Type == TokenContent || t.Type == TokenCommon {
+			out = append(out, t.Raw)
+		}
+	}
+	return out
+}
+
+// acronymSim returns acronymStrength when either token set is an
+// initialism of the other, else 0.
+func acronymSim(a, b TokenSet) float64 {
+	wa := wordsOf(a)
+	wb := wordsOf(b)
+	if len(wa) == 1 && acronymMatch(wa[0], wb) {
+		return acronymStrength
+	}
+	if len(wb) == 1 && acronymMatch(wb[0], wa) {
+		return acronymStrength
+	}
+	return 0
+}

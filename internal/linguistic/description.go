@@ -1,0 +1,95 @@
+package linguistic
+
+import (
+	"repro/internal/model"
+)
+
+// Description-based matching implements one of the paper's stated
+// future-work items (§10: "using schema annotations — textual descriptions
+// of schema elements in the data dictionary — for the linguistic
+// matching"). Descriptions are normalized with the same pipeline as names
+// (tokenization, stop-word elimination, stemming, concept tagging) and
+// compared with the IR-flavoured token-set similarity the taxonomy of §3
+// mentions for the DELTA system. When enabled (DescriptionWeight > 0) the
+// description similarity blends into lsim for element pairs where both
+// sides carry a description; pairs without descriptions are unaffected, so
+// the feature is strictly additive.
+
+// DescriptionSim returns the normalized-token-set similarity of two
+// description strings: the same best-counterpart average used for name
+// similarity, restricted to content and concept tokens (descriptions are
+// prose; numbers and symbols in them carry no matching signal).
+func (m *Matcher) DescriptionSim(a, b string) float64 {
+	if a == "" || b == "" {
+		return 0
+	}
+	ta := filterDescTokens(Normalize(a, m.Th))
+	tb := filterDescTokens(Normalize(b, m.Th))
+	if len(ta.Tokens) == 0 || len(tb.Tokens) == 0 {
+		return 0
+	}
+	return m.NameSimTS(ta, tb)
+}
+
+func filterDescTokens(ts TokenSet) TokenSet {
+	var out TokenSet
+	for _, t := range ts.Tokens {
+		if t.Type == TokenContent || t.Type == TokenConcept {
+			out.Tokens = append(out.Tokens, t)
+		}
+	}
+	return out
+}
+
+// BlendDescriptions mixes description similarity into an element-level
+// lsim matrix in place: for every element pair where both elements carry a
+// description,
+//
+//	lsim' = (1-w)·lsim + w·descSim
+//
+// with w = weight clamped to [0,1]. Elements without descriptions keep
+// their name-based lsim. The blend can rescue pairs whose names carry no
+// signal (legacy column names with documented meanings) and demote pairs
+// whose names collide but whose documentation disagrees.
+func (m *Matcher) BlendDescriptions(a, b *SchemaInfo, lsim [][]float64, weight float64) {
+	if weight <= 0 {
+		return
+	}
+	if weight > 1 {
+		weight = 1
+	}
+	ea := a.Schema.Elements()
+	eb := b.Schema.Elements()
+	// Cache description token sets per element to avoid re-normalizing in
+	// the O(n²) pair loop.
+	descA := make([]*TokenSet, len(ea))
+	descB := make([]*TokenSet, len(eb))
+	prep := func(e *model.Element) *TokenSet {
+		if e.Description == "" {
+			return nil
+		}
+		ts := filterDescTokens(Normalize(e.Description, m.Th))
+		if len(ts.Tokens) == 0 {
+			return nil
+		}
+		return &ts
+	}
+	for i, e := range ea {
+		descA[i] = prep(e)
+	}
+	for j, e := range eb {
+		descB[j] = prep(e)
+	}
+	for i := range ea {
+		if descA[i] == nil {
+			continue
+		}
+		for j := range eb {
+			if descB[j] == nil {
+				continue
+			}
+			ds := m.NameSimTS(*descA[i], *descB[j])
+			lsim[i][j] = (1-weight)*lsim[i][j] + weight*ds
+		}
+	}
+}

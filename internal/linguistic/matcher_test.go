@@ -1,0 +1,273 @@
+package linguistic
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+	"repro/internal/thesaurus"
+)
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatalf("DefaultParams invalid: %v", err)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	p := DefaultParams()
+	p.Weights[TokenContent] = -0.1
+	if err := p.Validate(); err == nil {
+		t.Error("negative weight accepted")
+	}
+	p = DefaultParams()
+	p.Weights[TokenContent] = 0.9
+	if err := p.Validate(); err == nil {
+		t.Error("weights summing past 1 accepted")
+	}
+	p = DefaultParams()
+	p.Thns = 1.5
+	if err := p.Validate(); err == nil {
+		t.Error("thns out of range accepted")
+	}
+}
+
+func TestNameSimPaperExamples(t *testing.T) {
+	m := NewMatcher(thesaurus.Base())
+	// Short forms, acronyms, synonyms (paper §4): Qty~Quantity,
+	// UoM~UnitOfMeasure, Bill~Invoice all resolve to 1.
+	for _, c := range [][2]string{
+		{"Qty", "Quantity"},
+		{"UOM", "UnitOfMeasure"},
+		{"Bill", "Invoice"},
+		{"PO", "PurchaseOrder"},
+		{"Num", "Number"},
+	} {
+		if got := m.NameSim(c[0], c[1]); got < 0.99 {
+			t.Errorf("NameSim(%q,%q) = %v, want 1", c[0], c[1], got)
+		}
+	}
+	// Identical names.
+	if got := m.NameSim("Street", "Street"); got != 1 {
+		t.Errorf("identical = %v", got)
+	}
+	// The Bill~Invoice synonym must separate POBillTo/InvoiceTo from
+	// POBillTo/DeliverTo (the paper's City-Street disambiguation depends
+	// on it).
+	bill := m.NameSim("POBillTo", "InvoiceTo")
+	ship := m.NameSim("POBillTo", "DeliverTo")
+	if bill <= ship {
+		t.Errorf("NameSim(POBillTo,InvoiceTo)=%v should exceed (POBillTo,DeliverTo)=%v", bill, ship)
+	}
+	if bill < 0.4 {
+		t.Errorf("NameSim(POBillTo,InvoiceTo)=%v too low", bill)
+	}
+	// Prefix/suffix variation (canonical example 3): Address vs
+	// StreetAddress share the token address.
+	if got := m.NameSim("Address", "StreetAddress"); got < 0.4 {
+		t.Errorf("NameSim(Address,StreetAddress) = %v, want >= 0.4", got)
+	}
+	if got := m.NameSim("Name", "CustomerName"); got < 0.4 {
+		t.Errorf("NameSim(Name,CustomerName) = %v, want >= 0.4", got)
+	}
+	// Unrelated names stay low.
+	if got := m.NameSim("Quantity", "Street"); got > 0.3 {
+		t.Errorf("NameSim(Quantity,Street) = %v, want <= 0.3", got)
+	}
+}
+
+func TestNameSimWithoutThesaurus(t *testing.T) {
+	m := NewMatcher(nil)
+	// Equal stems still match without any thesaurus.
+	if got := m.NameSim("Lines", "line"); got < 0.99 {
+		t.Errorf("NameSim(Lines,line) = %v", got)
+	}
+	// Synonyms do not.
+	if got := m.NameSim("Bill", "Invoice"); got != 0 {
+		t.Errorf("NameSim(Bill,Invoice) without thesaurus = %v, want 0", got)
+	}
+}
+
+// Properties: NameSim is symmetric (to floating-point summation order),
+// bounded, and 1 on identical names.
+func TestNameSimProperties(t *testing.T) {
+	m := NewMatcher(thesaurus.Base())
+	const eps = 1e-9
+	f := func(a, b string) bool {
+		s := m.NameSim(a, b)
+		if s < 0 || s > 1+eps {
+			return false
+		}
+		d := m.NameSim(b, a) - s
+		if d < -eps || d > eps {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"PO", "POLines", "ItemNumber", "Street1", "UnitPrice"}
+	for _, n := range names {
+		if got := m.NameSim(n, n); got < 0.999 {
+			t.Errorf("NameSim(%q,%q) = %v, want 1", n, n, got)
+		}
+	}
+}
+
+func buildAddressSchema(name, containerName string) *model.Schema {
+	s := model.New(name)
+	addr := s.AddChild(s.Root(), containerName, model.KindElement)
+	street := s.AddChild(addr, "Street", model.KindColumn)
+	street.Type = model.DTString
+	city := s.AddChild(addr, "City", model.KindColumn)
+	city.Type = model.DTString
+	return s
+}
+
+func TestAnalyzeCategories(t *testing.T) {
+	m := NewMatcher(thesaurus.Base())
+	s := buildAddressSchema("S1", "Address")
+	si := m.Analyze(s)
+	if len(si.Tokens) != s.Len() {
+		t.Fatalf("Tokens len = %d, want %d", len(si.Tokens), s.Len())
+	}
+	// Street and City must share the container:Address category.
+	var street, city *model.Element
+	model.PreOrder(s.Root(), func(e *model.Element) {
+		switch e.Name {
+		case "Street":
+			street = e
+		case "City":
+			city = e
+		}
+	})
+	shared := false
+	for _, ci := range si.CategoriesOf(street.ID()) {
+		for _, cj := range si.CategoriesOf(city.ID()) {
+			if ci == cj && si.Categories[ci].Name == "container:S1.Address" {
+				shared = true
+			}
+		}
+	}
+	if !shared {
+		t.Errorf("Street and City do not share the Address container category: %+v", si.Categories)
+	}
+	// Both are in the text data-type category.
+	foundText := false
+	for _, c := range si.Categories {
+		if c.Name == "type:text" && len(c.Members) == 2 {
+			foundText = true
+		}
+	}
+	if !foundText {
+		t.Errorf("type:text category missing or wrong: %+v", si.Categories)
+	}
+}
+
+func TestAnalyzeSkipsNotInstantiated(t *testing.T) {
+	m := NewMatcher(thesaurus.Base())
+	s := model.New("S")
+	tbl := s.AddChild(s.Root(), "T", model.KindTable)
+	key := s.AddChild(tbl, "pk", model.KindKey)
+	key.NotInstantiated = true
+	si := m.Analyze(s)
+	if cats := si.CategoriesOf(key.ID()); len(cats) != 0 {
+		t.Errorf("not-instantiated element got categories: %v", cats)
+	}
+}
+
+func TestLSimScalesAndPrunes(t *testing.T) {
+	m := NewMatcher(thesaurus.Base())
+	s1 := buildAddressSchema("S1", "Address")
+	s2 := buildAddressSchema("S2", "Address")
+	a := m.Analyze(s1)
+	b := m.Analyze(s2)
+	lsim := m.LSim(a, b)
+
+	find := func(s *model.Schema, name string) *model.Element {
+		var out *model.Element
+		model.PreOrder(s.Root(), func(e *model.Element) {
+			if e.Name == name {
+				out = e
+			}
+		})
+		return out
+	}
+	st1, st2 := find(s1, "Street"), find(s2, "Street")
+	ci2 := find(s2, "City")
+	if got := lsim[st1.ID()][st2.ID()]; got < 0.99 {
+		t.Errorf("lsim(Street,Street) = %v, want ~1", got)
+	}
+	cross := lsim[st1.ID()][ci2.ID()]
+	if cross >= lsim[st1.ID()][st2.ID()] {
+		t.Errorf("lsim(Street,City)=%v not below lsim(Street,Street)", cross)
+	}
+	// Bounds.
+	for i := range lsim {
+		for j := range lsim[i] {
+			if lsim[i][j] < 0 || lsim[i][j] > 1 {
+				t.Fatalf("lsim[%d][%d]=%v out of range", i, j, lsim[i][j])
+			}
+		}
+	}
+}
+
+func TestLSimZeroWithoutCompatibleCategories(t *testing.T) {
+	m := NewMatcher(thesaurus.New()) // empty thesaurus: no concepts
+	s1 := model.New("Alpha")
+	a1 := s1.AddChild(s1.Root(), "Zebra", model.KindElement)
+	x1 := s1.AddChild(a1, "Xylophone", model.KindColumn)
+	x1.Type = model.DTInt
+	s2 := model.New("Beta")
+	b1 := s2.AddChild(s2.Root(), "Quokka", model.KindElement)
+	y1 := s2.AddChild(b1, "Yurt", model.KindColumn)
+	y1.Type = model.DTString
+	lsim := m.LSim(m.Analyze(s1), m.Analyze(s2))
+	// Xylophone(int) and Yurt(string): containers Zebra/Quokka are
+	// dissimilar, data types differ; no compatible category -> lsim 0.
+	if got := lsim[x1.ID()][y1.ID()]; got != 0 {
+		t.Errorf("lsim without compatible categories = %v, want 0", got)
+	}
+}
+
+func TestCompatiblePairsThreshold(t *testing.T) {
+	m := NewMatcher(thesaurus.Base())
+	s1 := buildAddressSchema("S1", "Address")
+	s2 := buildAddressSchema("S2", "Warehouse")
+	a, b := m.Analyze(s1), m.Analyze(s2)
+	pairs := m.CompatiblePairs(a, b)
+	// The two type:text categories must be compatible (identical keyword).
+	found := false
+	for k, ns := range pairs {
+		if a.Categories[k[0]].Name == "type:text" && b.Categories[k[1]].Name == "type:text" {
+			found = true
+			if ns < 0.99 {
+				t.Errorf("type:text compatibility = %v", ns)
+			}
+		}
+		// No pair below the threshold may appear.
+		if ns < m.P.Thns {
+			t.Errorf("pair %v below thns: %v", k, ns)
+		}
+	}
+	if !found {
+		t.Error("type:text categories not compatible")
+	}
+}
+
+func TestTokenSimAcrossTypesIsZero(t *testing.T) {
+	m := NewMatcher(thesaurus.Base())
+	a := Token{Raw: "1", Stem: "1", Type: TokenNumber}
+	b := Token{Raw: "1", Stem: "1", Type: TokenContent}
+	if got := m.tokenSim(a, b); got != 0 {
+		t.Errorf("cross-type token sim = %v, want 0", got)
+	}
+	c := Token{Raw: "2", Stem: "2", Type: TokenNumber}
+	if got := m.tokenSim(a, c); got != 0 {
+		t.Errorf("different numbers = %v, want 0", got)
+	}
+	if got := m.tokenSim(a, a); got != 1 {
+		t.Errorf("same number = %v, want 1", got)
+	}
+}

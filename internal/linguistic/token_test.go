@@ -1,0 +1,149 @@
+package linguistic
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/thesaurus"
+)
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"POLines", []string{"po", "lines"}},
+		{"ItemNumber", []string{"item", "number"}},
+		{"ContactFunctionCode", []string{"contact", "function", "code"}},
+		{"UnitOfMeasure", []string{"unit", "of", "measure"}},
+		{"Street1", []string{"street", "1"}},
+		{"street_address", []string{"street", "address"}},
+		{"e-mail", []string{"e", "mail"}},
+		{"UOM", []string{"uom"}},
+		{"PO", []string{"po"}},
+		{"CIDXOrder", []string{"cidx", "order"}},
+		{"qty", []string{"qty"}},
+		{"Order#", []string{"order", "#"}},
+		{"yourAccountCode", []string{"your", "account", "code"}},
+		{"Order-Customer-fk", []string{"order", "customer", "fk"}},
+		{"", nil},
+		{"  ", nil},
+		{"A", []string{"a"}},
+		{"ABCDef42", []string{"abc", "def", "42"}},
+		{"item.line", []string{"item", "line"}},
+	}
+	for _, c := range cases {
+		if got := Tokenize(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// Property: tokens are non-empty, lower-case where alphabetic, and contain
+// no separator characters.
+func TestTokenizeProperties(t *testing.T) {
+	f := func(s string) bool {
+		for _, tok := range Tokenize(s) {
+			if tok == "" {
+				return false
+			}
+			for _, r := range tok {
+				if r == '_' || r == '-' || r == ' ' || r == '.' {
+					return false
+				}
+				if r >= 'A' && r <= 'Z' {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalizeExpansionAndTypes(t *testing.T) {
+	th := thesaurus.Base()
+	// POLines: PO expands to purchase, order; all content.
+	ts := Normalize("POLines", th)
+	var contents []string
+	for _, tok := range ts.ByType(TokenContent) {
+		contents = append(contents, tok.Raw)
+	}
+	if !reflect.DeepEqual(contents, []string{"purchase", "order", "lines"}) {
+		t.Errorf("POLines content tokens = %v", contents)
+	}
+	// UnitOfMeasure: "of" is a stop-word typed common.
+	ts = Normalize("UnitOfMeasure", th)
+	if n := len(ts.ByType(TokenCommon)); n != 1 {
+		t.Errorf("UnitOfMeasure common tokens = %d, want 1", n)
+	}
+	// Whole-name abbreviation: mixed-case acronym UoM resolves as a unit.
+	ts = Normalize("UoM", th)
+	contents = nil
+	for _, tok := range ts.ByType(TokenContent) {
+		contents = append(contents, tok.Raw)
+	}
+	if !reflect.DeepEqual(contents, []string{"unit", "measure"}) {
+		t.Errorf("UoM content tokens = %v (want unit, measure; 'of' is common)", contents)
+	}
+	// Numbers.
+	ts = Normalize("Street1", th)
+	if n := len(ts.ByType(TokenNumber)); n != 1 {
+		t.Errorf("Street1 number tokens = %d, want 1", n)
+	}
+	// Symbols.
+	ts = Normalize("Order#", th)
+	if n := len(ts.ByType(TokenSymbol)); n != 1 {
+		t.Errorf("Order# symbol tokens = %d, want 1", n)
+	}
+}
+
+func TestNormalizeConceptTagging(t *testing.T) {
+	th := thesaurus.Base()
+	for _, name := range []string{"UnitPrice", "TotalCost", "Value"} {
+		ts := Normalize(name, th)
+		found := false
+		for _, tok := range ts.ByType(TokenConcept) {
+			if tok.Raw == "money" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("Normalize(%q) missing money concept: %v", name, ts)
+		}
+	}
+	// Concept appears once even when several tokens map to it.
+	ts := Normalize("PriceCost", th)
+	if n := len(ts.ByType(TokenConcept)); n != 1 {
+		t.Errorf("PriceCost concept tokens = %d, want 1", n)
+	}
+}
+
+func TestNormalizeStemsContent(t *testing.T) {
+	th := thesaurus.New()
+	ts := Normalize("ShippingAddresses", th)
+	toks := ts.ByType(TokenContent)
+	if len(toks) != 2 || toks[0].Stem != "ship" || toks[1].Stem != "address" {
+		t.Errorf("stems = %v", toks)
+	}
+}
+
+func TestTokenSetString(t *testing.T) {
+	th := thesaurus.Base()
+	s := Normalize("UnitPrice", th).String()
+	if s == "" {
+		t.Error("String() empty")
+	}
+}
+
+func TestTokenTypeString(t *testing.T) {
+	if TokenContent.String() != "content" || TokenConcept.String() != "concept" {
+		t.Error("token type names wrong")
+	}
+	if TokenType(42).String() != "tokentype?" {
+		t.Error("out-of-range token type")
+	}
+}

@@ -1,0 +1,82 @@
+package mapping
+
+// Compose and Invert implement the two mapping manipulations the paper's
+// model-management vision names alongside Match (§1: a system that can
+// "match and merge [models], and invert and compose mappings between
+// them"; §3 lists reusing past match results "to compute a mapping that is
+// the composition of mappings that were performed earlier").
+//
+// Since this library's mappings are similarity-annotated correspondences
+// (no expressions), composition is correspondence-chaining: A→B composed
+// with B→C relates a to c whenever some b links them, with the combined
+// similarity being the product of the two links' (pessimistic
+// conjunction). Inversion swaps the roles of source and target; the
+// paper's mappings are non-directional, so this is exact.
+
+// Invert returns the mapping with source and target swapped.
+func (m *Mapping) Invert() *Mapping {
+	inv := &Mapping{SourceSchema: m.TargetSchema, TargetSchema: m.SourceSchema}
+	flip := func(es []Element) []Element {
+		out := make([]Element, len(es))
+		for i, e := range es {
+			out[i] = Element{
+				Source: e.Target,
+				Target: e.Source,
+				WSim:   e.WSim,
+				SSim:   e.SSim,
+				LSim:   e.LSim,
+			}
+		}
+		return out
+	}
+	inv.Leaves = flip(m.Leaves)
+	inv.NonLeaves = flip(m.NonLeaves)
+	return inv
+}
+
+// Compose chains m (A -> B) with next (B -> C) into an A -> C mapping: a
+// correspondence (a, c) is produced for every pair of elements joined
+// through a shared B node, with similarities multiplied. When several B
+// nodes connect the same (a, c), the strongest chain wins. Elements whose
+// B-side nodes do not line up are dropped — composition can only lose
+// information, which is the nature of reusing past match results.
+func (m *Mapping) Compose(next *Mapping) *Mapping {
+	out := &Mapping{SourceSchema: m.SourceSchema, TargetSchema: next.TargetSchema}
+	out.Leaves = composeElements(m.Leaves, next.Leaves)
+	out.NonLeaves = composeElements(m.NonLeaves, next.NonLeaves)
+	return out
+}
+
+func composeElements(first, second []Element) []Element {
+	// Index the second mapping by its source (the shared B side).
+	bySource := map[int][]Element{}
+	for _, e := range second {
+		bySource[e.Source.Idx] = append(bySource[e.Source.Idx], e)
+	}
+	type key struct{ s, t int }
+	best := map[key]Element{}
+	order := []key{}
+	for _, e1 := range first {
+		for _, e2 := range bySource[e1.Target.Idx] {
+			k := key{e1.Source.Idx, e2.Target.Idx}
+			chained := Element{
+				Source: e1.Source,
+				Target: e2.Target,
+				WSim:   e1.WSim * e2.WSim,
+				SSim:   e1.SSim * e2.SSim,
+				LSim:   e1.LSim * e2.LSim,
+			}
+			if cur, ok := best[k]; !ok {
+				best[k] = chained
+				order = append(order, k)
+			} else if chained.WSim > cur.WSim {
+				best[k] = chained
+			}
+		}
+	}
+	out := make([]Element, 0, len(order))
+	for _, k := range order {
+		out = append(out, best[k])
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package mapping
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/schematree"
+	"repro/internal/structural"
+)
+
+// threeWayFixture builds A -> B and B -> C mappings over three copies of
+// the same small schema, so composition A -> C is fully determined.
+func threeWayFixture(t *testing.T) (ab, bc *Mapping) {
+	t.Helper()
+	build := func(name string) *schematree.Tree {
+		s := model.New(name)
+		c := s.AddChild(s.Root(), "Customer", model.KindTable)
+		s.AddChild(c, "ID", model.KindColumn).Type = model.DTInt
+		s.AddChild(c, "Name", model.KindColumn).Type = model.DTString
+		tr, err := schematree.Build(s, schematree.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	a, b, c := build("A"), build("B"), build("C")
+	match := func(ts, tt *schematree.Tree) *Mapping {
+		lsim := make([][]float64, ts.Len())
+		for i := range lsim {
+			lsim[i] = make([]float64, tt.Len())
+			for j := range lsim[i] {
+				if ts.Nodes[i].Name() == tt.Nodes[j].Name() {
+					lsim[i][j] = 1
+				}
+			}
+		}
+		p := structural.DefaultParams()
+		res := structural.TreeMatch(ts, tt, lsim, p)
+		structural.SecondPass(res, ts, tt, lsim, p)
+		return Generate(ts, tt, res, lsim, DefaultOptions())
+	}
+	return match(a, b), match(b, c)
+}
+
+func TestInvert(t *testing.T) {
+	ab, _ := threeWayFixture(t)
+	inv := ab.Invert()
+	if inv.SourceSchema != "B" || inv.TargetSchema != "A" {
+		t.Errorf("inverted schemas = %s -> %s", inv.SourceSchema, inv.TargetSchema)
+	}
+	if len(inv.Leaves) != len(ab.Leaves) {
+		t.Fatalf("leaf count changed on invert")
+	}
+	for i, e := range inv.Leaves {
+		orig := ab.Leaves[i]
+		if e.Source != orig.Target || e.Target != orig.Source {
+			t.Errorf("element %d not swapped", i)
+		}
+		if e.WSim != orig.WSim {
+			t.Errorf("similarity changed on invert")
+		}
+	}
+	// Double inversion is the identity.
+	back := inv.Invert()
+	if back.String() != ab.String() {
+		t.Error("double inversion is not the identity")
+	}
+}
+
+func TestCompose(t *testing.T) {
+	ab, bc := threeWayFixture(t)
+	ac := ab.Compose(bc)
+	if ac.SourceSchema != "A" || ac.TargetSchema != "C" {
+		t.Errorf("composed schemas = %s -> %s", ac.SourceSchema, ac.TargetSchema)
+	}
+	// Every A leaf chains through its B namesake to its C namesake.
+	for _, want := range [][2]string{
+		{"A.Customer.ID", "C.Customer.ID"},
+		{"A.Customer.Name", "C.Customer.Name"},
+	} {
+		if !ac.HasPair(want[0], want[1]) {
+			t.Errorf("composition missing %v\n%s", want, ac)
+		}
+	}
+	// Similarities multiply, so they can only shrink.
+	for _, e := range ac.Leaves {
+		if e.WSim > 1 || e.WSim <= 0 {
+			t.Errorf("composed wsim out of range: %v", e.WSim)
+		}
+		for _, e1 := range ab.Leaves {
+			if e1.Source == e.Source && e.WSim > e1.WSim {
+				t.Errorf("composition increased similarity")
+			}
+		}
+	}
+	// Non-leaf chains survive too (Customer table through B).
+	if !ac.HasPair("A.Customer", "C.Customer") {
+		t.Errorf("non-leaf composition missing\n%s", ac)
+	}
+}
+
+func TestComposeDropsUnchainedElements(t *testing.T) {
+	ab, bc := threeWayFixture(t)
+	// Break the chain: remove B's ID link from the second mapping.
+	var filtered []Element
+	for _, e := range bc.Leaves {
+		if e.Source.Name() != "ID" {
+			filtered = append(filtered, e)
+		}
+	}
+	bc.Leaves = filtered
+	ac := ab.Compose(bc)
+	if ac.HasPair("A.Customer.ID", "C.Customer.ID") {
+		t.Error("composition invented a chain for a dropped element")
+	}
+	if !ac.HasPair("A.Customer.Name", "C.Customer.Name") {
+		t.Error("composition lost an intact chain")
+	}
+}

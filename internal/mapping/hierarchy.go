@@ -1,0 +1,102 @@
+package mapping
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Hierarchy enriches the flat correspondence list into a structured map,
+// the treatment the paper sketches and defers (§7: "the mapping element
+// between two XML-elements e1 and e2 would have as its sub-elements the
+// mapping elements between matching XML-attributes of e1 and e2. Such a
+// mapping would be consistent with the vision of model management").
+//
+// Each mapping element becomes a node whose parent is the deepest mapping
+// element covering it on *both* sides (its source is an ancestor of the
+// child's source and its target an ancestor of the child's target).
+// Elements with no covering pair attach to the synthetic root.
+
+// HierNode is one node of the structured map.
+type HierNode struct {
+	// Element is the mapping element at this node; nil only for the
+	// synthetic root.
+	Element *Element
+	// Children are the mapping elements nested under this one, in target
+	// post-order.
+	Children []*HierNode
+}
+
+// Hierarchy builds the structured map from the mapping's elements.
+func (m *Mapping) Hierarchy() *HierNode {
+	root := &HierNode{}
+	all := m.All()
+	nodes := make([]*HierNode, len(all))
+	for i := range all {
+		nodes[i] = &HierNode{Element: &all[i]}
+	}
+	// covers reports whether a covers b strictly (on both sides, a's
+	// source/target are proper ancestors-or-equal of b's, and a != b).
+	covers := func(a, b *Element) bool {
+		if a == b {
+			return false
+		}
+		return isAncestorOrSelf(a.Source.Idx, a.Source.SubFirst, b.Source.Idx) &&
+			isAncestorOrSelf(a.Target.Idx, a.Target.SubFirst, b.Target.Idx) &&
+			!(a.Source == b.Source && a.Target == b.Target)
+	}
+	for i := range nodes {
+		var best *HierNode
+		bestDepth := -1
+		for j := range nodes {
+			if i == j || !covers(nodes[j].Element, nodes[i].Element) {
+				continue
+			}
+			// Deepest covering pair wins; depth measured on the target.
+			if d := nodes[j].Element.Target.Depth; d > bestDepth {
+				bestDepth = d
+				best = nodes[j]
+			}
+		}
+		if best != nil {
+			best.Children = append(best.Children, nodes[i])
+		} else {
+			root.Children = append(root.Children, nodes[i])
+		}
+	}
+	return root
+}
+
+// isAncestorOrSelf uses post-order subtree ranges: ancestor a (with range
+// [aFirst, aIdx]) contains node x iff aFirst <= x <= aIdx.
+func isAncestorOrSelf(aIdx, aFirst, x int) bool {
+	return aFirst <= x && x <= aIdx
+}
+
+// String renders the structured map as an indented tree.
+func (h *HierNode) String() string {
+	var b strings.Builder
+	var walk func(n *HierNode, depth int)
+	walk = func(n *HierNode, depth int) {
+		if n.Element != nil {
+			b.WriteString(strings.Repeat("  ", depth))
+			fmt.Fprintf(&b, "%s\n", n.Element)
+		}
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(h, -1)
+	return b.String()
+}
+
+// Count returns the number of mapping elements in the hierarchy.
+func (h *HierNode) Count() int {
+	n := 0
+	if h.Element != nil {
+		n = 1
+	}
+	for _, c := range h.Children {
+		n += c.Count()
+	}
+	return n
+}

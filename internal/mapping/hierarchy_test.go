@@ -1,0 +1,113 @@
+package mapping
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func TestHierarchyNestsLeavesUnderContainers(t *testing.T) {
+	ts, tt, res, lsim := fixture(t)
+	m := Generate(ts, tt, res, lsim, DefaultOptions())
+	h := m.Hierarchy()
+
+	if h.Count() != len(m.All()) {
+		t.Fatalf("hierarchy holds %d elements, mapping has %d", h.Count(), len(m.All()))
+	}
+	// Find the Customer<->Customer node; the three leaf pairs must be its
+	// children (they are covered by it on both sides).
+	var cust *HierNode
+	var find func(n *HierNode)
+	find = func(n *HierNode) {
+		if n.Element != nil &&
+			n.Element.Source.Path() == "Src.Customer" &&
+			n.Element.Target.Path() == "Dst.Customer" {
+			cust = n
+		}
+		for _, c := range n.Children {
+			find(c)
+		}
+	}
+	find(h)
+	if cust == nil {
+		t.Fatalf("Customer pair not in hierarchy:\n%s", h)
+	}
+	if len(cust.Children) != 3 {
+		t.Errorf("Customer pair should nest 3 leaf mappings, has %d:\n%s",
+			len(cust.Children), h)
+	}
+	for _, c := range cust.Children {
+		if !c.Element.Source.IsLeaf() || !c.Element.Target.IsLeaf() {
+			t.Errorf("non-leaf nested under Customer: %v", c.Element)
+		}
+	}
+	// Rendering mentions nesting.
+	out := h.String()
+	if !strings.Contains(out, "Src.Customer.ID") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+func TestHierarchyOrphansAttachToRoot(t *testing.T) {
+	ts, tt, res, lsim := fixture(t)
+	opt := DefaultOptions()
+	opt.NonLeaves = false // only leaves: no covering pairs at all
+	m := Generate(ts, tt, res, lsim, opt)
+	h := m.Hierarchy()
+	if len(h.Children) != len(m.Leaves) {
+		t.Errorf("all leaf mappings should be root children, got %d of %d",
+			len(h.Children), len(m.Leaves))
+	}
+}
+
+func TestWriteXSLT(t *testing.T) {
+	ts, tt, res, lsim := fixture(t)
+	m := Generate(ts, tt, res, lsim, DefaultOptions())
+
+	var buf bytes.Buffer
+	if err := m.WriteXSLT(&buf, tt); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Well-formed XML.
+	dec := xml.NewDecoder(bytes.NewReader(buf.Bytes()))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("output is not well-formed XML: %v\n%s", err, out)
+		}
+	}
+	// Structure: stylesheet, template, target skeleton, value-of selects.
+	for _, want := range []string{
+		`<xsl:stylesheet version="1.0"`,
+		`<xsl:template match="/">`,
+		"<Dst>",
+		"<Customer>",
+		`<ID><xsl:value-of select="/Src/Customer/ID"/></ID>`,
+		`<City><xsl:value-of select="/Src/Customer/City"/></City>`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("xslt missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestXMLNameSanitization(t *testing.T) {
+	cases := map[string]string{
+		"Order-Customer-fk": "Order-Customer-fk",
+		"e-mail":            "e-mail",
+		"1stLine":           "_1stLine",
+		"a b":               "a_b",
+		"":                  "_",
+		"Läden":             "L_den",
+	}
+	for in, want := range cases {
+		if got := xmlName(in); got != want {
+			t.Errorf("xmlName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

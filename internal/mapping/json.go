@@ -1,0 +1,64 @@
+package mapping
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// jsonElement is the serialized form of one mapping element. Nodes are
+// identified by their context paths; the underlying schema-element paths
+// are included so consumers can collapse context copies.
+type jsonElement struct {
+	Source     string  `json:"source"`
+	Target     string  `json:"target"`
+	SourceElem string  `json:"sourceElement,omitempty"`
+	TargetElem string  `json:"targetElement,omitempty"`
+	WSim       float64 `json:"wsim"`
+	SSim       float64 `json:"ssim"`
+	LSim       float64 `json:"lsim"`
+}
+
+type jsonMapping struct {
+	SourceSchema string        `json:"sourceSchema"`
+	TargetSchema string        `json:"targetSchema"`
+	Leaves       []jsonElement `json:"leaves"`
+	NonLeaves    []jsonElement `json:"nonLeaves,omitempty"`
+}
+
+func toJSON(es []Element) []jsonElement {
+	out := make([]jsonElement, 0, len(es))
+	for _, e := range es {
+		je := jsonElement{
+			Source: e.Source.Path(),
+			Target: e.Target.Path(),
+			WSim:   e.WSim,
+			SSim:   e.SSim,
+			LSim:   e.LSim,
+		}
+		if ep := e.Source.Elem.Path(); ep != je.Source {
+			je.SourceElem = ep
+		}
+		if ep := e.Target.Elem.Path(); ep != je.Target {
+			je.TargetElem = ep
+		}
+		out = append(out, je)
+	}
+	return out
+}
+
+// WriteJSON serializes the mapping for downstream tools (the stand-in for
+// the BizTalk Mapper hand-off the paper's prototype used).
+func (m *Mapping) WriteJSON(w io.Writer) error {
+	jm := jsonMapping{
+		SourceSchema: m.SourceSchema,
+		TargetSchema: m.TargetSchema,
+		Leaves:       toJSON(m.Leaves),
+		NonLeaves:    toJSON(m.NonLeaves),
+	}
+	b, err := json.MarshalIndent(jm, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}

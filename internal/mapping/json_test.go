@@ -1,0 +1,49 @@
+package mapping
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestWriteJSON(t *testing.T) {
+	ts, tt, res, lsim := fixture(t)
+	m := Generate(ts, tt, res, lsim, DefaultOptions())
+
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		SourceSchema string `json:"sourceSchema"`
+		TargetSchema string `json:"targetSchema"`
+		Leaves       []struct {
+			Source string  `json:"source"`
+			Target string  `json:"target"`
+			WSim   float64 `json:"wsim"`
+		} `json:"leaves"`
+		NonLeaves []struct {
+			Source string `json:"source"`
+		} `json:"nonLeaves"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("output is not valid json: %v\n%s", err, buf.String())
+	}
+	if decoded.SourceSchema != "Src" || decoded.TargetSchema != "Dst" {
+		t.Errorf("schema names = %q/%q", decoded.SourceSchema, decoded.TargetSchema)
+	}
+	if len(decoded.Leaves) != len(m.Leaves) {
+		t.Errorf("leaves = %d, want %d", len(decoded.Leaves), len(m.Leaves))
+	}
+	for _, l := range decoded.Leaves {
+		if l.Source == "" || l.Target == "" {
+			t.Error("empty path in serialized element")
+		}
+		if l.WSim < 0.5 {
+			t.Errorf("wsim %v below acceptance", l.WSim)
+		}
+	}
+	if len(decoded.NonLeaves) == 0 {
+		t.Error("non-leaf elements missing from serialization")
+	}
+}

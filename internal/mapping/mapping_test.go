@@ -1,0 +1,174 @@
+package mapping
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/schematree"
+	"repro/internal/structural"
+)
+
+// fixture builds two small matched trees and runs TreeMatch + SecondPass.
+func fixture(t *testing.T) (*schematree.Tree, *schematree.Tree, *structural.Result, [][]float64) {
+	t.Helper()
+	build := func(name string) *model.Schema {
+		s := model.New(name)
+		c := s.AddChild(s.Root(), "Customer", model.KindTable)
+		s.AddChild(c, "ID", model.KindColumn).Type = model.DTInt
+		s.AddChild(c, "Name", model.KindColumn).Type = model.DTString
+		s.AddChild(c, "City", model.KindColumn).Type = model.DTString
+		return s
+	}
+	ts, err := schematree.Build(build("Src"), schematree.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt, err := schematree.Build(build("Dst"), schematree.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsim := make([][]float64, ts.Len())
+	for i := range lsim {
+		lsim[i] = make([]float64, tt.Len())
+		for j := range lsim[i] {
+			if ts.Nodes[i].Name() == tt.Nodes[j].Name() {
+				lsim[i][j] = 1
+			}
+		}
+	}
+	p := structural.DefaultParams()
+	res := structural.TreeMatch(ts, tt, lsim, p)
+	structural.SecondPass(res, ts, tt, lsim, p)
+	return ts, tt, res, lsim
+}
+
+func TestGenerateOneToN(t *testing.T) {
+	ts, tt, res, lsim := fixture(t)
+	m := Generate(ts, tt, res, lsim, DefaultOptions())
+	if len(m.Leaves) != 3 {
+		t.Fatalf("leaf elements = %d, want 3\n%s", len(m.Leaves), m)
+	}
+	for _, name := range []string{"ID", "Name", "City"} {
+		if !m.HasPair("Src.Customer."+name, "Dst.Customer."+name) {
+			t.Errorf("missing leaf pair %s", name)
+		}
+	}
+	// Non-leaf Customer pair present.
+	if !m.HasPair("Src.Customer", "Dst.Customer") {
+		t.Errorf("missing non-leaf Customer pair\n%s", m)
+	}
+	// Elements are annotated with similarities in range.
+	for _, e := range m.All() {
+		if e.WSim < 0.5 || e.WSim > 1 {
+			t.Errorf("element %v wsim out of expected range", e)
+		}
+	}
+}
+
+func TestGenerateRespectsThreshold(t *testing.T) {
+	ts, tt, res, lsim := fixture(t)
+	opt := DefaultOptions()
+	opt.ThAccept = 1.1 // nothing is acceptable
+	m := Generate(ts, tt, res, lsim, opt)
+	if len(m.Leaves) != 0 || len(m.NonLeaves) != 0 {
+		t.Errorf("threshold 1.1 produced %d elements", len(m.All()))
+	}
+}
+
+func TestGenerateOneToNAllowsDuplicatedSources(t *testing.T) {
+	// Target has two City leaves; the single source City must map to both
+	// under the naive 1:n scheme.
+	src := model.New("S")
+	a := src.AddChild(src.Root(), "Addr", model.KindTable)
+	src.AddChild(a, "City", model.KindColumn).Type = model.DTString
+	src.AddChild(a, "Zip", model.KindColumn).Type = model.DTString
+
+	dst := model.New("D")
+	b1 := dst.AddChild(dst.Root(), "Addr", model.KindTable)
+	dst.AddChild(b1, "City", model.KindColumn).Type = model.DTString
+	dst.AddChild(b1, "CityName", model.KindColumn).Type = model.DTString
+
+	ts, err := schematree.Build(src, schematree.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt, err := schematree.Build(dst, schematree.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsim := make([][]float64, ts.Len())
+	for i := range lsim {
+		lsim[i] = make([]float64, tt.Len())
+		for j := range lsim[i] {
+			si, tj := ts.Nodes[i].Name(), tt.Nodes[j].Name()
+			if si == tj || (si == "City" && tj == "CityName") {
+				lsim[i][j] = 1
+			}
+		}
+	}
+	p := structural.DefaultParams()
+	res := structural.TreeMatch(ts, tt, lsim, p)
+	structural.SecondPass(res, ts, tt, lsim, p)
+
+	mN := Generate(ts, tt, res, lsim, DefaultOptions())
+	cityCount := 0
+	for _, e := range mN.Leaves {
+		if e.Source.Name() == "City" {
+			cityCount++
+		}
+	}
+	if cityCount != 2 {
+		t.Errorf("1:n should map City to both targets, got %d\n%s", cityCount, mN)
+	}
+
+	opt := DefaultOptions()
+	opt.Cardinality = OneToOne
+	m1 := Generate(ts, tt, res, lsim, opt)
+	seen := map[string]int{}
+	for _, e := range m1.Leaves {
+		seen[e.Source.Path()]++
+		if seen[e.Source.Path()] > 1 {
+			t.Errorf("1:1 mapping reuses source %s\n%s", e.Source.Path(), m1)
+		}
+	}
+}
+
+func TestGenerateLeavesOnly(t *testing.T) {
+	ts, tt, res, lsim := fixture(t)
+	opt := DefaultOptions()
+	opt.NonLeaves = false
+	m := Generate(ts, tt, res, lsim, opt)
+	if len(m.NonLeaves) != 0 {
+		t.Error("NonLeaves=false still produced non-leaf elements")
+	}
+	if len(m.Leaves) == 0 {
+		t.Error("no leaf elements")
+	}
+}
+
+func TestMappingString(t *testing.T) {
+	ts, tt, res, lsim := fixture(t)
+	m := Generate(ts, tt, res, lsim, DefaultOptions())
+	s := m.String()
+	for _, want := range []string{"mapping Src -> Dst", "[leaf]", "[struct]", "<->"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestDeterministicOrder(t *testing.T) {
+	ts, tt, res, lsim := fixture(t)
+	a := Generate(ts, tt, res, lsim, DefaultOptions())
+	b := Generate(ts, tt, res, lsim, DefaultOptions())
+	if a.String() != b.String() {
+		t.Error("generation not deterministic")
+	}
+	// Ordered by target post-order.
+	for i := 1; i < len(a.Leaves); i++ {
+		if a.Leaves[i-1].Target.Idx > a.Leaves[i].Target.Idx {
+			t.Error("leaf elements not ordered by target index")
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package mapping
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/schematree"
+)
+
+// XSLT skeleton generation: the paper's prototype handed its mappings to
+// BizTalk Mapper, "which then compiles them into XSL translation scripts"
+// (§9). WriteXSLT produces the equivalent skeleton directly: one
+// xsl:value-of per mapped target leaf, nested inside the target schema's
+// element structure, with the source path as the select expression. The
+// output is a starting point for a human (mapping *expressions* are out of
+// the paper's scope and ours), but it is well-formed XSLT and demonstrates
+// the data-translation hand-off.
+
+// WriteXSLT writes an XSLT 1.0 stylesheet skeleton for the mapping's leaf
+// elements. Target tree nodes on a path to a mapped leaf become literal
+// result elements; mapped leaves become xsl:value-of instructions selecting
+// the source path.
+func (m *Mapping) WriteXSLT(w io.Writer, targetTree *schematree.Tree) error {
+	// Which target nodes are needed: mapped leaves and their ancestors.
+	needed := make([]bool, targetTree.Len())
+	srcFor := make(map[int]string, len(m.Leaves))
+	for _, e := range m.Leaves {
+		srcFor[e.Target.Idx] = sourceXPath(e.Source)
+		for n := e.Target; n != nil; n = n.Parent {
+			needed[n.Idx] = true
+		}
+	}
+	var b strings.Builder
+	b.WriteString(xml.Header)
+	b.WriteString(`<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">` + "\n")
+	b.WriteString("  <xsl:template match=\"/\">\n")
+	var walk func(n *schematree.Node, indent string)
+	walk = func(n *schematree.Node, indent string) {
+		if !needed[n.Idx] {
+			return
+		}
+		name := xmlName(n.Name())
+		if sel, ok := srcFor[n.Idx]; ok {
+			fmt.Fprintf(&b, "%s<%s><xsl:value-of select=\"%s\"/></%s>\n", indent, name, sel, name)
+			return
+		}
+		fmt.Fprintf(&b, "%s<%s>\n", indent, name)
+		for _, c := range n.Children {
+			walk(c, indent+"  ")
+		}
+		fmt.Fprintf(&b, "%s</%s>\n", indent, name)
+	}
+	walk(targetTree.Root, "    ")
+	b.WriteString("  </xsl:template>\n")
+	b.WriteString("</xsl:stylesheet>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// sourceXPath renders the source node's context path as an absolute XPath.
+func sourceXPath(n *schematree.Node) string {
+	var parts []string
+	for x := n; x != nil; x = x.Parent {
+		parts = append(parts, xmlName(x.Name()))
+	}
+	for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+		parts[i], parts[j] = parts[j], parts[i]
+	}
+	return "/" + strings.Join(parts, "/")
+}
+
+// xmlName sanitizes a schema element name into a valid XML name: invalid
+// characters become underscores, and a leading digit gets an underscore
+// prefix.
+func xmlName(s string) string {
+	if s == "" {
+		return "_"
+	}
+	var b strings.Builder
+	for i, r := range s {
+		ok := r == '_' || r == '-' || r == '.' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if i == 0 && r >= '0' && r <= '9' {
+			b.WriteByte('_')
+			b.WriteRune(r)
+			continue
+		}
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

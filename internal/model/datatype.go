@@ -1,0 +1,155 @@
+package model
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DataType is the broad data-type classification used by Cupid. The paper
+// groups concrete types into broad classes ("all elements with a numeric
+// data type are grouped together in a category with the keyword Number");
+// the structural matcher initializes leaf similarity from a compatibility
+// table over these classes (internal/structural).
+type DataType int
+
+// Broad data types. DTNone is the zero value: the element carries no data
+// type (typical for non-leaf structure). DTComplex marks elements whose
+// type is a structured/complex type.
+const (
+	DTNone DataType = iota
+	DTString
+	DTInt
+	DTFloat
+	DTDecimal
+	DTBool
+	DTDate
+	DTTime
+	DTDateTime
+	DTBinary
+	DTEnum
+	DTID
+	DTIDRef
+	DTComplex
+	DTAny
+
+	// NumDataTypes is the number of broad data types; compatibility tables
+	// are indexed [NumDataTypes][NumDataTypes].
+	NumDataTypes
+)
+
+var dtNames = [...]string{
+	DTNone:     "none",
+	DTString:   "string",
+	DTInt:      "int",
+	DTFloat:    "float",
+	DTDecimal:  "decimal",
+	DTBool:     "bool",
+	DTDate:     "date",
+	DTTime:     "time",
+	DTDateTime: "datetime",
+	DTBinary:   "binary",
+	DTEnum:     "enum",
+	DTID:       "id",
+	DTIDRef:    "idref",
+	DTComplex:  "complex",
+	DTAny:      "any",
+}
+
+// String returns the lower-case name of the data type.
+func (d DataType) String() string {
+	if d >= 0 && int(d) < len(dtNames) {
+		return dtNames[d]
+	}
+	return fmt.Sprintf("datatype(%d)", int(d))
+}
+
+// IsNumeric reports whether the type belongs to the broad Number category
+// used during linguistic categorization.
+func (d DataType) IsNumeric() bool {
+	switch d {
+	case DTInt, DTFloat, DTDecimal:
+		return true
+	}
+	return false
+}
+
+// IsTemporal reports whether the type is a date/time type.
+func (d DataType) IsTemporal() bool {
+	switch d {
+	case DTDate, DTTime, DTDateTime:
+		return true
+	}
+	return false
+}
+
+// CategoryKeyword returns the keyword naming this type's broad category for
+// linguistic categorization (paper §5.2), or "" when the type does not
+// define a category (DTNone, DTComplex).
+func (d DataType) CategoryKeyword() string {
+	switch {
+	case d.IsNumeric():
+		return "number"
+	case d == DTString:
+		return "text"
+	case d.IsTemporal():
+		return "date"
+	case d == DTBool:
+		return "boolean"
+	case d == DTID, d == DTIDRef:
+		return "identifier"
+	case d == DTEnum:
+		return "enumeration"
+	case d == DTBinary:
+		return "binary"
+	case d == DTAny:
+		return "any"
+	}
+	return ""
+}
+
+// ParseDataType maps a concrete type name from a native schema (SQL type
+// names, XSD simple types, common programming types) to its broad class.
+// Unknown names map to DTString, the most permissive leaf class, so that
+// importers never fail on vendor-specific types.
+func ParseDataType(name string) DataType {
+	n := strings.ToLower(strings.TrimSpace(name))
+	if i := strings.IndexByte(n, '('); i >= 0 { // varchar(20) -> varchar
+		n = n[:i]
+	}
+	switch n {
+	case "":
+		return DTNone
+	case "int", "integer", "smallint", "bigint", "tinyint", "long", "short",
+		"byte", "serial", "int2", "int4", "int8", "positiveinteger",
+		"nonnegativeinteger", "negativeinteger", "nonpositiveinteger",
+		"unsignedint", "unsignedlong", "unsignedshort", "unsignedbyte":
+		return DTInt
+	case "float", "real", "double", "double precision", "float4", "float8":
+		return DTFloat
+	case "decimal", "numeric", "money", "smallmoney", "currency":
+		return DTDecimal
+	case "bool", "boolean", "bit":
+		return DTBool
+	case "date":
+		return DTDate
+	case "time", "timetz":
+		return DTTime
+	case "datetime", "timestamp", "timestamptz", "smalldatetime", "datetime2":
+		return DTDateTime
+	case "binary", "varbinary", "blob", "bytea", "image", "base64binary", "hexbinary":
+		return DTBinary
+	case "enum", "set":
+		return DTEnum
+	case "id":
+		return DTID
+	case "idref", "idrefs":
+		return DTIDRef
+	case "anytype", "any":
+		return DTAny
+	case "string", "varchar", "char", "nchar", "nvarchar", "text", "ntext",
+		"clob", "character", "character varying", "uuid", "guid",
+		"normalizedstring", "token", "anyuri", "qname", "language":
+		return DTString
+	}
+	return DTString
+}

@@ -1,0 +1,114 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseDataType(t *testing.T) {
+	cases := []struct {
+		in   string
+		want DataType
+	}{
+		{"int", DTInt},
+		{"INTEGER", DTInt},
+		{"varchar(255)", DTString},
+		{"VARCHAR(40)", DTString},
+		{"decimal(10,2)", DTDecimal},
+		{"float", DTFloat},
+		{"double precision", DTFloat},
+		{"bool", DTBool},
+		{"bit", DTBool},
+		{"date", DTDate},
+		{"timestamp", DTDateTime},
+		{"time", DTTime},
+		{"blob", DTBinary},
+		{"ID", DTID},
+		{"IDREF", DTIDRef},
+		{"idrefs", DTIDRef},
+		{"anyType", DTAny},
+		{"", DTNone},
+		{"totally-made-up", DTString}, // permissive fallback
+		{"positiveInteger", DTInt},
+		{"nvarchar(max)", DTString},
+	}
+	for _, c := range cases {
+		if got := ParseDataType(c.in); got != c.want {
+			t.Errorf("ParseDataType(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestDataTypePredicates(t *testing.T) {
+	if !DTInt.IsNumeric() || !DTFloat.IsNumeric() || !DTDecimal.IsNumeric() {
+		t.Error("numeric types should report IsNumeric")
+	}
+	if DTString.IsNumeric() || DTBool.IsNumeric() {
+		t.Error("non-numeric types should not report IsNumeric")
+	}
+	if !DTDate.IsTemporal() || !DTDateTime.IsTemporal() || !DTTime.IsTemporal() {
+		t.Error("temporal types should report IsTemporal")
+	}
+	if DTInt.IsTemporal() {
+		t.Error("int should not be temporal")
+	}
+}
+
+func TestCategoryKeyword(t *testing.T) {
+	cases := map[DataType]string{
+		DTInt:      "number",
+		DTFloat:    "number",
+		DTDecimal:  "number",
+		DTString:   "text",
+		DTDate:     "date",
+		DTDateTime: "date",
+		DTBool:     "boolean",
+		DTID:       "identifier",
+		DTIDRef:    "identifier",
+		DTEnum:     "enumeration",
+		DTBinary:   "binary",
+		DTAny:      "any",
+		DTNone:     "",
+		DTComplex:  "",
+	}
+	for dt, want := range cases {
+		if got := dt.CategoryKeyword(); got != want {
+			t.Errorf("CategoryKeyword(%v) = %q, want %q", dt, got, want)
+		}
+	}
+}
+
+func TestDataTypeString(t *testing.T) {
+	if DTInt.String() != "int" {
+		t.Errorf("DTInt = %q", DTInt.String())
+	}
+	if DataType(200).String() == "" {
+		t.Error("out-of-range data type should render non-empty")
+	}
+}
+
+// Property: ParseDataType never panics and never returns an out-of-range
+// value for arbitrary input strings.
+func TestParseDataTypeTotal(t *testing.T) {
+	f := func(s string) bool {
+		dt := ParseDataType(s)
+		return dt >= DTNone && dt < NumDataTypes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ParseDataType(dt.String()) is the identity for all broad types
+// that have a concrete spelling (i.e. everything except DTNone/DTComplex
+// whose spellings intentionally normalize elsewhere).
+func TestParseDataTypeRoundTrip(t *testing.T) {
+	for dt := DTString; dt < NumDataTypes; dt++ {
+		if dt == DTComplex {
+			continue // "complex" is not a source-schema type name
+		}
+		if got := ParseDataType(dt.String()); got != dt {
+			t.Errorf("round trip %v -> %q -> %v", dt, dt.String(), got)
+		}
+	}
+}

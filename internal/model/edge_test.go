@@ -1,0 +1,120 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestElementAccessors(t *testing.T) {
+	s := New("S")
+	a := s.AddChild(s.Root(), "A", KindElement)
+	if a.Schema() != s {
+		t.Error("Schema() accessor wrong")
+	}
+	var nilElem *Element
+	if nilElem.String() != "<nil>" {
+		t.Error("nil element String")
+	}
+	if !strings.Contains(a.String(), "element:S.A") {
+		t.Errorf("String() = %q", a.String())
+	}
+}
+
+func TestAddChildPanicsAcrossSchemas(t *testing.T) {
+	s1 := New("S1")
+	s2 := New("S2")
+	defer func() {
+		if recover() == nil {
+			t.Error("AddChild across schemas did not panic")
+		}
+	}()
+	s1.AddChild(s2.Root(), "X", KindElement)
+}
+
+func TestContainRoot(t *testing.T) {
+	s := New("S")
+	a := s.AddChild(s.Root(), "A", KindElement)
+	// Free-standing element can be contained later.
+	free := s.NewElement("F", KindElement)
+	if err := s.Contain(a, free); err != nil {
+		t.Fatalf("Contain free element: %v", err)
+	}
+	if free.Parent() != a {
+		t.Error("containment not recorded")
+	}
+}
+
+func TestAddRefIntNoCommonAncestor(t *testing.T) {
+	s := New("S")
+	tbl := s.AddChild(s.Root(), "T", KindTable)
+	col := s.AddChild(tbl, "C", KindColumn)
+	// Target in a different schema: CommonAncestor fails.
+	other := New("O")
+	foreign := other.AddChild(other.Root(), "F", KindTable)
+	if _, err := s.AddRefInt("fk", []*Element{col}, foreign); err == nil {
+		t.Error("AddRefInt accepted a cross-schema target")
+	}
+	// Sources from different schemas fail too.
+	if _, err := s.AddRefInt("fk2", []*Element{col, foreign}, tbl); err == nil {
+		t.Error("AddRefInt accepted cross-schema sources")
+	}
+}
+
+func TestValidateRootless(t *testing.T) {
+	s := &Schema{Name: "broken"}
+	if err := s.Validate(); err == nil {
+		t.Error("rootless schema validated")
+	}
+}
+
+func TestValidateForeignLinks(t *testing.T) {
+	s1 := New("S1")
+	s2 := New("S2")
+	a := s1.AddChild(s1.Root(), "A", KindElement)
+	b := s2.AddChild(s2.Root(), "B", KindElement)
+	// Bypass the guarded methods to corrupt the graph directly.
+	a.derivedFrom = append(a.derivedFrom, b)
+	if err := s1.Validate(); err == nil {
+		t.Error("foreign derivation validated")
+	}
+	a.derivedFrom = nil
+	a.aggregates = append(a.aggregates, b)
+	if err := s1.Validate(); err == nil {
+		t.Error("foreign aggregation validated")
+	}
+	a.aggregates = nil
+	a.references = append(a.references, b)
+	if err := s1.Validate(); err == nil {
+		t.Error("foreign reference validated")
+	}
+}
+
+func TestJSONDuplicateID(t *testing.T) {
+	in := `{"root":{"name":"R","children":[
+		{"id":"x","name":"A"},{"id":"x","name":"B"}]}}`
+	if _, err := ReadJSON(strings.NewReader(in)); err == nil {
+		t.Error("duplicate explicit ids accepted")
+	}
+}
+
+func TestJSONByIDReference(t *testing.T) {
+	in := `{"root":{"name":"R","children":[
+		{"id":"col","name":"A","type":"int"},
+		{"id":"tbl","name":"T","children":[{"name":"K","type":"int","key":true}]}]},
+		"refints":[{"name":"fk","sources":["col"],"target":"tbl"}]}`
+	s, err := ReadJSON(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ComputeStats().RefInts != 1 {
+		t.Error("id-referenced refint lost")
+	}
+}
+
+func TestJSONUnresolvedRefintSource(t *testing.T) {
+	in := `{"root":{"name":"R","children":[{"name":"A"}]},
+		"refints":[{"name":"fk","sources":["R.Missing"],"target":"R.A"}]}`
+	if _, err := ReadJSON(strings.NewReader(in)); err == nil {
+		t.Error("unresolved refint source accepted")
+	}
+}

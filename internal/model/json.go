@@ -1,0 +1,229 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// jsonSchema is the on-disk representation of a schema used by the native
+// .schema.json format of the CLI tools. Elements refer to each other by
+// their string names within the file ("name paths" for disambiguation are
+// unnecessary because the format assigns every element a unique local id).
+type jsonSchema struct {
+	Name string        `json:"name"`
+	Root *jsonElement  `json:"root"`
+	Refs []jsonRefInt  `json:"refints,omitempty"`
+	Ders []jsonDerives `json:"derivations,omitempty"`
+}
+
+type jsonElement struct {
+	ID       string         `json:"id,omitempty"` // optional explicit id for cross references
+	Name     string         `json:"name"`
+	Kind     string         `json:"kind,omitempty"`
+	Type     string         `json:"type,omitempty"`
+	Optional bool           `json:"optional,omitempty"`
+	Key      bool           `json:"key,omitempty"`
+	NoInst   bool           `json:"notInstantiated,omitempty"`
+	Desc     string         `json:"description,omitempty"`
+	Children []*jsonElement `json:"children,omitempty"`
+}
+
+type jsonRefInt struct {
+	Name    string   `json:"name"`
+	Sources []string `json:"sources"` // ids or paths of source columns
+	Target  string   `json:"target"`  // id or path of target key/table
+}
+
+type jsonDerives struct {
+	Element string `json:"element"` // id or path
+	Type    string `json:"type"`    // id or path of the shared type
+}
+
+var kindByName = func() map[string]Kind {
+	m := make(map[string]Kind, len(kindNames))
+	for k, n := range kindNames {
+		m[n] = k
+	}
+	return m
+}()
+
+// ParseKind maps a kind name ("table", "column", ...) to its Kind; unknown
+// names map to KindOther.
+func ParseKind(name string) Kind {
+	if k, ok := kindByName[strings.ToLower(strings.TrimSpace(name))]; ok {
+		return k
+	}
+	return KindOther
+}
+
+// MarshalJSON implements the native schema file format. IsDerivedFrom,
+// aggregation, and reference links that AddRefInt created are emitted in
+// the refints/derivations sections keyed by element path.
+func (s *Schema) MarshalJSON() ([]byte, error) {
+	var conv func(e *Element) *jsonElement
+	conv = func(e *Element) *jsonElement {
+		je := &jsonElement{
+			Name:     e.Name,
+			Optional: e.Optional,
+			Key:      e.IsKey,
+			Desc:     e.Description,
+		}
+		if e.Kind != KindOther && e.Kind != KindSchema {
+			je.Kind = e.Kind.String()
+		}
+		if e.Type != DTNone {
+			je.Type = e.Type.String()
+		}
+		// RefInt containment children are re-created from the refints
+		// section on load; skip them here and record not-instantiated flags
+		// only for non-refint elements.
+		if e.NotInstantiated && e.Kind != KindRefInt {
+			je.NoInst = true
+		}
+		for _, c := range e.children {
+			if c.Kind == KindRefInt {
+				continue
+			}
+			je.Children = append(je.Children, conv(c))
+		}
+		return je
+	}
+	js := jsonSchema{Name: s.Name, Root: conv(s.root)}
+	for _, e := range s.elements {
+		if e.Kind == KindRefInt {
+			ri := jsonRefInt{Name: e.Name}
+			for _, src := range e.aggregates {
+				ri.Sources = append(ri.Sources, src.Path())
+			}
+			if len(e.references) > 0 {
+				ri.Target = e.references[0].Path()
+			}
+			js.Refs = append(js.Refs, ri)
+		}
+		for _, t := range e.derivedFrom {
+			js.Ders = append(js.Ders, jsonDerives{Element: e.Path(), Type: t.Path()})
+		}
+	}
+	return json.MarshalIndent(js, "", "  ")
+}
+
+// WriteJSON writes the schema in the native JSON format.
+func (s *Schema) WriteJSON(w io.Writer) error {
+	b, err := s.MarshalJSON()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// ReadJSON parses a schema from the native JSON format.
+func ReadJSON(r io.Reader) (*Schema, error) {
+	var js jsonSchema
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&js); err != nil {
+		return nil, fmt.Errorf("model: decoding schema json: %w", err)
+	}
+	if js.Root == nil {
+		return nil, fmt.Errorf("model: schema json has no root")
+	}
+	name := js.Name
+	if name == "" {
+		name = js.Root.Name
+	}
+	s := New(name)
+	if js.Root.Name != "" {
+		s.root.Name = js.Root.Name
+	}
+	byPath := map[string]*Element{}
+	byID := map[string]*Element{}
+	record := func(je *jsonElement, e *Element) error {
+		byPath[e.Path()] = e
+		if je.ID != "" {
+			if _, dup := byID[je.ID]; dup {
+				return fmt.Errorf("model: duplicate element id %q", je.ID)
+			}
+			byID[je.ID] = e
+		}
+		return nil
+	}
+	apply := func(je *jsonElement, e *Element) {
+		e.Kind = ParseKind(je.Kind)
+		if je.Kind == "" && e != s.root {
+			e.Kind = KindOther
+		}
+		e.Type = ParseDataType(je.Type)
+		e.Optional = je.Optional
+		e.IsKey = je.Key
+		e.NotInstantiated = je.NoInst
+		e.Description = je.Desc
+	}
+	apply(js.Root, s.root)
+	s.root.Kind = KindSchema
+	if err := record(js.Root, s.root); err != nil {
+		return nil, err
+	}
+	var build func(parent *Element, jes []*jsonElement) error
+	build = func(parent *Element, jes []*jsonElement) error {
+		for _, je := range jes {
+			e := s.AddChild(parent, je.Name, ParseKind(je.Kind))
+			apply(je, e)
+			if err := record(je, e); err != nil {
+				return err
+			}
+			if err := build(e, je.Children); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := build(s.root, js.Root.Children); err != nil {
+		return nil, err
+	}
+	resolve := func(ref string) (*Element, error) {
+		if e, ok := byID[ref]; ok {
+			return e, nil
+		}
+		if e, ok := byPath[ref]; ok {
+			return e, nil
+		}
+		return nil, fmt.Errorf("model: unresolved element reference %q", ref)
+	}
+	for _, d := range js.Ders {
+		e, err := resolve(d.Element)
+		if err != nil {
+			return nil, err
+		}
+		t, err := resolve(d.Type)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.DeriveFrom(e, t); err != nil {
+			return nil, err
+		}
+	}
+	for _, rj := range js.Refs {
+		var sources []*Element
+		for _, ref := range rj.Sources {
+			e, err := resolve(ref)
+			if err != nil {
+				return nil, err
+			}
+			sources = append(sources, e)
+		}
+		target, err := resolve(rj.Target)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := s.AddRefInt(rj.Name, sources, target); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,101 @@
+package sqlddl
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestColumnModifiers(t *testing.T) {
+	s, err := Parse("DB", `
+CREATE TABLE T (
+    A INT UNIQUE,
+    B INT DEFAULT 7,
+    C VARCHAR(10) NOT NULL UNIQUE,
+    D INT PRIMARY KEY
+);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := find(s, "DB.T.D")
+	if d == nil || !d.IsKey {
+		t.Error("column-level primary key not applied")
+	}
+	c := find(s, "DB.T.C")
+	if c == nil || c.Optional {
+		t.Error("NOT NULL UNIQUE column mis-parsed")
+	}
+	if b := find(s, "DB.T.B"); b == nil {
+		t.Error("DEFAULT column lost")
+	}
+}
+
+func TestUniqueAndCheckClauses(t *testing.T) {
+	s, err := Parse("DB", `
+CREATE TABLE T (
+    A INT,
+    UNIQUE (A),
+    CHECK (A > 0)
+);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if find(s, "DB.T.A") == nil {
+		t.Errorf("column lost around table-level UNIQUE/CHECK:\n%s", s.Dump())
+	}
+}
+
+func TestCompoundForeignKey(t *testing.T) {
+	s, err := Parse("DB", `
+CREATE TABLE A (X INT, Y INT, PRIMARY KEY (X, Y));
+CREATE TABLE B (
+    PX INT,
+    PY INT,
+    FOREIGN KEY (PX, PY) REFERENCES A (X, Y)
+);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri := find(s, "DB.B-A-fk")
+	if ri == nil {
+		t.Fatalf("compound fk missing:\n%s", s.Dump())
+	}
+	if len(ri.Aggregates()) != 2 {
+		t.Errorf("compound fk sources = %d, want 2", len(ri.Aggregates()))
+	}
+	if ri.References()[0].Kind != model.KindKey {
+		t.Error("compound fk should reference the compound pk element")
+	}
+}
+
+func TestViewSkipsWhereClause(t *testing.T) {
+	s, err := Parse("DB", `
+CREATE TABLE T (A INT, B INT);
+CREATE VIEW V AS SELECT T.A FROM T WHERE T.B > 10 AND T.A < 5;
+CREATE TABLE After (C INT);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if find(s, "DB.After.C") == nil {
+		t.Errorf("statement after view lost:\n%s", s.Dump())
+	}
+	v := find(s, "DB.V")
+	if v == nil || len(v.Aggregates()) != 1 {
+		t.Errorf("view mis-parsed: %v", v)
+	}
+}
+
+func TestTruncatedStatements(t *testing.T) {
+	for _, ddl := range []string{
+		`CREATE TABLE T (A`,
+		`CREATE TABLE T (A INT, PRIMARY`,
+		`CREATE TABLE T (A INT REFERENCES`,
+		`CREATE VIEW V AS`,
+		`CREATE VIEW V AS SELECT T.`,
+		`CREATE TABLE T (A INT, FOREIGN KEY (A) REFERENCES B (`,
+	} {
+		if _, err := Parse("DB", ddl); err == nil {
+			t.Errorf("truncated DDL accepted: %q", ddl)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package sqlddl
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Property: the DDL parser never panics, whatever the input — it either
+// builds a valid schema or returns an error.
+func TestParseNeverPanics(t *testing.T) {
+	f := func(s string) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on %q: %v", s, r)
+				ok = false
+			}
+		}()
+		schema, err := Parse("F", s)
+		if err == nil && schema.Validate() != nil {
+			return false // parsed but invalid
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+	// Targeted near-miss inputs built from DDL fragments.
+	fragments := []string{
+		"CREATE", "TABLE", "(", ")", ",", ";", "PRIMARY KEY", "FOREIGN KEY",
+		"REFERENCES", "INT", "VARCHAR(10)", "x", "'", `"`, "--", "\n",
+	}
+	var b strings.Builder
+	for i := 0; i < 200; i++ {
+		b.WriteString(fragments[(i*7+3)%len(fragments)])
+		b.WriteByte(' ')
+		if i%17 == 0 {
+			if !f(b.String()) {
+				t.Fatalf("panic on fragment soup: %q", b.String())
+			}
+		}
+	}
+}

@@ -1,0 +1,447 @@
+// Package sqlddl imports relational schemas written as SQL DDL into the
+// generic schema model. It understands the subset needed for schema
+// matching — CREATE TABLE with column types, NULL/NOT NULL, PRIMARY KEY
+// (column- and table-level, possibly compound), REFERENCES / FOREIGN KEY
+// constraints, and CREATE VIEW with a qualified select list.
+//
+// The importer reproduces the modeling of the paper's Figure 5: each
+// foreign key becomes a RefInt element that aggregates its source columns
+// and references the target table; primary keys become key elements that
+// aggregate their columns and are tagged not-instantiated.
+package sqlddl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"repro/internal/model"
+)
+
+// Parse reads SQL DDL and builds a schema named schemaName.
+func Parse(schemaName, ddl string) (*model.Schema, error) {
+	p := &parser{toks: lex(ddl)}
+	s := model.New(schemaName)
+	b := &builder{schema: s, tables: map[string]*model.Element{},
+		columns: map[string]map[string]*model.Element{},
+		pks:     map[string]*model.Element{}}
+	for !p.eof() {
+		switch {
+		case p.acceptKw("CREATE"):
+			switch {
+			case p.acceptKw("TABLE"):
+				if err := b.table(p); err != nil {
+					return nil, err
+				}
+			case p.acceptKw("VIEW"):
+				if err := b.view(p); err != nil {
+					return nil, err
+				}
+			default:
+				return nil, fmt.Errorf("sqlddl: CREATE %q not supported", p.peek())
+			}
+		case p.accept(";"):
+			// stray semicolon
+		default:
+			return nil, fmt.Errorf("sqlddl: unexpected token %q", p.peek())
+		}
+	}
+	// Resolve deferred foreign keys now that all tables exist.
+	for _, fk := range b.fks {
+		if err := b.resolveFK(fk); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// --- lexer --------------------------------------------------------------
+
+func lex(in string) []string {
+	var toks []string
+	i := 0
+	n := len(in)
+	for i < n {
+		c := in[i]
+		switch {
+		case unicode.IsSpace(rune(c)):
+			i++
+		case c == '-' && i+1 < n && in[i+1] == '-': // line comment
+			for i < n && in[i] != '\n' {
+				i++
+			}
+		case c == '(' || c == ')' || c == ',' || c == ';' || c == '.':
+			toks = append(toks, string(c))
+			i++
+		case c == '\'' || c == '"' || c == '`':
+			q := c
+			j := i + 1
+			for j < n && in[j] != q {
+				j++
+			}
+			toks = append(toks, in[i+1:j])
+			i = j + 1
+		default:
+			j := i
+			for j < n && !unicode.IsSpace(rune(in[j])) &&
+				!strings.ContainsRune("(),;.'\"`", rune(in[j])) {
+				j++
+			}
+			toks = append(toks, in[i:j])
+			i = j
+		}
+	}
+	return toks
+}
+
+// --- parser helpers ------------------------------------------------------
+
+type parser struct {
+	toks []string
+	pos  int
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.toks) }
+
+func (p *parser) peek() string {
+	if p.eof() {
+		return ""
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *parser) accept(tok string) bool {
+	if p.peek() == tok {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) acceptKw(kw string) bool {
+	if strings.EqualFold(p.peek(), kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(tok string) error {
+	if !p.accept(tok) && !p.acceptKw(tok) {
+		return fmt.Errorf("sqlddl: expected %q, got %q", tok, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.peek()
+	if t == "" || strings.ContainsAny(t, "(),;") {
+		return "", fmt.Errorf("sqlddl: expected identifier, got %q", t)
+	}
+	p.pos++
+	return t, nil
+}
+
+// skipParens consumes a balanced parenthesized group, assuming the opening
+// "(" was already consumed.
+func (p *parser) skipParens() {
+	depth := 1
+	for !p.eof() && depth > 0 {
+		switch p.next() {
+		case "(":
+			depth++
+		case ")":
+			depth--
+		}
+	}
+}
+
+// --- builder -------------------------------------------------------------
+
+type pendingFK struct {
+	fromTable string
+	columns   []string
+	toTable   string
+	toColumns []string
+}
+
+type builder struct {
+	schema  *model.Schema
+	tables  map[string]*model.Element            // lower-case name -> table
+	columns map[string]map[string]*model.Element // table -> column -> element
+	pks     map[string]*model.Element            // table -> key element
+	fks     []pendingFK
+	nViews  int
+}
+
+func lower(s string) string { return strings.ToLower(s) }
+
+func (b *builder) table(p *parser) error {
+	name, err := p.ident()
+	if err != nil {
+		return err
+	}
+	if _, dup := b.tables[lower(name)]; dup {
+		return fmt.Errorf("sqlddl: duplicate table %q", name)
+	}
+	tbl := b.schema.AddChild(b.schema.Root(), name, model.KindTable)
+	b.tables[lower(name)] = tbl
+	b.columns[lower(name)] = map[string]*model.Element{}
+	if err := p.expect("("); err != nil {
+		return err
+	}
+	var pkCols []string
+	for {
+		switch {
+		case p.acceptKw("PRIMARY"):
+			if err := p.expect("KEY"); err != nil {
+				return err
+			}
+			cols, err := b.columnList(p)
+			if err != nil {
+				return err
+			}
+			pkCols = append(pkCols, cols...)
+		case p.acceptKw("FOREIGN"):
+			if err := p.expect("KEY"); err != nil {
+				return err
+			}
+			cols, err := b.columnList(p)
+			if err != nil {
+				return err
+			}
+			if err := p.expect("REFERENCES"); err != nil {
+				return err
+			}
+			if err := b.references(p, name, cols); err != nil {
+				return err
+			}
+		case p.acceptKw("CONSTRAINT"):
+			if _, err := p.ident(); err != nil { // constraint name
+				return err
+			}
+			continue // loop re-dispatches on PRIMARY/FOREIGN/...
+		case p.acceptKw("UNIQUE") || p.acceptKw("CHECK") || p.acceptKw("INDEX"):
+			if p.accept("(") {
+				p.skipParens()
+			}
+		default:
+			pk, err := b.column(p, name)
+			if err != nil {
+				return err
+			}
+			pkCols = append(pkCols, pk...)
+		}
+		if p.accept(",") {
+			continue
+		}
+		if err := p.expect(")"); err != nil {
+			return err
+		}
+		break
+	}
+	p.accept(";")
+	if len(pkCols) > 0 {
+		if err := b.primaryKey(name, pkCols); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// column parses one column definition; it returns the column names that a
+// column-level PRIMARY KEY clause designated.
+func (b *builder) column(p *parser, table string) ([]string, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	typeName, err := p.ident()
+	if err != nil {
+		return nil, fmt.Errorf("sqlddl: column %s.%s: %w", table, name, err)
+	}
+	if p.accept("(") { // varchar(40), decimal(10,2)
+		p.skipParens()
+	}
+	tbl := b.tables[lower(table)]
+	col := b.schema.AddChild(tbl, name, model.KindColumn)
+	col.Type = model.ParseDataType(typeName)
+	b.columns[lower(table)][lower(name)] = col
+
+	var pk []string
+	for {
+		switch {
+		case p.acceptKw("NOT"):
+			if err := p.expect("NULL"); err != nil {
+				return nil, err
+			}
+			col.Optional = false
+		case p.acceptKw("NULL"):
+			col.Optional = true
+		case p.acceptKw("PRIMARY"):
+			if err := p.expect("KEY"); err != nil {
+				return nil, err
+			}
+			pk = append(pk, name)
+		case p.acceptKw("UNIQUE"):
+		case p.acceptKw("DEFAULT"):
+			p.next() // skip the default value
+		case p.acceptKw("REFERENCES"):
+			if err := b.references(p, table, []string{name}); err != nil {
+				return nil, err
+			}
+		default:
+			return pk, nil
+		}
+	}
+}
+
+// columnList parses "(a, b, c)".
+func (b *builder) columnList(p *parser) ([]string, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	var cols []string
+	for {
+		c, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, c)
+		if p.accept(",") {
+			continue
+		}
+		return cols, p.expect(")")
+	}
+}
+
+// references parses "REFERENCES table [(cols)]" after the keyword and
+// records a pending foreign key (resolved after all tables are parsed).
+func (b *builder) references(p *parser, fromTable string, cols []string) error {
+	target, err := p.ident()
+	if err != nil {
+		return err
+	}
+	fk := pendingFK{fromTable: fromTable, columns: cols, toTable: target}
+	if p.accept("(") {
+		for {
+			c, err := p.ident()
+			if err != nil {
+				return err
+			}
+			fk.toColumns = append(fk.toColumns, c)
+			if p.accept(",") {
+				continue
+			}
+			if err := p.expect(")"); err != nil {
+				return err
+			}
+			break
+		}
+	}
+	b.fks = append(b.fks, fk)
+	return nil
+}
+
+// primaryKey materializes the key element for a table: a not-instantiated
+// KindKey child that aggregates the key columns (paper §8.1: a compound
+// key aggregates columns of its table).
+func (b *builder) primaryKey(table string, cols []string) error {
+	tbl := b.tables[lower(table)]
+	key := b.schema.AddChild(tbl, table+"-pk", model.KindKey)
+	key.NotInstantiated = true
+	for _, c := range cols {
+		col := b.columns[lower(table)][lower(c)]
+		if col == nil {
+			return fmt.Errorf("sqlddl: primary key of %s names unknown column %q", table, c)
+		}
+		col.IsKey = true
+		if err := b.schema.Aggregate(key, col); err != nil {
+			return err
+		}
+	}
+	b.pks[lower(table)] = key
+	return nil
+}
+
+func (b *builder) resolveFK(fk pendingFK) error {
+	from := b.tables[lower(fk.fromTable)]
+	to := b.tables[lower(fk.toTable)]
+	if from == nil || to == nil {
+		return fmt.Errorf("sqlddl: foreign key %s -> %s: unknown table", fk.fromTable, fk.toTable)
+	}
+	var sources []*model.Element
+	for _, c := range fk.columns {
+		col := b.columns[lower(fk.fromTable)][lower(c)]
+		if col == nil {
+			return fmt.Errorf("sqlddl: foreign key of %s names unknown column %q", fk.fromTable, c)
+		}
+		sources = append(sources, col)
+	}
+	// The RefInt references the target's primary key element when one
+	// exists (Figure 5), else the target table itself.
+	var target *model.Element = to
+	if pk := b.pks[lower(fk.toTable)]; pk != nil {
+		target = pk
+	}
+	name := fmt.Sprintf("%s-%s-fk", fk.fromTable, fk.toTable)
+	_, err := b.schema.AddRefInt(name, sources, target)
+	return err
+}
+
+// view parses "name AS SELECT t.c, t2.c2 FROM ..." (everything after the
+// select list through the closing semicolon is skipped). The view becomes
+// a KindView element aggregating the selected columns.
+func (b *builder) view(p *parser) error {
+	name, err := p.ident()
+	if err != nil {
+		return err
+	}
+	if err := p.expect("AS"); err != nil {
+		return err
+	}
+	if err := p.expect("SELECT"); err != nil {
+		return err
+	}
+	v := b.schema.AddChild(b.schema.Root(), name, model.KindView)
+	v.NotInstantiated = true
+	b.nViews++
+	for {
+		tbl, err := p.ident()
+		if err != nil {
+			return err
+		}
+		if err := p.expect("."); err != nil {
+			return err
+		}
+		colName, err := p.ident()
+		if err != nil {
+			return err
+		}
+		col := b.columns[lower(tbl)][lower(colName)]
+		if col == nil {
+			return fmt.Errorf("sqlddl: view %s selects unknown column %s.%s", name, tbl, colName)
+		}
+		if err := b.schema.Aggregate(v, col); err != nil {
+			return err
+		}
+		if p.accept(",") {
+			continue
+		}
+		break
+	}
+	// Skip the rest of the statement (FROM ... WHERE ...).
+	for !p.eof() && !p.accept(";") {
+		p.next()
+	}
+	return nil
+}

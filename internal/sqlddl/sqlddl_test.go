@@ -1,0 +1,201 @@
+package sqlddl
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+)
+
+const sample = `
+-- Northwind-ish fragment
+CREATE TABLE Customers (
+    CustomerID INT PRIMARY KEY,
+    CompanyName VARCHAR(80) NOT NULL,
+    City VARCHAR(40) NULL,
+    PostalCode VARCHAR(10)
+);
+
+CREATE TABLE Orders (
+    OrderID INT PRIMARY KEY,
+    CustomerID INT REFERENCES Customers (CustomerID),
+    OrderDate DATE,
+    Freight DECIMAL(10,2) DEFAULT 0
+);
+
+CREATE TABLE OrderDetails (
+    OrderID INT,
+    ProductID INT,
+    Quantity INT NOT NULL,
+    PRIMARY KEY (OrderID, ProductID),
+    FOREIGN KEY (OrderID) REFERENCES Orders (OrderID)
+);
+`
+
+func find(s *model.Schema, path string) *model.Element {
+	var out *model.Element
+	model.PreOrder(s.Root(), func(e *model.Element) {
+		if e.Path() == path {
+			out = e
+		}
+	})
+	return out
+}
+
+func TestParseTablesAndColumns(t *testing.T) {
+	s, err := Parse("DB", sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Root().Children()) < 3 {
+		t.Fatalf("tables = %d, want >= 3\n%s", len(s.Root().Children()), s.Dump())
+	}
+	cid := find(s, "DB.Customers.CustomerID")
+	if cid == nil {
+		t.Fatal("Customers.CustomerID missing")
+	}
+	if cid.Type != model.DTInt {
+		t.Errorf("CustomerID type = %v", cid.Type)
+	}
+	if !cid.IsKey {
+		t.Error("CustomerID should be a key column")
+	}
+	city := find(s, "DB.Customers.City")
+	if city == nil || !city.Optional {
+		t.Error("City should be optional (explicit NULL)")
+	}
+	cn := find(s, "DB.Customers.CompanyName")
+	if cn == nil || cn.Optional {
+		t.Error("CompanyName NOT NULL should not be optional")
+	}
+	f := find(s, "DB.Orders.Freight")
+	if f == nil || f.Type != model.DTDecimal {
+		t.Errorf("Freight = %v", f)
+	}
+	if d := find(s, "DB.Orders.OrderDate"); d == nil || d.Type != model.DTDate {
+		t.Errorf("OrderDate = %v", d)
+	}
+}
+
+func TestParsePrimaryKeys(t *testing.T) {
+	s, err := Parse("DB", sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compound primary key on OrderDetails aggregates both columns.
+	key := find(s, "DB.OrderDetails.OrderDetails-pk")
+	if key == nil {
+		t.Fatalf("OrderDetails pk missing\n%s", s.Dump())
+	}
+	if !key.NotInstantiated || key.Kind != model.KindKey {
+		t.Error("pk should be a not-instantiated key element")
+	}
+	if len(key.Aggregates()) != 2 {
+		t.Errorf("compound pk aggregates %d columns, want 2", len(key.Aggregates()))
+	}
+}
+
+func TestParseForeignKeys(t *testing.T) {
+	s, err := Parse("DB", sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.ComputeStats()
+	if st.RefInts != 2 {
+		t.Fatalf("RefInts = %d, want 2 (column-level + table-level)", st.RefInts)
+	}
+	ri := find(s, "DB.Orders-Customers-fk")
+	if ri == nil {
+		t.Fatalf("Orders-Customers-fk missing\n%s", s.Dump())
+	}
+	if len(ri.Aggregates()) != 1 || ri.Aggregates()[0].Name != "CustomerID" {
+		t.Errorf("fk sources = %v", ri.Aggregates())
+	}
+	// References the target's primary key element (Figure 5).
+	if len(ri.References()) != 1 || ri.References()[0].Kind != model.KindKey {
+		t.Errorf("fk target = %v, want key element", ri.References())
+	}
+}
+
+func TestParseView(t *testing.T) {
+	ddl := sample + `
+CREATE VIEW OrderSummary AS SELECT Orders.OrderID, Customers.CompanyName
+FROM Orders, Customers WHERE Orders.CustomerID = Customers.CustomerID;
+`
+	s, err := Parse("DB", ddl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := find(s, "DB.OrderSummary")
+	if v == nil || v.Kind != model.KindView {
+		t.Fatalf("view missing\n%s", s.Dump())
+	}
+	if len(v.Aggregates()) != 2 {
+		t.Errorf("view aggregates %d, want 2", len(v.Aggregates()))
+	}
+}
+
+func TestParseConstraintClause(t *testing.T) {
+	ddl := `
+CREATE TABLE A (X INT, Y INT, CONSTRAINT pk_a PRIMARY KEY (X));
+CREATE TABLE B (Z INT, CONSTRAINT fk_b FOREIGN KEY (Z) REFERENCES A (X));
+`
+	s, err := Parse("DB", ddl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := find(s, "DB.A.X")
+	if x == nil || !x.IsKey {
+		t.Error("constraint-clause primary key not applied")
+	}
+	if s.ComputeStats().RefInts != 1 {
+		t.Error("constraint-clause foreign key not applied")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown statement": `DROP TABLE x;`,
+		"unknown create":    `CREATE INDEX foo;`,
+		"duplicate table":   `CREATE TABLE A (X INT); CREATE TABLE A (Y INT);`,
+		"fk unknown table":  `CREATE TABLE A (X INT REFERENCES Nope (Y));`,
+		"fk unknown column": `CREATE TABLE A (X INT); CREATE TABLE B (Y INT, FOREIGN KEY (Q) REFERENCES A);`,
+		"pk unknown column": `CREATE TABLE A (X INT, PRIMARY KEY (Zed));`,
+		"view unknown col":  `CREATE TABLE A (X INT); CREATE VIEW V AS SELECT A.Nope FROM A;`,
+		"truncated":         `CREATE TABLE A (X INT`,
+	}
+	for name, ddl := range cases {
+		if _, err := Parse("DB", ddl); err == nil {
+			t.Errorf("%s: Parse accepted %q", name, ddl)
+		}
+	}
+}
+
+func TestLexerHandlesQuotesAndComments(t *testing.T) {
+	ddl := `
+CREATE TABLE "Order Items" ( -- quoted name with space
+  'Weird Col' INT
+);`
+	s, err := Parse("DB", ddl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if find(s, "DB.Order Items.Weird Col") == nil {
+		t.Errorf("quoted identifiers lost:\n%s", s.Dump())
+	}
+}
+
+func TestRoundTripThroughTree(t *testing.T) {
+	// The imported schema must expand into a schema tree with join views.
+	s, err := Parse("DB", sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d := s.Dump()
+	if !strings.Contains(d, "Customers") || !strings.Contains(d, "(not-instantiated)") {
+		t.Errorf("Dump unexpected:\n%s", d)
+	}
+}

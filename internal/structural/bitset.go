@@ -1,0 +1,127 @@
+package structural
+
+import "repro/internal/schematree"
+
+// Strong-link bitsets: TreeMatch's hot path asks, for every basis leaf of
+// a compared pair, whether it has a strong link into the other subtree —
+// naively an O(Ls·Lt) scan per node pair with two float operations per
+// probe. Because subtree leaves occupy contiguous ranges of the post-order
+// leaf list, the same question is a word-masked any-bit test over a
+// precomputed strong-link matrix. The matrix is maintained exactly: every
+// bit is recomputed from the identical wsim >= thaccept comparison whenever
+// an increase/decrease step touches the pair, so results are bit-for-bit
+// identical to the naive scan (asserted by tests on every workload).
+//
+// Measured outcome (BenchmarkStrongLinks): on the paper's boost-heavy
+// dynamics the maintenance cost exceeds the query savings — the naive
+// scan already exits on the first link, while every adjustment pays a
+// float recompute per touched pair here. The option therefore defaults to
+// off and is retained as a documented negative result.
+//
+// The acceleration applies to the default leaf basis only; the frontier
+// and children bases probe non-leaf similarity cells and fall back to the
+// scan.
+
+// linkIndex maintains the strong-link matrix in both orientations (rows by
+// source leaf and rows by target leaf) so both sides of the ssim fraction
+// are range queries.
+type linkIndex struct {
+	posS, posT []int    // node post-order idx -> leaf position, -1 for non-leaves
+	nS, nT     int      // leaf counts
+	wordsT     int      // words per source-row (covering target leaf positions)
+	wordsS     int      // words per target-row
+	rowS       []uint64 // nS rows × wordsT
+	rowT       []uint64 // nT rows × wordsS
+}
+
+func newLinkIndex(ts, tt *schematree.Tree) *linkIndex {
+	li := &linkIndex{
+		posS: make([]int, ts.Len()),
+		posT: make([]int, tt.Len()),
+	}
+	for i := range li.posS {
+		li.posS[i] = -1
+	}
+	for i := range li.posT {
+		li.posT[i] = -1
+	}
+	for p, idx := range ts.Leaves(ts.Root) {
+		li.posS[idx] = p
+		li.nS++
+	}
+	for p, idx := range tt.Leaves(tt.Root) {
+		li.posT[idx] = p
+		li.nT++
+	}
+	li.wordsT = (li.nT + 63) / 64
+	li.wordsS = (li.nS + 63) / 64
+	li.rowS = make([]uint64, li.nS*li.wordsT)
+	li.rowT = make([]uint64, li.nT*li.wordsS)
+	return li
+}
+
+// set records the strong-link state of the leaf pair (by node indexes).
+func (li *linkIndex) set(sIdx, tIdx int, strong bool) {
+	sp, tp := li.posS[sIdx], li.posT[tIdx]
+	if sp < 0 || tp < 0 {
+		return
+	}
+	wS := sp*li.wordsT + tp/64
+	wT := tp*li.wordsS + sp/64
+	bS := uint64(1) << (tp % 64)
+	bT := uint64(1) << (sp % 64)
+	if strong {
+		li.rowS[wS] |= bS
+		li.rowT[wT] |= bT
+	} else {
+		li.rowS[wS] &^= bS
+		li.rowT[wT] &^= bT
+	}
+}
+
+// anyInRange reports whether row has any bit set within [lo, hi) of the
+// column space.
+func anyInRange(row []uint64, lo, hi int) bool {
+	if lo >= hi {
+		return false
+	}
+	loW, hiW := lo/64, (hi-1)/64
+	loB, hiB := lo%64, (hi-1)%64
+	if loW == hiW {
+		mask := (^uint64(0) << loB) & (^uint64(0) >> (63 - hiB))
+		return row[loW]&mask != 0
+	}
+	if row[loW]&(^uint64(0)<<loB) != 0 {
+		return true
+	}
+	for w := loW + 1; w < hiW; w++ {
+		if row[w] != 0 {
+			return true
+		}
+	}
+	return row[hiW]&(^uint64(0)>>(63-hiB)) != 0
+}
+
+// sourceHasLink reports whether source leaf (node idx) links into the
+// target-leaf position range [tLo, tHi).
+func (li *linkIndex) sourceHasLink(sIdx, tLo, tHi int) bool {
+	sp := li.posS[sIdx]
+	return anyInRange(li.rowS[sp*li.wordsT:(sp+1)*li.wordsT], tLo, tHi)
+}
+
+// targetHasLink reports whether target leaf (node idx) links into the
+// source-leaf position range [sLo, sHi).
+func (li *linkIndex) targetHasLink(tIdx, sLo, sHi int) bool {
+	tp := li.posT[tIdx]
+	return anyInRange(li.rowT[tp*li.wordsS:(tp+1)*li.wordsS], sLo, sHi)
+}
+
+// leafRange returns the positions [lo, hi) that the subtree's leaves
+// occupy in the tree's global leaf list. Contiguity follows from
+// post-order: Leaves(n) is a slice of the ascending global leaf index.
+func leafRange(li *linkIndex, pos []int, leaves []int) (int, int) {
+	if len(leaves) == 0 {
+		return 0, 0
+	}
+	return pos[leaves[0]], pos[leaves[len(leaves)-1]] + 1
+}

@@ -1,0 +1,120 @@
+package structural
+
+import (
+	"testing"
+
+	"repro/internal/schematree"
+	"repro/internal/workloads"
+)
+
+// TestFastStrongLinksExact: the bitset index must be bit-for-bit identical
+// to the naive scan across representative workloads (paper schemas with
+// shared types, join views, optionality) and random synthetic pairs.
+func TestFastStrongLinksExact(t *testing.T) {
+	var pairs []workloads.Workload
+	pairs = append(pairs, workloads.Figure2(), workloads.SharedTypePO(),
+		workloads.CIDXExcel(), workloads.RDBStar(), workloads.University())
+	for seed := int64(1); seed <= 4; seed++ {
+		pairs = append(pairs, workloads.Synthetic(workloads.SyntheticSpec{
+			Tables: 3, ColsPerTable: 6, Depth: 2, Seed: seed, Rename: 0.4, Renest: 0.3, FKs: 2,
+		}))
+	}
+	for _, w := range pairs {
+		ts, err := schematree.Build(w.Source, schematree.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tt, err := schematree.Build(w.Target, schematree.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		lsim := lsimByName(ts, tt, nil)
+
+		fast := DefaultParams()
+		fast.FastStrongLinks = true
+		slow := DefaultParams()
+
+		rf := TreeMatch(ts, tt, lsim, fast)
+		rs := TreeMatch(ts, tt, lsim, slow)
+		for i := range rf.SSim {
+			for j := range rf.SSim[i] {
+				if rf.SSim[i][j] != rs.SSim[i][j] {
+					t.Fatalf("%s: ssim[%d][%d] fast %v != slow %v",
+						w.Name, i, j, rf.SSim[i][j], rs.SSim[i][j])
+				}
+				if rf.WSim[i][j] != rs.WSim[i][j] {
+					t.Fatalf("%s: wsim[%d][%d] fast %v != slow %v",
+						w.Name, i, j, rf.WSim[i][j], rs.WSim[i][j])
+				}
+			}
+		}
+		// Second pass too.
+		SecondPass(rf, ts, tt, lsim, fast)
+		SecondPass(rs, ts, tt, lsim, slow)
+		for i := range rf.SSim {
+			for j := range rf.SSim[i] {
+				if rf.SSim[i][j] != rs.SSim[i][j] {
+					t.Fatalf("%s: second-pass ssim[%d][%d] fast %v != slow %v",
+						w.Name, i, j, rf.SSim[i][j], rs.SSim[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestAnyInRange(t *testing.T) {
+	row := make([]uint64, 3) // 192 columns
+	set := func(i int) { row[i/64] |= 1 << (i % 64) }
+	set(0)
+	set(63)
+	set(64)
+	set(130)
+	cases := []struct {
+		lo, hi int
+		want   bool
+	}{
+		{0, 1, true},
+		{1, 63, false},
+		{1, 64, true},
+		{64, 65, true},
+		{65, 130, false},
+		{65, 131, true},
+		{131, 192, false},
+		{0, 192, true},
+		{5, 5, false}, // empty range
+	}
+	for _, c := range cases {
+		if got := anyInRange(row, c.lo, c.hi); got != c.want {
+			t.Errorf("anyInRange(%d,%d) = %v, want %v", c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func BenchmarkStrongLinks(b *testing.B) {
+	w := workloads.Synthetic(workloads.SyntheticSpec{
+		Tables: 16, ColsPerTable: 16, Depth: 2, Seed: 11, Rename: 0.3, Renest: 0.2,
+	})
+	ts, err := schematree.Build(w.Source, schematree.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	tt, err := schematree.Build(w.Target, schematree.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	lsim := lsimByName(ts, tt, nil)
+	for _, fast := range []bool{false, true} {
+		name := "naive"
+		if fast {
+			name = "bitset"
+		}
+		b.Run(name, func(b *testing.B) {
+			p := DefaultParams()
+			p.FastStrongLinks = fast
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				TreeMatch(ts, tt, lsim, p)
+			}
+		})
+	}
+}

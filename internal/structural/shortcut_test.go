@@ -1,0 +1,80 @@
+package structural
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+// TestChildrenShortcutOnIdenticalSchemas: the §8.4 fast path fires on
+// nearly identical schemas and the resulting leaf mapping quality is
+// preserved (every namesake leaf still acceptable).
+func TestChildrenShortcutOnIdenticalSchemas(t *testing.T) {
+	build := func(name string) *model.Schema {
+		s := model.New(name)
+		for _, tbl := range []string{"Customers", "Orders", "Products"} {
+			tb := s.AddChild(s.Root(), tbl, model.KindTable)
+			for _, col := range []string{"ID", "Name", "Code", "Value"} {
+				c := s.AddChild(tb, tbl+col, model.KindColumn)
+				c.Type = model.DTString
+			}
+		}
+		return s
+	}
+	ts := mustTree(t, build("A"))
+	tt := mustTree(t, build("B"))
+	lsim := lsimByName(ts, tt, nil)
+
+	p := DefaultParams()
+	p.ChildrenShortcut = true
+	res := TreeMatch(ts, tt, lsim, p)
+	if res.Shortcuts == 0 {
+		t.Error("shortcut never fired on identical schemas")
+	}
+	// Leaf quality preserved: every namesake leaf pair acceptable.
+	for _, si := range ts.Leaves(ts.Root) {
+		for _, ti := range tt.Leaves(tt.Root) {
+			if ts.Nodes[si].Name() == tt.Nodes[ti].Name() {
+				if w := res.WSim[si][ti]; w < p.ThAccept {
+					t.Errorf("leaf %s wsim = %v below thaccept with shortcut",
+						ts.Nodes[si].Name(), w)
+				}
+			}
+		}
+	}
+	// Root pair similarity remains high.
+	if v := res.SSim[ts.Root.Idx][tt.Root.Idx]; v < 0.9 {
+		t.Errorf("root ssim with shortcut = %v", v)
+	}
+}
+
+func TestChildrenShortcutOffByDefault(t *testing.T) {
+	ts := mustTree(t, flatCustomer("S1"))
+	tt := mustTree(t, flatCustomer("S2"))
+	res := TreeMatch(ts, tt, lsimByName(ts, tt, nil), DefaultParams())
+	if res.Shortcuts != 0 {
+		t.Error("shortcut fired with the flag off")
+	}
+}
+
+func TestChildrenShortcutNotOnDissimilar(t *testing.T) {
+	// Dissimilar children should not take the fast path.
+	s1 := model.New("A")
+	t1 := s1.AddChild(s1.Root(), "T", model.KindTable)
+	s1.AddChild(t1, "Alpha", model.KindColumn).Type = model.DTString
+	s1.AddChild(t1, "Beta", model.KindColumn).Type = model.DTString
+	s2 := model.New("B")
+	t2 := s2.AddChild(s2.Root(), "T", model.KindTable)
+	s2.AddChild(t2, "Gamma", model.KindColumn).Type = model.DTInt
+	s2.AddChild(t2, "Delta", model.KindColumn).Type = model.DTInt
+
+	ts, tt := mustTree(t, s1), mustTree(t, s2)
+	p := DefaultParams()
+	p.ChildrenShortcut = true
+	res := TreeMatch(ts, tt, lsimByName(ts, tt, nil), p)
+	n1 := ts.NodeByPath("A.T")
+	n2 := tt.NodeByPath("B.T")
+	if res.SSim[n1.Idx][n2.Idx] >= 0.9 {
+		t.Errorf("dissimilar tables got shortcut-level ssim %v", res.SSim[n1.Idx][n2.Idx])
+	}
+}

@@ -1,0 +1,145 @@
+package thesaurus
+
+// Base returns the curated base thesaurus shipped with the library. It
+// substitutes for the hand-curated thesauri and WordNet interface used by
+// the paper's prototype: coefficient-annotated synonym and hypernym
+// entries, common schema abbreviations and acronyms, English stop-words,
+// and the concept table the paper illustrates (Price/Cost/Value -> Money).
+//
+// The purchase-order entries include the exact thesaurus the paper used in
+// the CIDX-Excel experiment (abbreviations UOM, PO, Qty, Num; synonymy
+// Invoice~Bill and Ship~Deliver); see workloads.PaperThesaurus for that
+// minimal subset in isolation.
+func Base() *Thesaurus {
+	t := New()
+
+	// Stop-words: articles, prepositions, conjunctions (paper §5.1,
+	// "Elimination").
+	for _, w := range []string{
+		"a", "an", "the", "of", "to", "for", "in", "on", "at", "by",
+		"and", "or", "with", "from", "per", "as", "is",
+	} {
+		t.AddStopword(w)
+	}
+
+	// Abbreviations and acronyms (paper §5.1, "Expansion").
+	abbrs := map[string][]string{
+		"po":      {"purchase", "order"},
+		"qty":     {"quantity"},
+		"uom":     {"unit", "of", "measure"},
+		"num":     {"number"},
+		"no":      {"number"},
+		"nbr":     {"number"},
+		"amt":     {"amount"},
+		"addr":    {"address"},
+		"cust":    {"customer"},
+		"desc":    {"description"},
+		"dept":    {"department"},
+		"emp":     {"employee"},
+		"tel":     {"telephone"},
+		"ph":      {"phone"},
+		"fax":     {"facsimile"},
+		"ssn":     {"social", "security", "number"},
+		"dob":     {"date", "of", "birth"},
+		"acct":    {"account"},
+		"org":     {"organization"},
+		"msg":     {"message"},
+		"min":     {"minimum"},
+		"max":     {"maximum"},
+		"avg":     {"average"},
+		"std":     {"standard"},
+		"attn":    {"attention"},
+		"fk":      {"foreign", "key"},
+		"pk":      {"primary", "key"},
+		"id":      {"identifier"},
+		"cred":    {"credit"},
+		"exp":     {"expiration"},
+		"ord":     {"order"},
+		"prod":    {"product"},
+		"inv":     {"invoice"},
+		"surname": {"last", "name"},
+	}
+	for a, exp := range abbrs {
+		t.AddAbbreviation(a, exp...)
+	}
+
+	// Synonyms with strengths. 1.0 entries are the domain equivalences the
+	// paper's experiment thesaurus carried; the rest are generic English
+	// schema vocabulary at slightly lower confidence.
+	syns := []struct {
+		a, b string
+		s    float64
+	}{
+		{"invoice", "bill", 1.0},
+		{"ship", "deliver", 1.0},
+		{"client", "customer", 0.9},
+		{"cost", "price", 0.9},
+		{"zip", "postal", 0.9},
+		{"phone", "telephone", 1.0},
+		{"state", "province", 0.8},
+		{"city", "town", 0.8},
+		{"company", "firm", 0.9},
+		{"company", "organization", 0.8},
+		{"salary", "pay", 0.8},
+		{"salary", "wage", 0.8},
+		{"wage", "pay", 0.8},
+		{"sum", "total", 0.9},
+		{"semester", "term", 0.9},
+		{"grade", "mark", 0.8},
+		{"freight", "shipping", 0.7},
+		{"purchase", "buy", 0.8},
+		{"item", "article", 0.8},
+		{"goods", "merchandise", 0.8},
+		{"vendor", "supplier", 0.9},
+		{"begin", "start", 0.9},
+		{"end", "finish", 0.9},
+		{"fee", "charge", 0.8},
+		{"email", "mail", 0.6},
+		{"header", "heading", 0.8},
+		{"footer", "trailer", 0.7},
+		{"birth", "born", 0.8},
+		{"identifier", "key", 0.5},
+	}
+	for _, e := range syns {
+		t.AddSynonym(e.a, e.b, e.s)
+	}
+
+	// Hypernyms (symmetric evidence of relatedness, weaker than synonymy).
+	hyps := []struct {
+		hypo, hyper string
+		s           float64
+	}{
+		{"customer", "person", 0.7},
+		{"employee", "person", 0.7},
+		{"contact", "person", 0.6},
+		{"customer", "contact", 0.5},
+		{"city", "location", 0.6},
+		{"street", "location", 0.6},
+		{"country", "location", 0.6},
+		{"car", "vehicle", 0.8},
+		{"truck", "vehicle", 0.8},
+		{"dollar", "currency", 0.8},
+		{"euro", "currency", 0.8},
+		{"manager", "employee", 0.7},
+	}
+	for _, e := range hyps {
+		t.AddHypernym(e.hypo, e.hyper, e.s)
+	}
+
+	// Concepts (paper §5.1, "Tagging"): tokens related to a known concept
+	// tag their element with the concept name.
+	concepts := map[string][]string{
+		"money":    {"price", "cost", "value", "amount", "salary", "wage", "pay", "fee", "charge", "discount", "tax", "payment"},
+		"date":     {"date", "day", "month", "year", "quarter", "week", "birthday"},
+		"location": {"address", "city", "street", "state", "province", "country", "zip", "postal", "region", "territory"},
+		"person":   {"customer", "employee", "contact", "person", "cardholder"},
+		"quantity": {"quantity", "count", "total"},
+		"identity": {"identifier", "key", "code", "ssn"},
+	}
+	for concept, words := range concepts {
+		for _, w := range words {
+			t.AddConcept(w, concept)
+		}
+	}
+	return t
+}

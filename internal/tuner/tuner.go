@@ -1,0 +1,151 @@
+// Package tuner implements automatic tuning of Cupid's control parameters
+// — an explicit future-work item of the paper (§9.3 conclusion 8: "Tuning
+// performance parameters in some cases requires expert knowledge of these
+// tools. Thus auto-tuning is an open problem"; §10 lists "automatic tuning
+// of the control parameters" among the immediate challenges).
+//
+// The tuner performs an exhaustive grid search over a parameter space,
+// scoring each configuration by F1 against a workload's gold mapping.
+// Invalid combinations (violating the Table 1 ordering constraints, e.g.
+// thlow < thaccept < thhigh) are skipped rather than reported as errors,
+// so spaces can be specified as independent axes.
+package tuner
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/workloads"
+)
+
+// Space lists the candidate values per tunable parameter. Empty axes keep
+// the base configuration's value.
+type Space struct {
+	WStruct     []float64
+	WStructLeaf []float64
+	CInc        []float64
+	CDec        []float64
+	ThAccept    []float64
+	ThHigh      []float64
+	ThLow       []float64
+}
+
+// DefaultSpace is a small grid around the Table 1 typical values.
+func DefaultSpace() Space {
+	return Space{
+		WStruct:     []float64{0.55, 0.60, 0.65},
+		WStructLeaf: []float64{0.50, 0.54, 0.58},
+		CInc:        []float64{1.2, 1.25, 1.3},
+		ThAccept:    []float64{0.45, 0.50},
+		ThHigh:      []float64{0.60, 0.65},
+		ThLow:       []float64{0.25, 0.30},
+	}
+}
+
+// Trial is one evaluated configuration.
+type Trial struct {
+	// Label summarizes the parameter values, e.g.
+	// "wstruct=0.60 wleaf=0.58 cinc=1.25 thacc=0.50 thhigh=0.60 thlow=0.30".
+	Label   string
+	Config  core.Config
+	Metrics eval.Metrics
+}
+
+// Result of a grid search.
+type Result struct {
+	Best   Trial
+	Trials []Trial // every valid trial, sorted by descending F1
+	// Skipped counts parameter combinations rejected by validation.
+	Skipped int
+}
+
+func axis(vals []float64, fallback float64) []float64 {
+	if len(vals) == 0 {
+		return []float64{fallback}
+	}
+	return vals
+}
+
+// Grid exhaustively evaluates the space on the workload, starting from the
+// base configuration. The best trial maximizes F1, breaking ties toward
+// higher precision and then the earlier (more conservative) combination.
+func Grid(w workloads.Workload, base core.Config, space Space) (*Result, error) {
+	sp := base.Structural
+	wstructs := axis(space.WStruct, sp.WStruct)
+	wleafs := axis(space.WStructLeaf, sp.WStructLeaf)
+	cincs := axis(space.CInc, sp.CInc)
+	cdecs := axis(space.CDec, sp.CDec)
+	thaccs := axis(space.ThAccept, sp.ThAccept)
+	thhighs := axis(space.ThHigh, sp.ThHigh)
+	thlows := axis(space.ThLow, sp.ThLow)
+
+	res := &Result{}
+	for _, ws := range wstructs {
+		for _, wl := range wleafs {
+			for _, ci := range cincs {
+				for _, cd := range cdecs {
+					for _, ta := range thaccs {
+						for _, th := range thhighs {
+							for _, tl := range thlows {
+								cfg := base
+								cfg.Structural.WStruct = ws
+								cfg.Structural.WStructLeaf = wl
+								cfg.Structural.CInc = ci
+								cfg.Structural.CDec = cd
+								cfg.Structural.ThAccept = ta
+								cfg.Structural.ThHigh = th
+								cfg.Structural.ThLow = tl
+								cfg.Mapping.ThAccept = ta
+								if cfg.Validate() != nil {
+									res.Skipped++
+									continue
+								}
+								_, m, err := eval.RunCupid(w, cfg)
+								if err != nil {
+									return nil, err
+								}
+								res.Trials = append(res.Trials, Trial{
+									Label: fmt.Sprintf(
+										"wstruct=%.2f wleaf=%.2f cinc=%.2f cdec=%.2f thacc=%.2f thhigh=%.2f thlow=%.2f",
+										ws, wl, ci, cd, ta, th, tl),
+									Config:  cfg,
+									Metrics: m,
+								})
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	if len(res.Trials) == 0 {
+		return nil, fmt.Errorf("tuner: the whole space is invalid")
+	}
+	sort.SliceStable(res.Trials, func(i, j int) bool {
+		a, b := res.Trials[i].Metrics, res.Trials[j].Metrics
+		if a.F1() != b.F1() {
+			return a.F1() > b.F1()
+		}
+		return a.Precision() > b.Precision()
+	})
+	res.Best = res.Trials[0]
+	return res, nil
+}
+
+// Render formats the top trials of a search.
+func (r *Result) Render(top int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "auto-tuning: %d trials evaluated, %d invalid combinations skipped\n",
+		len(r.Trials), r.Skipped)
+	if top > len(r.Trials) {
+		top = len(r.Trials)
+	}
+	for i := 0; i < top; i++ {
+		t := r.Trials[i]
+		fmt.Fprintf(&b, "  %2d. %s  %s\n", i+1, t.Metrics, t.Label)
+	}
+	return b.String()
+}

@@ -1,0 +1,94 @@
+package tuner
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+func TestGridFindsPerfectConfigOnFigure2(t *testing.T) {
+	res, err := Grid(workloads.Figure2(), core.DefaultConfig(), DefaultSpace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Metrics.F1() < 0.99 {
+		t.Errorf("best F1 = %v, want ~1 (the default space contains the working region)\n%s",
+			res.Best.Metrics.F1(), res.Render(5))
+	}
+	if len(res.Trials) == 0 {
+		t.Fatal("no trials")
+	}
+	// Trials sorted by descending F1.
+	for i := 1; i < len(res.Trials); i++ {
+		if res.Trials[i-1].Metrics.F1() < res.Trials[i].Metrics.F1() {
+			t.Fatal("trials not sorted by F1")
+		}
+	}
+}
+
+func TestGridSkipsInvalidCombos(t *testing.T) {
+	space := Space{
+		ThAccept: []float64{0.5},
+		ThHigh:   []float64{0.4, 0.7}, // 0.4 < thaccept: invalid
+		ThLow:    []float64{0.3, 0.6}, // 0.6 > thaccept: invalid
+	}
+	res, err := Grid(workloads.Figure1(), core.DefaultConfig(), space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Skipped != 3 { // (0.4,0.3) (0.4,0.6) (0.7,0.6) invalid; (0.7,0.3) valid
+		t.Errorf("skipped = %d, want 3", res.Skipped)
+	}
+	if len(res.Trials) != 1 {
+		t.Errorf("trials = %d, want 1", len(res.Trials))
+	}
+}
+
+func TestGridWholeSpaceInvalid(t *testing.T) {
+	space := Space{ThHigh: []float64{0.1}} // below thaccept in every combo
+	if _, err := Grid(workloads.Figure1(), core.DefaultConfig(), space); err == nil {
+		t.Error("fully invalid space accepted")
+	}
+}
+
+func TestGridEmptyAxesUseBase(t *testing.T) {
+	res, err := Grid(workloads.Figure1(), core.DefaultConfig(), Space{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trials) != 1 {
+		t.Fatalf("empty space should evaluate exactly the base config, got %d", len(res.Trials))
+	}
+	base := core.DefaultConfig()
+	if res.Best.Config.Structural.WStruct != base.Structural.WStruct {
+		t.Error("base config not preserved")
+	}
+}
+
+func TestGridDeterministic(t *testing.T) {
+	space := Space{WStruct: []float64{0.55, 0.6}, CInc: []float64{1.2, 1.25}}
+	a, err := Grid(workloads.Figure2(), core.DefaultConfig(), space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Grid(workloads.Figure2(), core.DefaultConfig(), space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Render(10) != b.Render(10) {
+		t.Error("grid search not deterministic")
+	}
+}
+
+func TestRender(t *testing.T) {
+	res, err := Grid(workloads.Figure1(), core.DefaultConfig(), Space{WStruct: []float64{0.6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Render(3)
+	if !strings.Contains(out, "auto-tuning") || !strings.Contains(out, "wstruct=0.60") {
+		t.Errorf("render:\n%s", out)
+	}
+}

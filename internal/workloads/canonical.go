@@ -1,0 +1,231 @@
+package workloads
+
+import "repro/internal/model"
+
+// CanonicalExample is one of the six §9.1 sensitivity tests. The schemas
+// are small object-oriented class definitions (classes with typed
+// attributes); Expected records the paper's Table 2 row — whether Cupid,
+// DIKE, and MOMIS achieve the desired mapping.
+type CanonicalExample struct {
+	ID          int
+	Description string
+	Workload
+	// Expected is the Table 2 row: Y/N for Cupid, DIKE, MOMIS-ARTEMIS.
+	Expected [3]bool
+}
+
+// customerSchema builds Customer(Customer_Number:int key, Name:string,
+// Address:string) plus optional extra columns, used by examples 1-4.
+func customerSchema(schemaName, className string, tel model.DataType, renames map[string]string) *model.Schema {
+	s := model.New(schemaName)
+	c := s.AddChild(s.Root(), className, model.KindTable)
+	name := func(n string) string {
+		if r, ok := renames[n]; ok {
+			return r
+		}
+		return n
+	}
+	num := s.AddChild(c, name("CustomerNumber"), model.KindColumn)
+	num.Type = model.DTInt
+	num.IsKey = true
+	s.AddChild(c, name("Name"), model.KindColumn).Type = model.DTString
+	s.AddChild(c, name("Address"), model.KindColumn).Type = model.DTString
+	if tel != model.DTNone {
+		s.AddChild(c, name("Telephone"), model.KindColumn).Type = tel
+	}
+	return s
+}
+
+// Canonical returns the six canonical examples of §9.1 in order.
+func Canonical() []CanonicalExample {
+	var out []CanonicalExample
+
+	// 1. Identical schemas.
+	{
+		s1 := customerSchema("Schema1", "Customer", model.DTNone, nil)
+		s2 := customerSchema("Schema2", "Customer", model.DTNone, nil)
+		out = append(out, CanonicalExample{
+			ID:          1,
+			Description: "Identical schemas",
+			Expected:    [3]bool{true, true, true},
+			Workload: Workload{
+				Name: "canonical1", Source: s1, Target: s2,
+				Gold: Gold{Pairs: []GoldPair{
+					{"Schema1.Customer.CustomerNumber", "Schema2.Customer.CustomerNumber"},
+					{"Schema1.Customer.Name", "Schema2.Customer.Name"},
+					{"Schema1.Customer.Address", "Schema2.Customer.Address"},
+				}},
+			},
+		})
+	}
+
+	// 2. Same names, different data types (Telephone: string vs integer).
+	{
+		s1 := customerSchema("Schema1", "Customer", model.DTString, nil)
+		s2 := customerSchema("Schema2", "Customer", model.DTInt, nil)
+		out = append(out, CanonicalExample{
+			ID:          2,
+			Description: "Atomic elements with same names, but different data types",
+			Expected:    [3]bool{true, true, true},
+			Workload: Workload{
+				Name: "canonical2", Source: s1, Target: s2,
+				Gold: Gold{Pairs: []GoldPair{
+					{"Schema1.Customer.CustomerNumber", "Schema2.Customer.CustomerNumber"},
+					{"Schema1.Customer.Name", "Schema2.Customer.Name"},
+					{"Schema1.Customer.Address", "Schema2.Customer.Address"},
+					{"Schema1.Customer.Telephone", "Schema2.Customer.Telephone"},
+				}},
+			},
+		})
+	}
+
+	// 3. Same data types, slightly different names (prefix/suffix added).
+	{
+		s1 := customerSchema("Schema1", "Customer", model.DTString, nil)
+		s2 := customerSchema("Schema2", "Customer", model.DTString, map[string]string{
+			"Address":        "StreetAddress",
+			"Name":           "CustomerName",
+			"CustomerNumber": "CustomerNumberID",
+			"Telephone":      "TelephoneNumber",
+		})
+		out = append(out, CanonicalExample{
+			ID:          3,
+			Description: "Atomic elements with same data types, but different names (prefix/suffix added)",
+			Expected:    [3]bool{true, true, true}, // DIKE/MOMIS need manual entries (footnotes a, b)
+			Workload: Workload{
+				Name: "canonical3", Source: s1, Target: s2,
+				Gold: Gold{Pairs: []GoldPair{
+					{"Schema1.Customer.CustomerNumber", "Schema2.Customer.CustomerNumberID"},
+					{"Schema1.Customer.Name", "Schema2.Customer.CustomerName"},
+					{"Schema1.Customer.Address", "Schema2.Customer.StreetAddress"},
+					{"Schema1.Customer.Telephone", "Schema2.Customer.TelephoneNumber"},
+				}},
+			},
+		})
+	}
+
+	// 4. Different class names, same attributes (Customer vs Person).
+	{
+		s1 := customerSchema("Schema1", "Customer", model.DTString, nil)
+		s2 := customerSchema("Schema2", "Person", model.DTString, nil)
+		out = append(out, CanonicalExample{
+			ID:          4,
+			Description: "Different class names, but atomic elements same names and data types",
+			Expected:    [3]bool{true, true, true},
+			Workload: Workload{
+				Name: "canonical4", Source: s1, Target: s2,
+				Gold: Gold{Pairs: []GoldPair{
+					{"Schema1.Customer.CustomerNumber", "Schema2.Person.CustomerNumber"},
+					{"Schema1.Customer.Name", "Schema2.Person.Name"},
+					{"Schema1.Customer.Address", "Schema2.Person.Address"},
+					{"Schema1.Customer.Telephone", "Schema2.Person.Telephone"},
+				}},
+			},
+		})
+	}
+
+	// 5. Different nesting: nested vs flat Customer.
+	{
+		s1 := model.New("NestedSchema")
+		c := s1.AddChild(s1.Root(), "Customer", model.KindTable)
+		intAttr(s1, c, "SSN").IsKey = true
+		str(s1, c, "Telephone")
+		n := s1.AddChild(c, "Name", model.KindElement)
+		str(s1, n, "FirstName")
+		str(s1, n, "LastName")
+		a := s1.AddChild(c, "Address", model.KindElement)
+		str(s1, a, "Street")
+		str(s1, a, "City")
+		str(s1, a, "State")
+		str(s1, a, "Zip")
+
+		s2 := model.New("FlatSchema")
+		f := s2.AddChild(s2.Root(), "Customer", model.KindTable)
+		intAttr(s2, f, "SSN").IsKey = true
+		str(s2, f, "Telephone")
+		str(s2, f, "FirstName")
+		str(s2, f, "LastName")
+		str(s2, f, "Street")
+		str(s2, f, "City")
+		str(s2, f, "State")
+		str(s2, f, "Zip")
+
+		out = append(out, CanonicalExample{
+			ID:          5,
+			Description: "Different nesting of the data - similar schemas with nested and flat structures",
+			Expected:    [3]bool{true, true, false},
+			Workload: Workload{
+				Name: "canonical5", Source: s1, Target: s2,
+				Gold: Gold{Pairs: []GoldPair{
+					{"NestedSchema.Customer.SSN", "FlatSchema.Customer.SSN"},
+					{"NestedSchema.Customer.Telephone", "FlatSchema.Customer.Telephone"},
+					{"NestedSchema.Customer.Name.FirstName", "FlatSchema.Customer.FirstName"},
+					{"NestedSchema.Customer.Name.LastName", "FlatSchema.Customer.LastName"},
+					{"NestedSchema.Customer.Address.Street", "FlatSchema.Customer.Street"},
+					{"NestedSchema.Customer.Address.City", "FlatSchema.Customer.City"},
+					{"NestedSchema.Customer.Address.State", "FlatSchema.Customer.State"},
+					{"NestedSchema.Customer.Address.Zip", "FlatSchema.Customer.Zip"},
+				}},
+			},
+		})
+	}
+
+	// 6. Type substitution / context-dependent mapping.
+	{
+		s1 := model.New("Schema1")
+		po1 := s1.AddChild(s1.Root(), "PurchaseOrder", model.KindTable)
+		intAttr(s1, po1, "OrderNumber").IsKey = true
+		str(s1, po1, "ProductName")
+		addrT := s1.NewElement("Address", model.KindType)
+		str(s1, addrT, "Name")
+		str(s1, addrT, "Street")
+		str(s1, addrT, "City")
+		str(s1, addrT, "Zip")
+		str(s1, addrT, "Telephone")
+		shipping := s1.AddChild(po1, "ShippingAddress", model.KindElement)
+		billing := s1.AddChild(po1, "BillingAddress", model.KindElement)
+		must(s1.DeriveFrom(shipping, addrT))
+		must(s1.DeriveFrom(billing, addrT))
+
+		s2 := model.New("Schema2")
+		po2 := s2.AddChild(s2.Root(), "PurchaseOrder", model.KindTable)
+		intAttr(s2, po2, "OrderNumber").IsKey = true
+		str(s2, po2, "ProductName")
+		addrClass := func(parent *model.Element, elemName, typeName string) {
+			t := s2.NewElement(typeName, model.KindType)
+			str(s2, t, "Name")
+			str(s2, t, "Street")
+			str(s2, t, "City")
+			str(s2, t, "Zip")
+			str(s2, t, "Telephone")
+			e := s2.AddChild(parent, elemName, model.KindElement)
+			must(s2.DeriveFrom(e, t))
+		}
+		addrClass(po2, "ShippingAddress", "ShipTo")
+		addrClass(po2, "BillingAddress", "BillTo")
+
+		out = append(out, CanonicalExample{
+			ID:          6,
+			Description: "Type Substitution or Context dependent mapping",
+			Expected:    [3]bool{true, false, false},
+			Workload: Workload{
+				Name: "canonical6", Source: s1, Target: s2,
+				Gold: Gold{
+					Pairs: []GoldPair{
+						{"Schema1.PurchaseOrder.OrderNumber", "Schema2.PurchaseOrder.OrderNumber"},
+						{"Schema1.PurchaseOrder.ProductName", "Schema2.PurchaseOrder.ProductName"},
+						{"Schema1.PurchaseOrder.ShippingAddress.Street", "Schema2.PurchaseOrder.ShippingAddress.Street"},
+						{"Schema1.PurchaseOrder.ShippingAddress.City", "Schema2.PurchaseOrder.ShippingAddress.City"},
+						{"Schema1.PurchaseOrder.BillingAddress.Street", "Schema2.PurchaseOrder.BillingAddress.Street"},
+						{"Schema1.PurchaseOrder.BillingAddress.City", "Schema2.PurchaseOrder.BillingAddress.City"},
+					},
+					Forbidden: []GoldPair{
+						{"Schema1.PurchaseOrder.ShippingAddress.Street", "Schema2.PurchaseOrder.BillingAddress.Street"},
+						{"Schema1.PurchaseOrder.BillingAddress.Street", "Schema2.PurchaseOrder.ShippingAddress.Street"},
+					},
+				},
+			},
+		})
+	}
+	return out
+}

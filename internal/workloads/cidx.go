@@ -1,0 +1,170 @@
+package workloads
+
+import "repro/internal/model"
+
+// CIDX builds the CIDX purchase order of Figure 7 (left): an XML schema
+// with POHeader, Contact, POBillTo, POShipTo and POLines sections.
+func CIDX() *model.Schema {
+	s := model.New("PO")
+	header := s.AddChild(s.Root(), "POHeader", model.KindElement)
+	s.AddChild(header, "PODate", model.KindAttribute).Type = model.DTDate
+	str(s, header, "PONumber")
+
+	contact := s.AddChild(s.Root(), "Contact", model.KindElement)
+	str(s, contact, "ContactName")
+	str(s, contact, "ContactEmail")
+	str(s, contact, "ContactFunctionCode")
+	str(s, contact, "ContactPhone")
+
+	addrBlock := func(name string) *model.Element {
+		e := s.AddChild(s.Root(), name, model.KindElement)
+		str(s, e, "Street1")
+		str(s, e, "Street2")
+		str(s, e, "Street3")
+		str(s, e, "Street4")
+		str(s, e, "City")
+		str(s, e, "StateProvince")
+		str(s, e, "PostalCode")
+		str(s, e, "Country")
+		str(s, e, "attn")
+		str(s, e, "entityIdentifier")
+		return e
+	}
+	addrBlock("POBillTo")
+	ship := addrBlock("POShipTo")
+	str(s, ship, "startAt")
+
+	lines := s.AddChild(s.Root(), "POLines", model.KindElement)
+	intAttr(s, lines, "count")
+	item := s.AddChild(lines, "Item", model.KindElement)
+	str(s, item, "partno")
+	intAttr(s, item, "line")
+	intAttr(s, item, "qty")
+	dec := s.AddChild(item, "unitPrice", model.KindAttribute)
+	dec.Type = model.DTDecimal
+	str(s, item, "uom")
+	return s
+}
+
+// Excel builds the Excel purchase order of Figure 7 (right). Address and
+// Contact are shared types referenced by both DeliverTo and InvoiceTo, so
+// their attributes occur in multiple contexts (the "18 XML attributes in
+// multiple contexts" of §9.3).
+func Excel() *model.Schema {
+	s := model.New("PurchaseOrder")
+
+	addrT := s.NewElement("Address", model.KindType)
+	str(s, addrT, "street1")
+	str(s, addrT, "street2")
+	str(s, addrT, "street3")
+	str(s, addrT, "street4")
+	str(s, addrT, "city")
+	str(s, addrT, "stateProvince")
+	str(s, addrT, "postalCode")
+	str(s, addrT, "country")
+
+	contactT := s.NewElement("Contact", model.KindType)
+	str(s, contactT, "contactName")
+	str(s, contactT, "e-mail")
+	str(s, contactT, "companyName")
+	str(s, contactT, "telephone")
+
+	party := func(name string) {
+		p := s.AddChild(s.Root(), name, model.KindElement)
+		a := s.AddChild(p, "Address", model.KindElement)
+		must(s.DeriveFrom(a, addrT))
+		c := s.AddChild(p, "Contact", model.KindElement)
+		must(s.DeriveFrom(c, contactT))
+	}
+	party("DeliverTo")
+	party("InvoiceTo")
+
+	items := s.AddChild(s.Root(), "Items", model.KindElement)
+	intAttr(s, items, "itemCount")
+	item := s.AddChild(items, "Item", model.KindElement)
+	str(s, item, "partNumber")
+	up := s.AddChild(item, "unitPrice", model.KindAttribute)
+	up.Type = model.DTDecimal
+	intAttr(s, item, "itemNumber")
+	str(s, item, "unitOfMeasure")
+	intAttr(s, item, "Quantity")
+	str(s, item, "yourPartNumber")
+	str(s, item, "partDescription")
+
+	hdr := s.AddChild(s.Root(), "Header", model.KindElement)
+	str(s, hdr, "yourAccountCode")
+	str(s, hdr, "ourAccountCode")
+	orderDate := s.AddChild(hdr, "orderDate", model.KindAttribute)
+	orderDate.Type = model.DTDate
+	str(s, hdr, "orderNum")
+
+	footer := s.AddChild(s.Root(), "Footer", model.KindElement)
+	dec := s.AddChild(footer, "totalValue", model.KindAttribute)
+	dec.Type = model.DTDecimal
+	return s
+}
+
+// CIDXExcel is the §9.2 real-world workload: CIDX -> Excel with the leaf
+// gold mapping and the Table 3 element-level rows.
+func CIDXExcel() Workload {
+	addr := func(sContainer, tContainer string) []GoldPair {
+		var out []GoldPair
+		for _, p := range [][2]string{
+			{"Street1", "street1"}, {"Street2", "street2"},
+			{"Street3", "street3"}, {"Street4", "street4"},
+			{"City", "city"}, {"StateProvince", "stateProvince"},
+			{"PostalCode", "postalCode"}, {"Country", "country"},
+		} {
+			out = append(out, GoldPair{
+				Source: "PO." + sContainer + "." + p[0],
+				Target: "PurchaseOrder." + tContainer + ".Address." + p[1],
+			})
+		}
+		return out
+	}
+	gold := Gold{
+		Pairs: []GoldPair{
+			{"PO.POHeader.PODate", "PurchaseOrder.Header.orderDate"},
+			{"PO.POHeader.PONumber", "PurchaseOrder.Header.orderNum"},
+			{"PO.POLines.count", "PurchaseOrder.Items.itemCount"},
+			{"PO.POLines.Item.partno", "PurchaseOrder.Items.Item.partNumber"},
+			{"PO.POLines.Item.line", "PurchaseOrder.Items.Item.itemNumber"},
+			{"PO.POLines.Item.qty", "PurchaseOrder.Items.Item.Quantity"},
+			{"PO.POLines.Item.unitPrice", "PurchaseOrder.Items.Item.unitPrice"},
+			{"PO.POLines.Item.uom", "PurchaseOrder.Items.Item.unitOfMeasure"},
+		},
+		Forbidden: []GoldPair{
+			{"PO.POBillTo.City", "PurchaseOrder.DeliverTo.Address.city"},
+			{"PO.POShipTo.City", "PurchaseOrder.InvoiceTo.Address.city"},
+			{"PO.POBillTo.Street1", "PurchaseOrder.DeliverTo.Address.street1"},
+			{"PO.POShipTo.Street1", "PurchaseOrder.InvoiceTo.Address.street1"},
+		},
+	}
+	gold.Pairs = append(gold.Pairs, addr("POBillTo", "InvoiceTo")...)
+	gold.Pairs = append(gold.Pairs, addr("POShipTo", "DeliverTo")...)
+	// The single CIDX Contact legitimately maps into both Excel contexts
+	// (the 1:n scheme maps each target contact attribute to it).
+	for _, ctx := range []string{"DeliverTo", "InvoiceTo"} {
+		gold.Pairs = append(gold.Pairs,
+			GoldPair{"PO.Contact.ContactName", "PurchaseOrder." + ctx + ".Contact.contactName"},
+			GoldPair{"PO.Contact.ContactEmail", "PurchaseOrder." + ctx + ".Contact.e-mail"},
+			GoldPair{"PO.Contact.ContactPhone", "PurchaseOrder." + ctx + ".Contact.telephone"},
+		)
+	}
+	return Workload{Name: "cidx-excel", Source: CIDX(), Target: Excel(), Gold: gold}
+}
+
+// Table3Rows lists the XML-element-level mappings of the paper's Table 3
+// as (CIDX path, Excel path) pairs. The paper reports Cupid finding all of
+// them (element mappings reported by structural similarity).
+func Table3Rows() []GoldPair {
+	return []GoldPair{
+		{"PO.POHeader", "PurchaseOrder.Header"},
+		{"PO.POLines.Item", "PurchaseOrder.Items.Item"},
+		{"PO.POLines", "PurchaseOrder.Items"},
+		{"PO.POBillTo", "PurchaseOrder.InvoiceTo"},
+		{"PO.POShipTo", "PurchaseOrder.DeliverTo"},
+		{"PO.Contact", "PurchaseOrder.InvoiceTo.Contact"},
+		{"PO", "PurchaseOrder"},
+	}
+}

@@ -1,0 +1,226 @@
+package workloads
+
+import (
+	"repro/internal/model"
+	"repro/internal/sqlddl"
+)
+
+// rdbDDL transcribes the RDB schema of Figure 8: a normalized operational
+// database with a dozen tables and foreign keys.
+const rdbDDL = `
+CREATE TABLE ShippingMethods (
+    ShippingMethodID INT PRIMARY KEY,
+    ShippingMethod VARCHAR(40)
+);
+CREATE TABLE Region (
+    RegionID INT PRIMARY KEY,
+    RegionDescription VARCHAR(80)
+);
+CREATE TABLE Territories (
+    TerritoryID INT PRIMARY KEY,
+    TerritoryDescription VARCHAR(80)
+);
+CREATE TABLE TerritoryRegion (
+    TerritoryID INT REFERENCES Territories (TerritoryID),
+    RegionID INT REFERENCES Region (RegionID),
+    PRIMARY KEY (TerritoryID, RegionID)
+);
+CREATE TABLE Employees (
+    EmployeeID INT PRIMARY KEY,
+    FirstName VARCHAR(40),
+    LastName VARCHAR(40),
+    Title VARCHAR(40),
+    EmailName VARCHAR(60),
+    Extension VARCHAR(10),
+    Workphone VARCHAR(24)
+);
+CREATE TABLE EmployeeTerritory (
+    EmployeeID INT REFERENCES Employees (EmployeeID),
+    TerritoryID INT REFERENCES Territories (TerritoryID),
+    PRIMARY KEY (EmployeeID, TerritoryID)
+);
+CREATE TABLE Brands (
+    BrandID INT PRIMARY KEY,
+    BrandDescription VARCHAR(80)
+);
+CREATE TABLE Products (
+    ProductID INT PRIMARY KEY,
+    BrandID INT REFERENCES Brands (BrandID),
+    ProductName VARCHAR(80),
+    BrandDescription VARCHAR(80)
+);
+CREATE TABLE Customers (
+    CustomerID INT PRIMARY KEY,
+    CompanyName VARCHAR(80),
+    ContactFirstName VARCHAR(40),
+    ContactLastName VARCHAR(40),
+    BillingAddress VARCHAR(120),
+    City VARCHAR(40),
+    StateOrProvince VARCHAR(40),
+    PostalCode VARCHAR(10),
+    Country VARCHAR(40),
+    ContactTitle VARCHAR(40),
+    PhoneNumber VARCHAR(24),
+    FaxNumber VARCHAR(24)
+);
+CREATE TABLE Orders (
+    OrderID INT PRIMARY KEY,
+    ShippingMethodID INT REFERENCES ShippingMethods (ShippingMethodID),
+    EmployeeID INT REFERENCES Employees (EmployeeID),
+    CustomerID INT REFERENCES Customers (CustomerID),
+    OrderDate DATE,
+    Quantity INT,
+    UnitPrice DECIMAL(10,2),
+    Discount DECIMAL(4,2),
+    PurchaseOrdNumber VARCHAR(20),
+    ShipName VARCHAR(80),
+    ShipAddress VARCHAR(120),
+    ShipDate DATE,
+    FreightCharge DECIMAL(10,2),
+    SalesTaxRate DECIMAL(4,2)
+);
+CREATE TABLE OrderDetails (
+    OrderDetailID INT PRIMARY KEY,
+    OrderID INT REFERENCES Orders (OrderID),
+    ProductID INT REFERENCES Products (ProductID),
+    Quantity INT,
+    UnitPrice DECIMAL(10,2),
+    Discount DECIMAL(4,2)
+);
+CREATE TABLE PaymentMethods (
+    PaymentMethodID INT PRIMARY KEY,
+    PaymentMethod VARCHAR(40)
+);
+CREATE TABLE Payment (
+    PaymentID INT PRIMARY KEY,
+    OrderID INT REFERENCES Orders (OrderID),
+    PaymentMethodID INT REFERENCES PaymentMethods (PaymentMethodID),
+    PaymentAmount DECIMAL(10,2),
+    PaymentDate DATE,
+    CreditCardNumber VARCHAR(20),
+    CardholdersName VARCHAR(80),
+    CredCardExpDate DATE
+);
+`
+
+// starDDL transcribes the Star data-warehouse schema of Figure 8: the
+// Sales fact table with Geography, Customers, Time and Products
+// dimensions.
+const starDDL = `
+CREATE TABLE Geography (
+    PostalCode VARCHAR(10) PRIMARY KEY,
+    TerritoryID INT,
+    TerritoryDescription VARCHAR(80),
+    RegionID INT,
+    RegionDescription VARCHAR(80)
+);
+CREATE TABLE Customers (
+    CustomerID INT PRIMARY KEY,
+    CustomerName VARCHAR(80),
+    CustomerTypeID INT,
+    CustomerTypeDescription VARCHAR(80),
+    PostalCode VARCHAR(10),
+    State VARCHAR(40)
+);
+CREATE TABLE Time (
+    Date DATE PRIMARY KEY,
+    DayOfWeek VARCHAR(12),
+    Month INT,
+    Year INT,
+    Quarter INT,
+    DayOfYear INT,
+    Holiday VARCHAR(40),
+    Weekend VARCHAR(3),
+    YearMonth VARCHAR(10),
+    WeekOfYear INT
+);
+CREATE TABLE Products (
+    ProductID INT PRIMARY KEY,
+    ProductName VARCHAR(80),
+    BrandID INT,
+    BrandDescription VARCHAR(80)
+);
+CREATE TABLE Sales (
+    OrderID INT,
+    OrderDetailID INT,
+    CustomerID INT REFERENCES Customers (CustomerID),
+    PostalCode VARCHAR(10) REFERENCES Geography (PostalCode),
+    ProductID INT REFERENCES Products (ProductID),
+    OrderDate DATE REFERENCES Time (Date),
+    Quantity INT,
+    UnitPrice DECIMAL(10,2),
+    Discount DECIMAL(4,2),
+    PRIMARY KEY (OrderID, OrderDetailID)
+);
+`
+
+// RDB parses the normalized relational schema of Figure 8.
+func RDB() *model.Schema {
+	s, err := sqlddl.Parse("RDB", rdbDDL)
+	must2(s, err)
+	return s
+}
+
+// Star parses the star data-warehouse schema of Figure 8.
+func Star() *model.Schema {
+	s, err := sqlddl.Parse("Star", starDDL)
+	must2(s, err)
+	return s
+}
+
+func must2(s *model.Schema, err error) {
+	if err != nil {
+		panic("workloads: " + err.Error())
+	}
+}
+
+// RDBStar is the §9.2 RDB -> Star workload. A good mapping maps the join
+// of Orders and OrderDetails to Sales, Customers to Customers, Products to
+// Products, the join of Territories and Region to Geography, and all three
+// Star PostalCode columns to RDB Customers.PostalCode. The gold is stated
+// in schema-element paths (ScoreByElement): a join-view context copy of a
+// column counts as that column. Denormalized fact columns carry
+// alternative acceptable sources.
+func RDBStar() Workload {
+	gold := Gold{
+		Pairs: []GoldPair{
+			// Customers dimension.
+			{"RDB.Customers.CustomerID", "Star.Customers.CustomerID"},
+			{"RDB.Customers.PostalCode", "Star.Customers.PostalCode"},
+			{"RDB.Customers.StateOrProvince", "Star.Customers.State"},
+			// Products dimension.
+			{"RDB.Products.ProductID", "Star.Products.ProductID"},
+			{"RDB.Products.ProductName", "Star.Products.ProductName"},
+			{"RDB.Products.BrandID", "Star.Products.BrandID"},
+			{"RDB.Products.BrandDescription", "Star.Products.BrandDescription"},
+			// Sales fact table: Orders ⋈ OrderDetails.
+			{"RDB.Orders.OrderID", "Star.Sales.OrderID"},
+			{"RDB.OrderDetails.OrderDetailID", "Star.Sales.OrderDetailID"},
+			{"RDB.Orders.CustomerID", "Star.Sales.CustomerID"},
+			{"RDB.Customers.PostalCode", "Star.Sales.PostalCode"},
+			{"RDB.OrderDetails.ProductID", "Star.Sales.ProductID"},
+			{"RDB.Orders.OrderDate", "Star.Sales.OrderDate"},
+			{"RDB.OrderDetails.Quantity", "Star.Sales.Quantity"},
+			{"RDB.OrderDetails.UnitPrice", "Star.Sales.UnitPrice"},
+			{"RDB.OrderDetails.Discount", "Star.Sales.Discount"},
+			// Geography dimension: Territories ⋈ Region via TerritoryRegion.
+			{"RDB.Customers.PostalCode", "Star.Geography.PostalCode"},
+			{"RDB.TerritoryRegion.TerritoryID", "Star.Geography.TerritoryID"},
+			{"RDB.Territories.TerritoryDescription", "Star.Geography.TerritoryDescription"},
+			{"RDB.TerritoryRegion.RegionID", "Star.Geography.RegionID"},
+			{"RDB.Region.RegionDescription", "Star.Geography.RegionDescription"},
+		},
+		AltSources: map[string][]string{
+			"Star.Sales.OrderID":             {"RDB.OrderDetails.OrderID", "RDB.Payment.OrderID"},
+			"Star.Sales.CustomerID":          {"RDB.Customers.CustomerID"},
+			"Star.Sales.ProductID":           {"RDB.Products.ProductID"},
+			"Star.Sales.Quantity":            {"RDB.Orders.Quantity"},
+			"Star.Sales.UnitPrice":           {"RDB.Orders.UnitPrice"},
+			"Star.Sales.Discount":            {"RDB.Orders.Discount"},
+			"Star.Products.BrandID":          {"RDB.Brands.BrandID"},
+			"Star.Products.BrandDescription": {"RDB.Brands.BrandDescription"},
+			"Star.Geography.TerritoryID":     {"RDB.EmployeeTerritory.TerritoryID"},
+		},
+	}
+	return Workload{Name: "rdb-star", Source: RDB(), Target: Star(), Gold: gold, ScoreByElement: true}
+}

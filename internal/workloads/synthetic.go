@@ -1,0 +1,182 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/model"
+)
+
+// SyntheticSpec parameterizes the synthetic schema generator used for the
+// scalability experiments (§10 lists scalability analysis as necessary
+// future work; E9 in DESIGN.md).
+type SyntheticSpec struct {
+	// Tables is the number of top-level containers.
+	Tables int
+	// ColsPerTable is the number of leaf columns per container.
+	ColsPerTable int
+	// Depth nests each table's columns under Depth-1 intermediate group
+	// elements (1 = flat).
+	Depth int
+	// Seed drives all pseudo-random choices; equal seeds give equal
+	// schemas.
+	Seed int64
+	// Rename perturbs the copy: a fraction [0,1] of names get a synonym /
+	// abbreviation substitution so the pair is not a trivial identity.
+	Rename float64
+	// Renest moves this fraction of a copy's leaves from their group to
+	// the table level, varying the nesting.
+	Renest float64
+	// FKs adds this many foreign keys between consecutive tables.
+	FKs int
+}
+
+// vocabulary for generated column names; pairs of (canonical, variant) let
+// Rename produce realistic renamings.
+var synthVocab = [][2]string{
+	{"CustomerName", "ClientName"},
+	{"OrderDate", "DateOfOrder"},
+	{"UnitPrice", "PricePerUnit"},
+	{"Quantity", "Qty"},
+	{"PostalCode", "ZipCode"},
+	{"Street", "StreetAddress"},
+	{"City", "CityName"},
+	{"Country", "CountryCode"},
+	{"Telephone", "PhoneNumber"},
+	{"Description", "Desc"},
+	{"TotalAmount", "AmountTotal"},
+	{"TaxRate", "RateOfTax"},
+	{"Discount", "DiscountPct"},
+	{"ProductName", "ItemName"},
+	{"InvoiceNumber", "BillNumber"},
+	{"ShipDate", "DeliveryDate"},
+	{"Status", "State"},
+	{"Category", "CategoryName"},
+	{"Weight", "WeightKg"},
+	{"Volume", "VolumeM3"},
+}
+
+var synthTypes = []model.DataType{
+	model.DTInt, model.DTString, model.DTDecimal, model.DTDate, model.DTBool,
+}
+
+// Synthetic generates a source/target schema pair per spec. The target is
+// a perturbed copy of the source (renamed and re-nested per the spec), and
+// the gold mapping records the true correspondences.
+func Synthetic(spec SyntheticSpec) Workload {
+	if spec.Tables <= 0 {
+		spec.Tables = 4
+	}
+	if spec.ColsPerTable <= 0 {
+		spec.ColsPerTable = 6
+	}
+	if spec.Depth <= 0 {
+		spec.Depth = 1
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+
+	type colSpec struct {
+		table, group int
+		name, alt    string
+		typ          model.DataType
+	}
+	var cols []colSpec
+	for t := 0; t < spec.Tables; t++ {
+		for c := 0; c < spec.ColsPerTable; c++ {
+			v := synthVocab[rng.Intn(len(synthVocab))]
+			cs := colSpec{
+				table: t,
+				group: c % spec.Depth,
+				name:  fmt.Sprintf("%s%d", v[0], c),
+				alt:   fmt.Sprintf("%s%d", v[1], c),
+				typ:   synthTypes[rng.Intn(len(synthTypes))],
+			}
+			cols = append(cols, cs)
+		}
+	}
+
+	build := func(name string, target bool) (*model.Schema, map[string]string) {
+		s := model.New(name)
+		paths := map[string]string{} // colKey -> node path
+		for t := 0; t < spec.Tables; t++ {
+			tblName := fmt.Sprintf("Table%d", t)
+			tbl := s.AddChild(s.Root(), tblName, model.KindTable)
+			groups := make([]*model.Element, spec.Depth)
+			groups[0] = tbl
+			for g := 1; g < spec.Depth; g++ {
+				groups[g] = s.AddChild(groups[g-1], fmt.Sprintf("Group%d_%d", t, g), model.KindElement)
+			}
+			for i, cs := range cols {
+				if cs.table != t {
+					continue
+				}
+				parent := groups[cs.group]
+				colName := cs.name
+				if target && rng.Float64() < spec.Rename {
+					colName = cs.alt
+				}
+				if target && cs.group > 0 && rng.Float64() < spec.Renest {
+					parent = tbl
+				}
+				col := s.AddChild(parent, colName, model.KindColumn)
+				col.Type = cs.typ
+				paths[fmt.Sprintf("%d", i)] = col.Path()
+			}
+		}
+		for f := 0; f < spec.FKs && spec.Tables > 1; f++ {
+			from := f % spec.Tables
+			to := (f + 1) % spec.Tables
+			var srcCol *model.Element
+			model.PreOrder(s.Root(), func(e *model.Element) {
+				if srcCol == nil && e.Kind == model.KindColumn &&
+					e.Type == model.DTInt && ancestorTable(e) == fmt.Sprintf("Table%d", from) {
+					srcCol = e
+				}
+			})
+			var toTbl *model.Element
+			for _, c := range s.Root().Children() {
+				if c.Name == fmt.Sprintf("Table%d", to) {
+					toTbl = c
+				}
+			}
+			if srcCol != nil && toTbl != nil {
+				must2ret(s.AddRefInt(fmt.Sprintf("fk%d", f), []*model.Element{srcCol}, toTbl))
+			}
+		}
+		return s, paths
+	}
+
+	// The target must use an independent-but-identical random stream for
+	// column perturbation, so regenerate deterministically.
+	src, srcPaths := build("Source", false)
+	rng = rand.New(rand.NewSource(spec.Seed + 1))
+	dst, dstPaths := build("Target", true)
+
+	var gold Gold
+	for k, sp := range srcPaths {
+		if dp, ok := dstPaths[k]; ok {
+			gold.Pairs = append(gold.Pairs, GoldPair{Source: sp, Target: dp})
+		}
+	}
+	return Workload{
+		Name:   fmt.Sprintf("synthetic-t%d-c%d-d%d", spec.Tables, spec.ColsPerTable, spec.Depth),
+		Source: src,
+		Target: dst,
+		Gold:   gold,
+	}
+}
+
+func ancestorTable(e *model.Element) string {
+	for n := e; n != nil; n = n.Parent() {
+		if n.Kind == model.KindTable {
+			return n.Name
+		}
+	}
+	return ""
+}
+
+func must2ret(_ *model.Element, err error) {
+	if err != nil {
+		panic("workloads: " + err.Error())
+	}
+}

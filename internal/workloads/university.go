@@ -1,0 +1,101 @@
+package workloads
+
+import (
+	"repro/internal/model"
+	"repro/internal/sqlddl"
+)
+
+// University is an extra generalization workload outside the paper's
+// purchase-order domain: a relational registrar database matched against a
+// differently-shaped student-information schema. It exercises the same
+// machinery — abbreviation expansion (DOB, Dept), synonymy
+// (Surname~LastName, Semester~Term), foreign keys as join views, and
+// structural disambiguation — on fresh vocabulary, supporting the paper's
+// claim that the matcher is generic across application domains.
+func University() Workload {
+	src, err := sqlddl.Parse("Registrar", `
+CREATE TABLE Students (
+    StudentID INT PRIMARY KEY,
+    FirstName VARCHAR(40),
+    LastName VARCHAR(40),
+    DOB DATE,
+    Email VARCHAR(80)
+);
+CREATE TABLE Courses (
+    CourseID INT PRIMARY KEY,
+    Title VARCHAR(80),
+    Credits INT,
+    DeptCode VARCHAR(10)
+);
+CREATE TABLE Enrollment (
+    StudentID INT REFERENCES Students (StudentID),
+    CourseID INT REFERENCES Courses (CourseID),
+    Grade VARCHAR(2),
+    Semester VARCHAR(10),
+    PRIMARY KEY (StudentID, CourseID)
+);`)
+	must3(err)
+
+	dst := model.New("SIS")
+	student := dst.AddChild(dst.Root(), "Student", model.KindElement)
+	id := dst.AddChild(student, "Id", model.KindAttribute)
+	id.Type = model.DTInt
+	id.IsKey = true
+	str(dst, student, "GivenName")
+	str(dst, student, "Surname")
+	bd := dst.AddChild(student, "BirthDate", model.KindAttribute)
+	bd.Type = model.DTDate
+	str(dst, student, "EMail")
+
+	course := dst.AddChild(dst.Root(), "Course", model.KindElement)
+	cid := dst.AddChild(course, "Code", model.KindAttribute)
+	cid.Type = model.DTInt
+	cid.IsKey = true
+	str(dst, course, "CourseTitle")
+	ch := dst.AddChild(course, "CreditHours", model.KindAttribute)
+	ch.Type = model.DTInt
+	str(dst, course, "Department")
+
+	reg := dst.AddChild(dst.Root(), "Registration", model.KindElement)
+	rs := dst.AddChild(reg, "StudentRef", model.KindAttribute)
+	rs.Type = model.DTInt
+	rc := dst.AddChild(reg, "CourseRef", model.KindAttribute)
+	rc.Type = model.DTInt
+	str(dst, reg, "FinalGrade")
+	str(dst, reg, "Term")
+
+	return Workload{
+		Name:   "university",
+		Source: src,
+		Target: dst,
+		Gold: Gold{
+			Pairs: []GoldPair{
+				{"Registrar.Students.StudentID", "SIS.Student.Id"},
+				{"Registrar.Students.FirstName", "SIS.Student.GivenName"},
+				{"Registrar.Students.LastName", "SIS.Student.Surname"},
+				{"Registrar.Students.DOB", "SIS.Student.BirthDate"},
+				{"Registrar.Students.Email", "SIS.Student.EMail"},
+				{"Registrar.Courses.Title", "SIS.Course.CourseTitle"},
+				{"Registrar.Courses.Credits", "SIS.Course.CreditHours"},
+				{"Registrar.Courses.DeptCode", "SIS.Course.Department"},
+				{"Registrar.Enrollment.Grade", "SIS.Registration.FinalGrade"},
+				{"Registrar.Enrollment.Semester", "SIS.Registration.Term"},
+				{"Registrar.Enrollment.StudentID", "SIS.Registration.StudentRef"},
+				{"Registrar.Enrollment.CourseID", "SIS.Registration.CourseRef"},
+			},
+			AltSources: map[string][]string{
+				"SIS.Student.Id":              {"Registrar.Enrollment.StudentID"},
+				"SIS.Course.Code":             {"Registrar.Courses.CourseID", "Registrar.Enrollment.CourseID"},
+				"SIS.Registration.StudentRef": {"Registrar.Students.StudentID"},
+				"SIS.Registration.CourseRef":  {"Registrar.Courses.CourseID"},
+			},
+		},
+		ScoreByElement: true,
+	}
+}
+
+func must3(err error) {
+	if err != nil {
+		panic("workloads: " + err.Error())
+	}
+}

@@ -1,0 +1,206 @@
+// Package workloads defines the schemas and gold-standard mappings of the
+// paper's evaluation (§9): the Figure 1/2 purchase orders, the six
+// canonical examples of §9.1, the CIDX and Excel purchase orders of Figure
+// 7, the RDB and Star relational schemas of Figure 8, and a synthetic
+// schema generator for the scalability experiments the paper lists as
+// future work.
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/thesaurus"
+)
+
+// PaperThesaurus returns exactly the thesaurus the paper used for the
+// CIDX-Excel experiment (§9.2): four abbreviations (UOM, PO, Qty, Num) and
+// two synonymy entries (Invoice~Bill, Ship~Deliver), plus the stop-word
+// list the tokenizer needs.
+func PaperThesaurus() *thesaurus.Thesaurus {
+	t := thesaurus.New()
+	for _, w := range []string{"a", "an", "the", "of", "to", "for", "and", "or", "in"} {
+		t.AddStopword(w)
+	}
+	t.AddAbbreviation("uom", "unit", "of", "measure")
+	t.AddAbbreviation("po", "purchase", "order")
+	t.AddAbbreviation("qty", "quantity")
+	t.AddAbbreviation("num", "number")
+	t.AddSynonym("invoice", "bill", 1.0)
+	t.AddSynonym("ship", "deliver", 1.0)
+	return t
+}
+
+// GoldPair is one expected correspondence, named by schema-tree node paths.
+type GoldPair struct {
+	Source string
+	Target string
+}
+
+// Gold is a gold-standard mapping for one experiment: the pairs a correct
+// matcher should produce and pairs it must not produce. When a target
+// genuinely has several defensible sources (denormalized columns such as
+// Sales.Quantity, which exists in both Orders and OrderDetails),
+// AltSources lists the additional acceptable source paths per target.
+type Gold struct {
+	Pairs      []GoldPair
+	Forbidden  []GoldPair
+	AltSources map[string][]string
+}
+
+// Workload bundles a schema pair with its gold mapping.
+type Workload struct {
+	Name   string
+	Source *model.Schema
+	Target *model.Schema
+	Gold   Gold
+	// ScoreByElement scores predicted pairs by schema-element paths rather
+	// than schema-tree (context) paths: join-view copies of a column count
+	// as that column. Used by the relational RDB-Star experiment, whose
+	// gold is context-free.
+	ScoreByElement bool
+}
+
+func str(s *model.Schema, p *model.Element, name string) *model.Element {
+	e := s.AddChild(p, name, model.KindAttribute)
+	e.Type = model.DTString
+	return e
+}
+
+func intAttr(s *model.Schema, p *model.Element, name string) *model.Element {
+	e := s.AddChild(p, name, model.KindAttribute)
+	e.Type = model.DTInt
+	return e
+}
+
+// Figure1 builds the PO / POrder pair of the paper's Figure 1.
+func Figure1() Workload {
+	s1 := model.New("PO")
+	lines := s1.AddChild(s1.Root(), "Lines", model.KindElement)
+	item1 := s1.AddChild(lines, "Item", model.KindElement)
+	intAttr(s1, item1, "Line")
+	intAttr(s1, item1, "Qty")
+	str(s1, item1, "Uom")
+
+	s2 := model.New("POrder")
+	items := s2.AddChild(s2.Root(), "Items", model.KindElement)
+	item2 := s2.AddChild(items, "Item", model.KindElement)
+	intAttr(s2, item2, "ItemNumber")
+	intAttr(s2, item2, "Quantity")
+	str(s2, item2, "UnitOfMeasure")
+
+	return Workload{
+		Name:   "figure1",
+		Source: s1,
+		Target: s2,
+		Gold: Gold{Pairs: []GoldPair{
+			{"PO.Lines.Item.Line", "POrder.Items.Item.ItemNumber"},
+			{"PO.Lines.Item.Qty", "POrder.Items.Item.Quantity"},
+			{"PO.Lines.Item.Uom", "POrder.Items.Item.UnitOfMeasure"},
+		}},
+	}
+}
+
+// Figure2 builds the running example of §4 (Figure 2): the PO and
+// PurchaseOrder XML schemas with nesting and naming variations.
+func Figure2() Workload {
+	s1 := model.New("PO")
+	lines := s1.AddChild(s1.Root(), "POLines", model.KindElement)
+	item := s1.AddChild(lines, "Item", model.KindElement)
+	intAttr(s1, item, "Line")
+	intAttr(s1, item, "Qty")
+	str(s1, item, "UoM")
+	intAttr(s1, lines, "Count")
+	ship := s1.AddChild(s1.Root(), "POShipTo", model.KindElement)
+	str(s1, ship, "Street")
+	str(s1, ship, "City")
+	bill := s1.AddChild(s1.Root(), "POBillTo", model.KindElement)
+	str(s1, bill, "Street")
+	str(s1, bill, "City")
+
+	s2 := model.New("PurchaseOrder")
+	addAddr := func(p *model.Element) {
+		a := s2.AddChild(p, "Address", model.KindElement)
+		str(s2, a, "Street")
+		str(s2, a, "City")
+	}
+	deliver := s2.AddChild(s2.Root(), "DeliverTo", model.KindElement)
+	addAddr(deliver)
+	invoice := s2.AddChild(s2.Root(), "InvoiceTo", model.KindElement)
+	addAddr(invoice)
+	items := s2.AddChild(s2.Root(), "Items", model.KindElement)
+	item2 := s2.AddChild(items, "Item", model.KindElement)
+	intAttr(s2, item2, "ItemNumber")
+	intAttr(s2, item2, "Quantity")
+	str(s2, item2, "UnitOfMeasure")
+	intAttr(s2, items, "ItemCount")
+
+	return Workload{
+		Name:   "figure2",
+		Source: s1,
+		Target: s2,
+		Gold: Gold{
+			Pairs: []GoldPair{
+				{"PO.POLines.Item.Line", "PurchaseOrder.Items.Item.ItemNumber"},
+				{"PO.POLines.Item.Qty", "PurchaseOrder.Items.Item.Quantity"},
+				{"PO.POLines.Item.UoM", "PurchaseOrder.Items.Item.UnitOfMeasure"},
+				{"PO.POLines.Count", "PurchaseOrder.Items.ItemCount"},
+				{"PO.POShipTo.Street", "PurchaseOrder.DeliverTo.Address.Street"},
+				{"PO.POShipTo.City", "PurchaseOrder.DeliverTo.Address.City"},
+				{"PO.POBillTo.Street", "PurchaseOrder.InvoiceTo.Address.Street"},
+				{"PO.POBillTo.City", "PurchaseOrder.InvoiceTo.Address.City"},
+			},
+			Forbidden: []GoldPair{
+				{"PO.POShipTo.Street", "PurchaseOrder.InvoiceTo.Address.Street"},
+				{"PO.POShipTo.City", "PurchaseOrder.InvoiceTo.Address.City"},
+				{"PO.POBillTo.Street", "PurchaseOrder.DeliverTo.Address.Street"},
+				{"PO.POBillTo.City", "PurchaseOrder.DeliverTo.Address.City"},
+			},
+		},
+	}
+}
+
+// SharedTypePO builds the §8.2 variant of Figure 2's PurchaseOrder where
+// Address is one shared type referenced by DeliverTo and InvoiceTo, paired
+// against the plain PO schema. Context-dependent mappings are required.
+func SharedTypePO() Workload {
+	w := Figure2()
+	s2 := model.New("PurchaseOrder")
+	addrT := s2.NewElement("Address", model.KindType)
+	str(s2, addrT, "Street")
+	str(s2, addrT, "City")
+	deliver := s2.AddChild(s2.Root(), "DeliverTo", model.KindElement)
+	invoice := s2.AddChild(s2.Root(), "InvoiceTo", model.KindElement)
+	must(s2.DeriveFrom(deliver, addrT))
+	must(s2.DeriveFrom(invoice, addrT))
+	items := s2.AddChild(s2.Root(), "Items", model.KindElement)
+	item2 := s2.AddChild(items, "Item", model.KindElement)
+	intAttr(s2, item2, "ItemNumber")
+	intAttr(s2, item2, "Quantity")
+	str(s2, item2, "UnitOfMeasure")
+	intAttr(s2, items, "ItemCount")
+	return Workload{
+		Name:   "sharedtype",
+		Source: w.Source,
+		Target: s2,
+		Gold: Gold{
+			Pairs: []GoldPair{
+				{"PO.POLines.Item.Qty", "PurchaseOrder.Items.Item.Quantity"},
+				{"PO.POShipTo.Street", "PurchaseOrder.DeliverTo.Street"},
+				{"PO.POShipTo.City", "PurchaseOrder.DeliverTo.City"},
+				{"PO.POBillTo.Street", "PurchaseOrder.InvoiceTo.Street"},
+				{"PO.POBillTo.City", "PurchaseOrder.InvoiceTo.City"},
+			},
+			Forbidden: []GoldPair{
+				{"PO.POShipTo.Street", "PurchaseOrder.InvoiceTo.Street"},
+				{"PO.POBillTo.Street", "PurchaseOrder.DeliverTo.Street"},
+			},
+		},
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		panic(fmt.Sprintf("workloads: %v", err))
+	}
+}

@@ -1,0 +1,169 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/schematree"
+)
+
+func validTree(t *testing.T, s *model.Schema) *schematree.Tree {
+	t.Helper()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("%s: %v", s.Name, err)
+	}
+	tr, err := schematree.Build(s, schematree.DefaultOptions())
+	if err != nil {
+		t.Fatalf("%s: %v", s.Name, err)
+	}
+	return tr
+}
+
+// goldResolvable checks every gold path names a real schema-tree node.
+func goldResolvable(t *testing.T, w Workload) {
+	t.Helper()
+	ts := validTree(t, w.Source)
+	tt := validTree(t, w.Target)
+	for _, p := range w.Gold.Pairs {
+		if ts.NodeByPath(p.Source) == nil {
+			t.Errorf("%s: gold source %q unresolved", w.Name, p.Source)
+		}
+		if tt.NodeByPath(p.Target) == nil {
+			t.Errorf("%s: gold target %q unresolved", w.Name, p.Target)
+		}
+	}
+	for _, p := range w.Gold.Forbidden {
+		if ts.NodeByPath(p.Source) == nil || tt.NodeByPath(p.Target) == nil {
+			t.Errorf("%s: forbidden pair %v unresolved", w.Name, p)
+		}
+	}
+}
+
+func TestFigure1(t *testing.T)      { goldResolvable(t, Figure1()) }
+func TestFigure2(t *testing.T)      { goldResolvable(t, Figure2()) }
+func TestSharedTypePO(t *testing.T) { goldResolvable(t, SharedTypePO()) }
+func TestCIDXExcel(t *testing.T)    { goldResolvable(t, CIDXExcel()) }
+func TestRDBStar(t *testing.T)      { goldResolvable(t, RDBStar()) }
+
+func TestCanonicalExamples(t *testing.T) {
+	exs := Canonical()
+	if len(exs) != 6 {
+		t.Fatalf("canonical examples = %d, want 6", len(exs))
+	}
+	for i, ex := range exs {
+		if ex.ID != i+1 {
+			t.Errorf("example %d has ID %d", i, ex.ID)
+		}
+		if !ex.Expected[0] {
+			t.Errorf("example %d: Table 2 reports Cupid = Y on every row", ex.ID)
+		}
+		goldResolvable(t, ex.Workload)
+	}
+	// Table 2 failure pattern: DIKE fails 6; MOMIS fails 5 and 6.
+	if exs[5].Expected[1] || exs[5].Expected[2] {
+		t.Error("example 6 should be expected-fail for DIKE and MOMIS")
+	}
+	if exs[4].Expected[2] {
+		t.Error("example 5 should be expected-fail for MOMIS")
+	}
+}
+
+func TestCIDXStats(t *testing.T) {
+	tr := validTree(t, CIDX())
+	st := tr.ComputeStats()
+	if st.Leaves < 30 {
+		t.Errorf("CIDX leaves = %d, want >= 30", st.Leaves)
+	}
+	tr2 := validTree(t, Excel())
+	// Shared Address/Contact types expand into both parties.
+	if tr2.NodeByPath("PurchaseOrder.DeliverTo.Address.street1") == nil ||
+		tr2.NodeByPath("PurchaseOrder.InvoiceTo.Address.street1") == nil {
+		t.Errorf("Excel shared types not expanded:\n%s", tr2.Dump())
+	}
+	if tr2.ComputeStats().Copies == 0 {
+		t.Error("Excel should contain context copies")
+	}
+}
+
+func TestRDBStarStats(t *testing.T) {
+	rdb := RDB()
+	if got := rdb.ComputeStats().RefInts; got != 12 {
+		t.Errorf("RDB foreign keys = %d, want 12", got)
+	}
+	star := Star()
+	if got := star.ComputeStats().RefInts; got != 4 {
+		t.Errorf("Star foreign keys = %d, want 4", got)
+	}
+	tr := validTree(t, rdb)
+	if tr.ComputeStats().JoinViews != 12 {
+		t.Errorf("RDB join views = %d, want 12", tr.ComputeStats().JoinViews)
+	}
+}
+
+func TestPaperThesaurus(t *testing.T) {
+	th := PaperThesaurus()
+	if s := th.Sim("Invoice", "Bill"); s != 1 {
+		t.Errorf("Sim(Invoice,Bill) = %v", s)
+	}
+	if th.Expand("uom") == nil || th.Expand("po") == nil ||
+		th.Expand("qty") == nil || th.Expand("num") == nil {
+		t.Error("paper thesaurus missing an abbreviation")
+	}
+	// Nothing else: e.g. no customer~client entry.
+	if _, ok := th.Lookup("customer", "client"); ok {
+		t.Error("paper thesaurus should carry only the four+two entries")
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	spec := SyntheticSpec{Tables: 3, ColsPerTable: 5, Depth: 2, Seed: 42, Rename: 0.4, Renest: 0.3, FKs: 2}
+	a := Synthetic(spec)
+	b := Synthetic(spec)
+	if a.Source.Dump() != b.Source.Dump() || a.Target.Dump() != b.Target.Dump() {
+		t.Error("synthetic generation not deterministic for equal seeds")
+	}
+	if len(a.Gold.Pairs) != 15 {
+		t.Errorf("gold pairs = %d, want 15", len(a.Gold.Pairs))
+	}
+	goldResolvable(t, a)
+	// Different seed differs.
+	spec.Seed = 43
+	c := Synthetic(spec)
+	if c.Target.Dump() == a.Target.Dump() {
+		t.Error("different seeds produced identical schemas")
+	}
+}
+
+func TestSyntheticShapes(t *testing.T) {
+	w := Synthetic(SyntheticSpec{Tables: 2, ColsPerTable: 4, Depth: 3, Seed: 7})
+	tr := validTree(t, w.Source)
+	if tr.ComputeStats().MaxDepth < 3 {
+		t.Errorf("depth-3 spec produced max depth %d", tr.ComputeStats().MaxDepth)
+	}
+	// Defaults fill in.
+	d := Synthetic(SyntheticSpec{Seed: 1})
+	if d.Source.Len() == 0 {
+		t.Error("default spec produced empty schema")
+	}
+	// FKs materialize as refints.
+	f := Synthetic(SyntheticSpec{Tables: 3, ColsPerTable: 4, Seed: 9, FKs: 2})
+	if f.Source.ComputeStats().RefInts == 0 {
+		t.Error("FK spec produced no refints")
+	}
+}
+
+func TestTable3RowsResolvable(t *testing.T) {
+	w := CIDXExcel()
+	ts := validTree(t, w.Source)
+	tt := validTree(t, w.Target)
+	for _, r := range Table3Rows() {
+		if ts.NodeByPath(r.Source) == nil {
+			t.Errorf("table3 source %q unresolved", r.Source)
+		}
+		if tt.NodeByPath(r.Target) == nil {
+			t.Errorf("table3 target %q unresolved", r.Target)
+		}
+	}
+}
+
+func TestUniversity(t *testing.T) { goldResolvable(t, University()) }

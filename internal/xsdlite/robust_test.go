@@ -1,0 +1,37 @@
+package xsdlite
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: the XSD importer never panics on arbitrary input.
+func TestParseNeverPanics(t *testing.T) {
+	f := func(s string) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on %q: %v", s, r)
+				ok = false
+			}
+		}()
+		schema, err := Parse("F", []byte(s))
+		if err == nil && schema.Validate() != nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+	// Near-miss documents.
+	for _, s := range []string{
+		`<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema"><xs:element/></xs:schema>`,
+		`<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema"><xs:element name="A" type="Missing"/></xs:schema>`,
+		`<schema><element name="A"><complexType><sequence><element/></sequence></complexType></element></schema>`,
+		`<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema"><xs:complexType name="T"/><xs:element name="A" type="T"/></xs:schema>`,
+	} {
+		if !f(s) {
+			t.Fatalf("panic on %q", s)
+		}
+	}
+}

@@ -1,0 +1,321 @@
+// Package xsdlite imports XML Schema (XSD) documents into the generic
+// schema model. It covers the subset the Cupid prototype consumed:
+// elements, attributes, anonymous and named complex types (named types
+// become shared-type targets of IsDerivedFrom relationships, yielding
+// context-dependent matching), sequence/all/choice groups, optionality via
+// minOccurs/use, and key/keyref pairs, which become key elements and
+// RefInt constraints (paper §8.1, §8.3).
+package xsdlite
+
+import (
+	"encoding/xml"
+	"fmt"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// Parse reads an XSD document and builds a schema. The schema name is the
+// name of the single top-level element when there is exactly one,
+// otherwise schemaName.
+func Parse(schemaName string, doc []byte) (*model.Schema, error) {
+	var xs xsdSchema
+	if err := xml.Unmarshal(doc, &xs); err != nil {
+		return nil, fmt.Errorf("xsdlite: %w", err)
+	}
+	if len(xs.Elements) == 0 {
+		return nil, fmt.Errorf("xsdlite: schema declares no elements")
+	}
+	name := schemaName
+	if len(xs.Elements) == 1 && xs.Elements[0].Name != "" {
+		name = xs.Elements[0].Name
+	}
+	b := &builder{
+		schema: model.New(name),
+		types:  map[string]*model.Element{},
+		keys:   map[string]*model.Element{},
+	}
+	// Pre-declare named complex types so forward references resolve. The
+	// type elements are free-standing (no containment parent): they are
+	// spliced into their users by schema-tree expansion.
+	for i := range xs.ComplexTypes {
+		ct := &xs.ComplexTypes[i]
+		if ct.Name == "" {
+			continue
+		}
+		te := b.schema.NewElement(ct.Name, model.KindType)
+		b.types[ct.Name] = te
+	}
+	for i := range xs.ComplexTypes {
+		ct := &xs.ComplexTypes[i]
+		if ct.Name == "" {
+			continue
+		}
+		if err := b.fillComplexType(b.types[ct.Name], ct); err != nil {
+			return nil, err
+		}
+	}
+	// Top-level elements. With a single top element its content hangs
+	// directly off the schema root (which carries its name); multiple top
+	// elements each become children of the root.
+	if len(xs.Elements) == 1 {
+		if err := b.element(&xs.Elements[0], b.schema.Root(), true); err != nil {
+			return nil, err
+		}
+	} else {
+		for i := range xs.Elements {
+			if err := b.element(&xs.Elements[i], b.schema.Root(), false); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, kr := range b.keyrefs {
+		if err := b.resolveKeyRef(kr); err != nil {
+			return nil, err
+		}
+	}
+	if err := b.schema.Validate(); err != nil {
+		return nil, err
+	}
+	return b.schema, nil
+}
+
+// --- XML shapes ----------------------------------------------------------
+
+type xsdSchema struct {
+	XMLName      xml.Name         `xml:"schema"`
+	Elements     []xsdElement     `xml:"element"`
+	ComplexTypes []xsdComplexType `xml:"complexType"`
+}
+
+type xsdElement struct {
+	Name        string          `xml:"name,attr"`
+	Type        string          `xml:"type,attr"`
+	MinOccurs   string          `xml:"minOccurs,attr"`
+	ComplexType *xsdComplexType `xml:"complexType"`
+	Keys        []xsdKey        `xml:"key"`
+	KeyRefs     []xsdKeyRef     `xml:"keyref"`
+}
+
+type xsdComplexType struct {
+	Name       string         `xml:"name,attr"`
+	Sequence   *xsdGroup      `xml:"sequence"`
+	All        *xsdGroup      `xml:"all"`
+	Choice     *xsdGroup      `xml:"choice"`
+	Attributes []xsdAttribute `xml:"attribute"`
+}
+
+type xsdGroup struct {
+	Elements []xsdElement `xml:"element"`
+}
+
+type xsdAttribute struct {
+	Name string `xml:"name,attr"`
+	Type string `xml:"type,attr"`
+	Use  string `xml:"use,attr"`
+}
+
+type xsdKey struct {
+	Name     string     `xml:"name,attr"`
+	Selector xsdXPath   `xml:"selector"`
+	Fields   []xsdXPath `xml:"field"`
+}
+
+type xsdKeyRef struct {
+	Name     string     `xml:"name,attr"`
+	Refer    string     `xml:"refer,attr"`
+	Selector xsdXPath   `xml:"selector"`
+	Fields   []xsdXPath `xml:"field"`
+}
+
+type xsdXPath struct {
+	XPath string `xml:"xpath,attr"`
+}
+
+// --- builder -------------------------------------------------------------
+
+type pendingKeyRef struct {
+	kr    xsdKeyRef
+	owner *model.Element
+}
+
+type builder struct {
+	schema  *model.Schema
+	types   map[string]*model.Element // named complex types
+	keys    map[string]*model.Element // xsd key name -> key element
+	keyrefs []pendingKeyRef
+}
+
+// localName strips a namespace prefix ("xs:string" -> "string").
+func localName(s string) string {
+	if i := strings.LastIndexByte(s, ':'); i >= 0 {
+		return s[i+1:]
+	}
+	return s
+}
+
+// isBuiltin reports whether a type reference names an XSD builtin simple
+// type rather than a user-defined complex type.
+func (b *builder) isBuiltin(typ string) bool {
+	_, userDefined := b.types[localName(typ)]
+	return !userDefined
+}
+
+// element materializes one xsd element declaration under parent. asRoot
+// grafts the element's content onto parent itself (used for the single
+// top-level element, whose name the schema root already carries).
+func (b *builder) element(xe *xsdElement, parent *model.Element, asRoot bool) error {
+	node := parent
+	if !asRoot {
+		if xe.Name == "" {
+			return fmt.Errorf("xsdlite: element without name under %s", parent)
+		}
+		node = b.schema.AddChild(parent, xe.Name, model.KindElement)
+		if xe.MinOccurs == "0" {
+			node.Optional = true
+		}
+	}
+	switch {
+	case xe.Type != "" && b.isBuiltin(xe.Type):
+		node.Type = model.ParseDataType(localName(xe.Type))
+	case xe.Type != "":
+		// Reference to a named complex type: shared-type semantics.
+		if err := b.schema.DeriveFrom(node, b.types[localName(xe.Type)]); err != nil {
+			return err
+		}
+	case xe.ComplexType != nil:
+		if err := b.fillComplexType(node, xe.ComplexType); err != nil {
+			return err
+		}
+	}
+	for i := range xe.Keys {
+		if err := b.key(&xe.Keys[i], node); err != nil {
+			return err
+		}
+	}
+	for i := range xe.KeyRefs {
+		b.keyrefs = append(b.keyrefs, pendingKeyRef{kr: xe.KeyRefs[i], owner: node})
+	}
+	return nil
+}
+
+// fillComplexType attaches a complex type's content (group elements and
+// attributes) to owner.
+func (b *builder) fillComplexType(owner *model.Element, ct *xsdComplexType) error {
+	groups := []*xsdGroup{ct.Sequence, ct.All}
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for i := range g.Elements {
+			if err := b.element(&g.Elements[i], owner, false); err != nil {
+				return err
+			}
+		}
+	}
+	if ct.Choice != nil {
+		// Choice members are mutually exclusive, hence optional.
+		for i := range ct.Choice.Elements {
+			if err := b.element(&ct.Choice.Elements[i], owner, false); err != nil {
+				return err
+			}
+			kids := owner.Children()
+			kids[len(kids)-1].Optional = true
+		}
+	}
+	for _, a := range ct.Attributes {
+		attr := b.schema.AddChild(owner, a.Name, model.KindAttribute)
+		attr.Type = model.ParseDataType(localName(a.Type))
+		if a.Use == "optional" || a.Use == "" {
+			attr.Optional = a.Use == "optional"
+		}
+	}
+	return nil
+}
+
+// resolvePath walks an XPath-lite selector ("Item", "po/Item", ".//Item",
+// "@id") relative to start. Only child steps, a leading .// descendant
+// step, and attribute steps are supported.
+func resolvePath(start *model.Element, path string) *model.Element {
+	cur := start
+	descend := false
+	if strings.HasPrefix(path, ".//") {
+		descend = true
+		path = strings.TrimPrefix(path, ".//")
+	} else {
+		path = strings.TrimPrefix(path, "./")
+	}
+	for _, step := range strings.Split(path, "/") {
+		if step == "" || step == "." {
+			continue
+		}
+		step = strings.TrimPrefix(step, "@")
+		var next *model.Element
+		if descend {
+			model.PreOrder(cur, func(e *model.Element) {
+				if next == nil && e != cur && e.Name == step {
+					next = e
+				}
+			})
+			descend = false
+		} else {
+			for _, c := range cur.Children() {
+				if c.Name == step {
+					next = c
+					break
+				}
+			}
+		}
+		if next == nil {
+			return nil
+		}
+		cur = next
+	}
+	return cur
+}
+
+// key materializes an xs:key as a not-instantiated key element aggregating
+// the field attributes.
+func (b *builder) key(k *xsdKey, owner *model.Element) error {
+	target := resolvePath(owner, k.Selector.XPath)
+	if target == nil {
+		return fmt.Errorf("xsdlite: key %q selector %q unresolved", k.Name, k.Selector.XPath)
+	}
+	key := b.schema.AddChild(target, k.Name, model.KindKey)
+	key.NotInstantiated = true
+	for _, f := range k.Fields {
+		fe := resolvePath(target, f.XPath)
+		if fe == nil {
+			return fmt.Errorf("xsdlite: key %q field %q unresolved", k.Name, f.XPath)
+		}
+		fe.IsKey = true
+		if err := b.schema.Aggregate(key, fe); err != nil {
+			return err
+		}
+	}
+	b.keys[k.Name] = key
+	return nil
+}
+
+// resolveKeyRef materializes an xs:keyref as a RefInt from the referring
+// fields to the referred key.
+func (b *builder) resolveKeyRef(p pendingKeyRef) error {
+	key := b.keys[localName(p.kr.Refer)]
+	if key == nil {
+		return fmt.Errorf("xsdlite: keyref %q refers to unknown key %q", p.kr.Name, p.kr.Refer)
+	}
+	src := resolvePath(p.owner, p.kr.Selector.XPath)
+	if src == nil {
+		return fmt.Errorf("xsdlite: keyref %q selector %q unresolved", p.kr.Name, p.kr.Selector.XPath)
+	}
+	var sources []*model.Element
+	for _, f := range p.kr.Fields {
+		fe := resolvePath(src, f.XPath)
+		if fe == nil {
+			return fmt.Errorf("xsdlite: keyref %q field %q unresolved", p.kr.Name, f.XPath)
+		}
+		sources = append(sources, fe)
+	}
+	_, err := b.schema.AddRefInt(p.kr.Name, sources, key)
+	return err
+}

@@ -1,0 +1,255 @@
+package xsdlite
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/schematree"
+)
+
+const poXSD = `<?xml version="1.0"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="PurchaseOrder">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="DeliverTo" type="Address"/>
+        <xs:element name="InvoiceTo" type="Address" minOccurs="0"/>
+        <xs:element name="Items">
+          <xs:complexType>
+            <xs:sequence>
+              <xs:element name="Item">
+                <xs:complexType>
+                  <xs:attribute name="ItemNumber" type="xs:int"/>
+                  <xs:attribute name="Quantity" type="xs:int" use="optional"/>
+                  <xs:attribute name="UnitOfMeasure" type="xs:string"/>
+                </xs:complexType>
+              </xs:element>
+            </xs:sequence>
+            <xs:attribute name="ItemCount" type="xs:int"/>
+          </xs:complexType>
+        </xs:element>
+      </xs:sequence>
+      <xs:attribute name="OrderDate" type="xs:date"/>
+    </xs:complexType>
+  </xs:element>
+  <xs:complexType name="Address">
+    <xs:sequence>
+      <xs:element name="Street" type="xs:string"/>
+      <xs:element name="City" type="xs:string"/>
+    </xs:sequence>
+  </xs:complexType>
+</xs:schema>`
+
+func find(s *model.Schema, path string) *model.Element {
+	var out *model.Element
+	model.PreOrder(s.Root(), func(e *model.Element) {
+		if e.Path() == path {
+			out = e
+		}
+	})
+	return out
+}
+
+func TestParsePurchaseOrder(t *testing.T) {
+	s, err := Parse("fallback", []byte(poXSD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "PurchaseOrder" {
+		t.Errorf("schema name = %q, want PurchaseOrder (single top element)", s.Name)
+	}
+	if e := find(s, "PurchaseOrder.Items.Item.Quantity"); e == nil {
+		t.Fatalf("Quantity missing\n%s", s.Dump())
+	} else {
+		if e.Type != model.DTInt {
+			t.Errorf("Quantity type = %v", e.Type)
+		}
+		if !e.Optional {
+			t.Error("Quantity use=optional should be optional")
+		}
+	}
+	if e := find(s, "PurchaseOrder.OrderDate"); e == nil || e.Type != model.DTDate {
+		t.Error("OrderDate attribute wrong")
+	}
+	// DeliverTo/InvoiceTo derive from the shared Address type.
+	del := find(s, "PurchaseOrder.DeliverTo")
+	if del == nil || len(del.DerivedFrom()) != 1 || del.DerivedFrom()[0].Name != "Address" {
+		t.Errorf("DeliverTo derivation wrong: %v", del)
+	}
+	inv := find(s, "PurchaseOrder.InvoiceTo")
+	if inv == nil || !inv.Optional {
+		t.Error("InvoiceTo minOccurs=0 should be optional")
+	}
+}
+
+func TestSharedTypeExpandsIntoContexts(t *testing.T) {
+	s, err := Parse("x", []byte(poXSD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := schematree.Build(s, schematree.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NodeByPath("PurchaseOrder.DeliverTo.Street") == nil ||
+		tr.NodeByPath("PurchaseOrder.InvoiceTo.Street") == nil {
+		t.Errorf("shared Address type not expanded into both contexts:\n%s", tr.Dump())
+	}
+}
+
+const keyedXSD = `<?xml version="1.0"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="DB">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="Customer">
+          <xs:complexType>
+            <xs:attribute name="id" type="xs:ID"/>
+            <xs:attribute name="name" type="xs:string"/>
+          </xs:complexType>
+        </xs:element>
+        <xs:element name="Order">
+          <xs:complexType>
+            <xs:attribute name="oid" type="xs:ID"/>
+            <xs:attribute name="customer" type="xs:IDREF"/>
+          </xs:complexType>
+        </xs:element>
+      </xs:sequence>
+    </xs:complexType>
+    <xs:key name="customerKey">
+      <xs:selector xpath="Customer"/>
+      <xs:field xpath="@id"/>
+    </xs:key>
+    <xs:keyref name="orderCustomerRef" refer="customerKey">
+      <xs:selector xpath="Order"/>
+      <xs:field xpath="@customer"/>
+    </xs:keyref>
+  </xs:element>
+</xs:schema>`
+
+func TestKeyKeyrefBecomesRefInt(t *testing.T) {
+	s, err := Parse("x", []byte(keyedXSD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.ComputeStats()
+	if st.RefInts != 1 {
+		t.Fatalf("RefInts = %d, want 1\n%s", st.RefInts, s.Dump())
+	}
+	key := find(s, "DB.Customer.customerKey")
+	if key == nil || key.Kind != model.KindKey || !key.NotInstantiated {
+		t.Fatalf("key element wrong: %v", key)
+	}
+	id := find(s, "DB.Customer.id")
+	if id == nil || !id.IsKey {
+		t.Error("key field not marked IsKey")
+	}
+	ref := find(s, "DB.orderCustomerRef")
+	if ref == nil {
+		t.Fatalf("refint missing\n%s", s.Dump())
+	}
+	if len(ref.Aggregates()) != 1 || ref.Aggregates()[0].Name != "customer" {
+		t.Errorf("refint sources = %v", ref.Aggregates())
+	}
+	if len(ref.References()) != 1 || ref.References()[0] != key {
+		t.Errorf("refint target = %v", ref.References())
+	}
+	// Join-view augmentation picks it up.
+	tr, err := schematree.Build(s, schematree.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.ComputeStats().JoinViews != 1 {
+		t.Errorf("join views = %d, want 1\n%s", tr.ComputeStats().JoinViews, tr.Dump())
+	}
+}
+
+func TestChoiceMembersOptional(t *testing.T) {
+	doc := `<?xml version="1.0"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="R">
+    <xs:complexType>
+      <xs:choice>
+        <xs:element name="A" type="xs:string"/>
+        <xs:element name="B" type="xs:int"/>
+      </xs:choice>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>`
+	s, err := Parse("x", []byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"A", "B"} {
+		if e := find(s, "R."+name); e == nil || !e.Optional {
+			t.Errorf("choice member %s should be optional", name)
+		}
+	}
+}
+
+func TestMultipleTopElements(t *testing.T) {
+	doc := `<?xml version="1.0"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="A" type="xs:string"/>
+  <xs:element name="B" type="xs:string"/>
+</xs:schema>`
+	s, err := Parse("Multi", []byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "Multi" {
+		t.Errorf("name = %q", s.Name)
+	}
+	if len(s.Root().Children()) != 2 {
+		t.Errorf("top elements = %d", len(s.Root().Children()))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"not xml":     "hello",
+		"no elements": `<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema"></xs:schema>`,
+		"bad keyref": `<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+			<xs:element name="R"><xs:complexType><xs:sequence>
+			<xs:element name="A" type="xs:string"/>
+			</xs:sequence></xs:complexType>
+			<xs:keyref name="kr" refer="nope"><xs:selector xpath="A"/><xs:field xpath="@x"/></xs:keyref>
+			</xs:element></xs:schema>`,
+		"bad key selector": `<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+			<xs:element name="R"><xs:complexType><xs:sequence>
+			<xs:element name="A" type="xs:string"/>
+			</xs:sequence></xs:complexType>
+			<xs:key name="k"><xs:selector xpath="Missing"/><xs:field xpath="@x"/></xs:key>
+			</xs:element></xs:schema>`,
+	}
+	for name, doc := range cases {
+		if _, err := Parse("x", []byte(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestDescendantSelector(t *testing.T) {
+	doc := `<?xml version="1.0"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="R">
+    <xs:complexType><xs:sequence>
+      <xs:element name="Wrap">
+        <xs:complexType><xs:sequence>
+          <xs:element name="Leaf">
+            <xs:complexType><xs:attribute name="id" type="xs:ID"/></xs:complexType>
+          </xs:element>
+        </xs:sequence></xs:complexType>
+      </xs:element>
+    </xs:sequence></xs:complexType>
+    <xs:key name="k"><xs:selector xpath=".//Leaf"/><xs:field xpath="@id"/></xs:key>
+  </xs:element>
+</xs:schema>`
+	s, err := Parse("x", []byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if find(s, "R.Wrap.Leaf.k") == nil {
+		t.Errorf("descendant selector failed:\n%s", s.Dump())
+	}
+}

@@ -1,0 +1,110 @@
+// Micro-benchmarks for the individual subsystems, complementing the
+// per-experiment benchmarks in bench_test.go: they localize where matching
+// time goes (tokenization, name similarity, tree expansion, TreeMatch).
+package cupid_test
+
+import (
+	"testing"
+
+	"repro/internal/linguistic"
+	"repro/internal/schematree"
+	"repro/internal/structural"
+	"repro/internal/thesaurus"
+	"repro/internal/workloads"
+)
+
+func BenchmarkStemmer(b *testing.B) {
+	words := []string{
+		"shipping", "addresses", "territories", "relational", "quantities",
+		"organizations", "descriptions", "probabilistic", "customers",
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		thesaurus.Stem(words[i%len(words)])
+	}
+}
+
+func BenchmarkTokenize(b *testing.B) {
+	names := []string{
+		"POLines", "ContactFunctionCode", "yourAccountCode", "Street1",
+		"Order-Customer-fk", "UnitOfMeasure", "CIDXPurchaseOrder",
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		linguistic.Tokenize(names[i%len(names)])
+	}
+}
+
+func BenchmarkNormalize(b *testing.B) {
+	th := thesaurus.Base()
+	names := []string{"POLines", "UnitPrice", "ContactPhone", "StateOrProvince"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		linguistic.Normalize(names[i%len(names)], th)
+	}
+}
+
+func BenchmarkNameSim(b *testing.B) {
+	m := linguistic.NewMatcher(thesaurus.Base())
+	pairs := [][2]string{
+		{"POBillTo", "InvoiceTo"},
+		{"Qty", "Quantity"},
+		{"CustomerNumber", "ClientNo"},
+		{"UnitOfMeasure", "UOM"},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		m.NameSim(p[0], p[1])
+	}
+}
+
+func BenchmarkSchemaTreeBuild(b *testing.B) {
+	s := workloads.Excel() // shared types: real expansion work
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := schematree.Build(s, schematree.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTreeMatchOnly(b *testing.B) {
+	w := workloads.CIDXExcel()
+	ts, err := schematree.Build(w.Source, schematree.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	tt, err := schematree.Build(w.Target, schematree.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	lm := linguistic.NewMatcher(workloads.PaperThesaurus())
+	a := lm.Analyze(w.Source)
+	c := lm.Analyze(w.Target)
+	elem := lm.LSim(a, c)
+	lsim := make([][]float64, ts.Len())
+	for i, sn := range ts.Nodes {
+		lsim[i] = make([]float64, tt.Len())
+		for j, tn := range tt.Nodes {
+			lsim[i][j] = elem[sn.Elem.ID()][tn.Elem.ID()]
+		}
+	}
+	p := structural.DefaultParams()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		structural.TreeMatch(ts, tt, lsim, p)
+	}
+}
+
+func BenchmarkLinguisticPhaseOnly(b *testing.B) {
+	w := workloads.CIDXExcel()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		lm := linguistic.NewMatcher(workloads.PaperThesaurus())
+		a := lm.Analyze(w.Source)
+		c := lm.Analyze(w.Target)
+		lm.LSim(a, c)
+	}
+}
