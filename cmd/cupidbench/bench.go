@@ -1,0 +1,174 @@
+package main
+
+// The bench experiment: a sequential-vs-parallel perf trajectory for the
+// whole Match pipeline, written to BENCH_cupid.json so future PRs have a
+// baseline to compare against, plus a self-check that keeps `go vet` and
+// the -race determinism tests green before any number is trusted.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/par"
+	"repro/internal/workloads"
+)
+
+// BenchPoint is one workload's measurement.
+type BenchPoint struct {
+	Name     string `json:"name"`
+	Elements int    `json:"elements"` // total elements across both schemas
+	Leaves   int    `json:"leaves"`
+	// Sequential (one worker) vs parallel (default pool) full-pipeline
+	// cost. Allocs counts heap objects per op (runtime.MemStats.Mallocs).
+	SeqNsPerOp     int64   `json:"seq_ns_per_op"`
+	ParNsPerOp     int64   `json:"par_ns_per_op"`
+	SeqAllocsPerOp int64   `json:"seq_allocs_per_op"`
+	ParAllocsPerOp int64   `json:"par_allocs_per_op"`
+	Speedup        float64 `json:"speedup"` // seq/par wall-clock ratio
+}
+
+// BenchReport is the file format of BENCH_cupid.json.
+type BenchReport struct {
+	GeneratedUnix int64        `json:"generated_unix"`
+	GoMaxProcs    int          `json:"go_maxprocs"`
+	NumCPU        int          `json:"num_cpu"`
+	Workers       int          `json:"workers"`
+	Note          string       `json:"note"`
+	Points        []BenchPoint `json:"points"`
+}
+
+// benchSpecs is the sweep measured by -exp bench: the eval scalability
+// specs plus one larger workload so the trajectory has a point where the
+// quadratic phases clearly dominate.
+func benchSpecs() []workloads.SyntheticSpec {
+	specs := eval.ScalabilitySpecs()
+	specs = append(specs, workloads.SyntheticSpec{
+		Tables: 24, ColsPerTable: 16, Depth: 3, Seed: 7, Rename: 0.3, Renest: 0.2, FKs: 6,
+	})
+	return specs
+}
+
+// selfCheck runs `go vet ./...` and the -race determinism tests of the
+// parallelized packages before benchmarking, so a reported speedup can
+// never come from a racy (hence potentially wrong) build. Gated on the go
+// toolchain being installed; the bench binary may run on machines without
+// it.
+func selfCheck() error {
+	if _, err := exec.LookPath("go"); err != nil {
+		fmt.Println("bench self-check: go toolchain not found, skipping vet/race checks")
+		return nil
+	}
+	// The checks operate on the module in the current directory; an
+	// installed binary run from elsewhere has no sources to check.
+	if _, err := os.Stat("go.mod"); err != nil {
+		fmt.Println("bench self-check: no go.mod in current directory, skipping vet/race checks (run from the repo root to enable)")
+		return nil
+	}
+	steps := [][]string{
+		{"go", "vet", "./..."},
+		{"go", "test", "-race", "-count=1", "./internal/linguistic", "./internal/structural"},
+	}
+	for _, args := range steps {
+		fmt.Printf("bench self-check: %v\n", args)
+		cmd := exec.Command(args[0], args[1:]...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			return fmt.Errorf("bench self-check failed (%v): %w", args, err)
+		}
+	}
+	return nil
+}
+
+// measure times the full pipeline on one workload at the given worker cap.
+// Each iteration builds a fresh Matcher (cold caches), matching how the
+// eval harness runs. It returns ns/op and heap-objects/op averaged over
+// enough iterations to fill minDuration.
+func measure(w workloads.Workload, cfg core.Config, workers int) (nsPerOp, allocsPerOp int64, err error) {
+	prev := par.SetMaxWorkers(workers)
+	defer par.SetMaxWorkers(prev)
+	// Warm-up run (page in schemas, thesaurus, code paths).
+	if _, _, err = eval.RunCupid(w, cfg); err != nil {
+		return 0, 0, err
+	}
+	const minDuration = 300 * time.Millisecond
+	const minIters = 3
+	var ms0, ms1 runtime.MemStats
+	iters := 0
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	for time.Since(start) < minDuration || iters < minIters {
+		if _, _, err = eval.RunCupid(w, cfg); err != nil {
+			return 0, 0, err
+		}
+		iters++
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	return elapsed.Nanoseconds() / int64(iters), int64(ms1.Mallocs-ms0.Mallocs) / int64(iters), nil
+}
+
+// runBench executes the sweep and writes the JSON report.
+func runBench(outPath string, withSelfCheck bool) error {
+	if withSelfCheck {
+		if err := selfCheck(); err != nil {
+			return err
+		}
+	}
+	report := BenchReport{
+		GeneratedUnix: time.Now().Unix(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
+		Workers:       par.Workers(),
+		Note: "full Match pipeline, fresh matcher per op; sequential = 1 worker, " +
+			"parallel = default pool; speedup tracks wall clock and approaches the " +
+			"core count on multi-core hardware (1.0 on a single-core machine)",
+	}
+	fmt.Println("cupidbench: sequential vs parallel pipeline sweep")
+	fmt.Printf("  GOMAXPROCS=%d NumCPU=%d workers=%d\n", report.GoMaxProcs, report.NumCPU, report.Workers)
+	fmt.Println("  elements  leaves  seq ns/op      par ns/op      speedup  allocs seq/par")
+	cfg := core.DefaultConfig()
+	for _, spec := range benchSpecs() {
+		w := workloads.Synthetic(spec)
+		seqNs, seqAllocs, err := measure(w, cfg, 1)
+		if err != nil {
+			return err
+		}
+		parNs, parAllocs, err := measure(w, cfg, 0)
+		if err != nil {
+			return err
+		}
+		src := w.Source.ComputeStats()
+		dst := w.Target.ComputeStats()
+		pt := BenchPoint{
+			Name:           w.Name,
+			Elements:       w.Source.Len() + w.Target.Len(),
+			Leaves:         src.Leaves + dst.Leaves,
+			SeqNsPerOp:     seqNs,
+			ParNsPerOp:     parNs,
+			SeqAllocsPerOp: seqAllocs,
+			ParAllocsPerOp: parAllocs,
+			Speedup:        float64(seqNs) / float64(parNs),
+		}
+		report.Points = append(report.Points, pt)
+		fmt.Printf("  %8d  %6d  %-13d  %-13d  %6.2fx  %d/%d  %s\n",
+			pt.Elements, pt.Leaves, pt.SeqNsPerOp, pt.ParNsPerOp, pt.Speedup,
+			pt.SeqAllocsPerOp, pt.ParAllocsPerOp, pt.Name)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("bench report written to %s\n", outPath)
+	return nil
+}

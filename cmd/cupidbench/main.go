@@ -18,7 +18,8 @@
 //	scale      scalability sweep over synthetic schemas (§10 future work)
 //	ablation   design-choice ablations on CIDX-Excel (E10)
 //	tune       auto-tuning grid search (§10 future work)
-//	all        everything (default)
+//	bench      sequential-vs-parallel perf sweep -> BENCH_cupid.json
+//	all        everything (default; excludes tune and bench)
 //
 // With -csv, the scale and ablation experiments additionally emit CSV to
 // stdout (the raw series behind the figures).
@@ -44,7 +45,7 @@ func indent(s, prefix string) string {
 	return strings.Join(lines, "\n") + "\n"
 }
 
-func run(exp string, csvOut bool) error {
+func run(exp string, csvOut bool, benchOut string, benchSelfCheck bool) error {
 	all := exp == "all"
 	if all || exp == "table1" {
 		fmt.Println(eval.Table1())
@@ -126,20 +127,27 @@ func run(exp string, csvOut bool) error {
 		}
 		fmt.Println(res.Render(10))
 	}
+	if exp == "bench" { // not part of "all": minutes of timed runs
+		if err := runBench(benchOut, benchSelfCheck); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, table2, table3, rdbstar, thesaurus, lingonly, scale, ablation, tune, all")
+	exp := flag.String("exp", "all", "experiment: table1, table2, table3, rdbstar, thesaurus, lingonly, university, scale, ablation, tune, bench, all")
 	csvOut := flag.Bool("csv", false, "also emit CSV for scale/ablation")
+	benchOut := flag.String("benchout", "BENCH_cupid.json", "output path for the -exp bench report")
+	benchSelfCheck := flag.Bool("selfcheck", true, "run go vet + race determinism tests before -exp bench")
 	flag.Parse()
 	switch *exp {
-	case "all", "table1", "table2", "table3", "rdbstar", "thesaurus", "lingonly", "university", "scale", "ablation", "tune":
+	case "all", "table1", "table2", "table3", "rdbstar", "thesaurus", "lingonly", "university", "scale", "ablation", "tune", "bench":
 	default:
 		fmt.Fprintf(os.Stderr, "cupidbench: unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
-	if err := run(*exp, *csvOut); err != nil {
+	if err := run(*exp, *csvOut, *benchOut, *benchSelfCheck); err != nil {
 		fmt.Fprintln(os.Stderr, "cupidbench:", err)
 		os.Exit(1)
 	}

@@ -27,6 +27,31 @@
 //
 // Schemas can also be imported from SQL DDL (ParseSQL), XML Schema
 // (ParseXSD), DTDs (ParseDTD), or the native JSON format (ReadSchemaJSON).
+//
+// # Performance
+//
+// The quadratic phases of the pipeline — category-pair name similarity,
+// element-pair lsim, and the leaf-leaf initialization/refresh sweeps of
+// TreeMatch — are data-parallel and fan out over a bounded worker pool
+// sized to GOMAXPROCS (internal/par). Every parallel loop writes disjoint
+// cells, so results are bit-identical to sequential execution (asserted by
+// the -race determinism tests); the post-order TreeMatch sweep itself
+// stays sequential because the paper's increase/decrease steps are order
+// dependent. Similarity tables use a flat row-major matrix (one backing
+// []float64, internal/matrix) rather than [][]float64, and each element
+// name's per-token-type partition is computed once at analysis time, which
+// together make the steady-state name-similarity path allocation-free.
+//
+// Concurrency contract: a Matcher (and the package-level Match) is safe
+// for concurrent use — the token-similarity cache is sharded behind
+// striped mutexes, and all other per-match state is call-local. Configure
+// first, then share: mutating Config, Params or the Thesaurus while
+// matches are in flight is not synchronized.
+//
+// The cupidbench command's bench experiment (-exp bench) measures the
+// sequential-vs-parallel pipeline on synthetic schemas of growing size,
+// self-checks with go vet and the -race determinism tests, and writes the
+// trajectory to BENCH_cupid.json as the perf baseline for future changes.
 package cupid
 
 import (

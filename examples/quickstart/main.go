@@ -72,7 +72,7 @@ func main() {
 	line := res.SourceTree.NodeByPath("PO.POLines.Item.Line")
 	itemNo := res.TargetTree.NodeByPath("PurchaseOrder.Items.Item.ItemNumber")
 	fmt.Printf("\nLine <-> ItemNumber: lsim=%.2f ssim=%.2f wsim=%.2f (purely structural: no name evidence)\n",
-		res.LSim[line.Idx][itemNo.Idx],
-		res.Struct.SSim[line.Idx][itemNo.Idx],
-		res.Struct.WSim[line.Idx][itemNo.Idx])
+		res.LSim.At(line.Idx, itemNo.Idx),
+		res.Struct.SSim.At(line.Idx, itemNo.Idx),
+		res.Struct.WSim.At(line.Idx, itemNo.Idx))
 }

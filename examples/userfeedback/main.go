@@ -61,7 +61,7 @@ func report(round string, res *cupid.Result) {
 	t042 := res.SourceTree.NodeByPath("Legacy.T042")
 	cust := res.TargetTree.NodeByPath("CRM.Customer")
 	fmt.Printf("  table similarity T042 <-> Customer: wsim %.2f\n\n",
-		res.Struct.WSim[t042.Idx][cust.Idx])
+		res.Struct.WSim.At(t042.Idx, cust.Idx))
 }
 
 func main() {

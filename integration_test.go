@@ -105,13 +105,13 @@ func TestPipelinePropertiesOnRandomSchemas(t *testing.T) {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
 		// Bounds.
-		for i := range resE.WSim {
-			for j := range resE.WSim[i] {
-				if resE.WSim[i][j] < 0 || resE.WSim[i][j] > 1 {
-					t.Fatalf("seed %d: wsim out of range: %v", seed, resE.WSim[i][j])
+		for i := 0; i < resE.WSim.Rows(); i++ {
+			for j := 0; j < resE.WSim.Cols(); j++ {
+				if w := resE.WSim.At(i, j); w < 0 || w > 1 {
+					t.Fatalf("seed %d: wsim out of range: %v", seed, w)
 				}
-				if resE.LSim[i][j] < 0 || resE.LSim[i][j] > 1 {
-					t.Fatalf("seed %d: lsim out of range: %v", seed, resE.LSim[i][j])
+				if l := resE.LSim.At(i, j); l < 0 || l > 1 {
+					t.Fatalf("seed %d: lsim out of range: %v", seed, l)
 				}
 			}
 		}

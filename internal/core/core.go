@@ -17,7 +17,9 @@ import (
 
 	"repro/internal/linguistic"
 	"repro/internal/mapping"
+	"repro/internal/matrix"
 	"repro/internal/model"
+	"repro/internal/par"
 	"repro/internal/schematree"
 	"repro/internal/structural"
 	"repro/internal/thesaurus"
@@ -112,15 +114,15 @@ type Result struct {
 	Mapping    *mapping.Mapping
 	SourceTree *schematree.Tree
 	TargetTree *schematree.Tree
-	// LSim is the node-level linguistic similarity ([source node
-	// post-order][target node post-order]).
-	LSim [][]float64
+	// LSim is the node-level linguistic similarity, indexed (source node
+	// post-order, target node post-order).
+	LSim matrix.Matrix
 	// Struct holds ssim/wsim and the TreeMatch statistics; nil in
 	// ModeLinguisticOnly.
 	Struct *structural.Result
 	// WSim is the matrix mapping generation ran on: Struct.WSim in full
 	// mode, LSim over path names in linguistic-only mode.
-	WSim [][]float64
+	WSim matrix.Matrix
 	// SourceInfo and TargetInfo expose the linguistic analysis (token
 	// sets, categories).
 	SourceInfo *linguistic.SchemaInfo
@@ -128,8 +130,11 @@ type Result struct {
 }
 
 // Matcher runs the Cupid pipeline for one configuration. A Matcher may be
-// reused across schema pairs; it is not safe for concurrent use (the
-// linguistic matcher caches token similarities).
+// reused across schema pairs and is safe for concurrent Match calls: the
+// linguistic matcher's token-similarity cache is sharded and lock-striped,
+// and all other per-match state is local to the call. Match itself fans
+// the quadratic phases out over a bounded worker pool (see internal/par),
+// so even a single call uses the available cores.
 type Matcher struct {
 	cfg  Config
 	ling *linguistic.Matcher
@@ -176,11 +181,7 @@ func (m *Matcher) Match(src, dst *model.Schema) (*Result, error) {
 	elemLSim := m.ling.LSim(res.SourceInfo, res.TargetInfo)
 	m.ling.BlendDescriptions(res.SourceInfo, res.TargetInfo, elemLSim, m.cfg.DescriptionWeight)
 	if m.cfg.Mode == ModeStructuralOnly {
-		for i := range elemLSim {
-			for j := range elemLSim[i] {
-				elemLSim[i][j] = 0
-			}
-		}
+		elemLSim.Zero()
 	}
 	if err := m.applyInitialMapping(src, dst, elemLSim); err != nil {
 		return nil, err
@@ -200,16 +201,28 @@ func (m *Matcher) Match(src, dst *model.Schema) (*Result, error) {
 
 // matchLinguisticOnly implements the §9.3 methodology: similarity is the
 // linguistic similarity of complete path names; mapping generation applies
-// the same acceptance threshold.
+// the same acceptance threshold. Each node's path is normalized once per
+// tree (the old code re-tokenized both full path strings for every node
+// pair — O(n·m) normalizations), then the pair sweep runs NameSimTS over
+// the cached token sets, rows fanned out over the worker pool.
 func (m *Matcher) matchLinguisticOnly(res *Result) (*Result, error) {
 	ts, tt := res.SourceTree, res.TargetTree
-	lsim := make([][]float64, ts.Len())
-	for i := range lsim {
-		lsim[i] = make([]float64, tt.Len())
-		for j := range lsim[i] {
-			lsim[i][j] = m.ling.NameSim(ts.Nodes[i].Path(), tt.Nodes[j].Path())
-		}
+	pathTokens := func(tr *schematree.Tree) []linguistic.TokenSet {
+		out := make([]linguistic.TokenSet, tr.Len())
+		par.For(tr.Len(), func(i int) {
+			out[i] = linguistic.Normalize(tr.Nodes[i].Path(), m.ling.Th)
+		})
+		return out
 	}
+	tokS := pathTokens(ts)
+	tokT := pathTokens(tt)
+	lsim := matrix.New(ts.Len(), tt.Len())
+	par.For(ts.Len(), func(i int) {
+		row := lsim.Row(i)
+		for j := range tokT {
+			row[j] = m.ling.NameSimTS(tokS[i], tokT[j])
+		}
+	})
 	res.LSim = lsim
 	res.WSim = lsim
 	// Reuse the mapping generator by presenting lsim as wsim.
@@ -219,45 +232,50 @@ func (m *Matcher) matchLinguisticOnly(res *Result) (*Result, error) {
 }
 
 // applyInitialMapping raises the linguistic similarity of user-asserted
-// pairs to the maximum value (§8.4, "Initial mappings").
-func (m *Matcher) applyInitialMapping(src, dst *model.Schema, elemLSim [][]float64) error {
+// pairs to the maximum value (§8.4, "Initial mappings"). A path→element
+// index is built once per schema (single pre-order traversal), so each
+// pair is an O(1) lookup instead of a full traversal.
+func (m *Matcher) applyInitialMapping(src, dst *model.Schema, elemLSim matrix.Matrix) error {
 	if len(m.cfg.InitialMapping) == 0 {
 		return nil
 	}
-	byPath := func(s *model.Schema, path string) *model.Element {
-		var out *model.Element
+	index := func(s *model.Schema) map[string]*model.Element {
+		out := make(map[string]*model.Element, s.Len())
 		model.PreOrder(s.Root(), func(e *model.Element) {
-			if out == nil && e.Path() == path {
-				out = e
+			p := e.Path()
+			if _, ok := out[p]; !ok { // first match wins, as before
+				out[p] = e
 			}
 		})
 		return out
 	}
+	srcByPath := index(src)
+	dstByPath := index(dst)
 	for _, pp := range m.cfg.InitialMapping {
-		se := byPath(src, pp.Source)
+		se := srcByPath[pp.Source]
 		if se == nil {
 			return fmt.Errorf("core: initial mapping source %q not found", pp.Source)
 		}
-		de := byPath(dst, pp.Target)
+		de := dstByPath[pp.Target]
 		if de == nil {
 			return fmt.Errorf("core: initial mapping target %q not found", pp.Target)
 		}
-		elemLSim[se.ID()][de.ID()] = 1
+		elemLSim.Set(se.ID(), de.ID(), 1)
 	}
 	return nil
 }
 
 // liftToNodes turns an element-level similarity matrix into a node-level
 // one: every context copy of an element inherits the element's value.
-func liftToNodes(ts, tt *schematree.Tree, elem [][]float64) [][]float64 {
-	out := make([][]float64, ts.Len())
-	for i, s := range ts.Nodes {
-		out[i] = make([]float64, tt.Len())
-		row := elem[s.Elem.ID()]
+func liftToNodes(ts, tt *schematree.Tree, elem matrix.Matrix) matrix.Matrix {
+	out := matrix.New(ts.Len(), tt.Len())
+	par.For(ts.Len(), func(i int) {
+		row := elem.Row(ts.Nodes[i].Elem.ID())
+		dst := out.Row(i)
 		for j, t := range tt.Nodes {
-			out[i][j] = row[t.Elem.ID()]
+			dst[j] = row[t.Elem.ID()]
 		}
-	}
+	})
 	return out
 }
 

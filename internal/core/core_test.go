@@ -225,12 +225,8 @@ func TestLinguisticOnlyMode(t *testing.T) {
 		t.Errorf("linguistic-only missed Qty/Quantity\n%s", res.Mapping)
 	}
 	// WSim is exactly the path-name linguistic similarity.
-	for i := range res.WSim {
-		for j := range res.WSim[i] {
-			if res.WSim[i][j] != res.LSim[i][j] {
-				t.Fatal("linguistic-only wsim must equal lsim")
-			}
-		}
+	if !res.WSim.Equal(res.LSim) {
+		t.Fatal("linguistic-only wsim must equal lsim")
 	}
 }
 
@@ -245,9 +241,9 @@ func TestStructuralOnlyMode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := range res.LSim {
-		for j := range res.LSim[i] {
-			if res.LSim[i][j] != 0 {
+	for i := 0; i < res.LSim.Rows(); i++ {
+		for j := 0; j < res.LSim.Cols(); j++ {
+			if res.LSim.At(i, j) != 0 {
 				t.Fatal("structural-only mode must zero lsim")
 			}
 		}
@@ -301,10 +297,10 @@ func TestResultExposesDiagnostics(t *testing.T) {
 	if res.Struct == nil || res.Struct.Comparisons == 0 {
 		t.Error("structural stats not exposed")
 	}
-	if len(res.LSim) != res.SourceTree.Len() {
+	if res.LSim.Rows() != res.SourceTree.Len() {
 		t.Error("lsim not node-indexed")
 	}
-	if res.WSim == nil {
+	if res.WSim.Empty() {
 		t.Error("wsim missing")
 	}
 }

@@ -54,9 +54,9 @@ CREATE TABLE OrderReport (
 	if vn == nil || on == nil || tn == nil {
 		t.Fatalf("nodes missing:\n%s", res.SourceTree.Dump())
 	}
-	if res.WSim[vn.Idx][tn.Idx] <= res.WSim[on.Idx][tn.Idx] {
+	if res.WSim.At(vn.Idx, tn.Idx) <= res.WSim.At(on.Idx, tn.Idx) {
 		t.Errorf("view wsim %v should beat table wsim %v",
-			res.WSim[vn.Idx][tn.Idx], res.WSim[on.Idx][tn.Idx])
+			res.WSim.At(vn.Idx, tn.Idx), res.WSim.At(on.Idx, tn.Idx))
 	}
 	// With view expansion disabled the pair disappears.
 	cfg := DefaultConfig()

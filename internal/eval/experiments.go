@@ -241,7 +241,7 @@ func lspdFromCupid(res *core.Result) map[[2]string]float64 {
 	out := map[[2]string]float64{}
 	for i, sn := range res.SourceTree.Nodes {
 		for j, tn := range res.TargetTree.Nodes {
-			if v := res.LSim[i][j]; v >= 0.3 {
+			if v := res.LSim.At(i, j); v >= 0.3 {
 				a, b := strings.ToLower(sn.Name()), strings.ToLower(tn.Name())
 				if a > b {
 					a, b = b, a

@@ -36,8 +36,12 @@ func acronymMatch(single string, words []string) bool {
 }
 
 // wordsOf lists the raw content and common tokens in order (common words
-// participate in initialisms: UoM = Unit *of* Measure).
+// participate in initialisms: UoM = Unit *of* Measure). Partitioned token
+// sets carry the list precomputed.
 func wordsOf(ts TokenSet) []string {
+	if ts.parts != nil {
+		return ts.words
+	}
 	var out []string
 	for _, t := range ts.Tokens {
 		if t.Type == TokenContent || t.Type == TokenCommon {

@@ -1,7 +1,9 @@
 package linguistic
 
 import (
+	"repro/internal/matrix"
 	"repro/internal/model"
+	"repro/internal/par"
 )
 
 // Description-based matching implements one of the paper's stated
@@ -38,7 +40,7 @@ func filterDescTokens(ts TokenSet) TokenSet {
 			out.Tokens = append(out.Tokens, t)
 		}
 	}
-	return out
+	return out.Partitioned()
 }
 
 // BlendDescriptions mixes description similarity into an element-level
@@ -51,7 +53,7 @@ func filterDescTokens(ts TokenSet) TokenSet {
 // their name-based lsim. The blend can rescue pairs whose names carry no
 // signal (legacy column names with documented meanings) and demote pairs
 // whose names collide but whose documentation disagrees.
-func (m *Matcher) BlendDescriptions(a, b *SchemaInfo, lsim [][]float64, weight float64) {
+func (m *Matcher) BlendDescriptions(a, b *SchemaInfo, lsim matrix.Matrix, weight float64) {
 	if weight <= 0 {
 		return
 	}
@@ -80,16 +82,19 @@ func (m *Matcher) BlendDescriptions(a, b *SchemaInfo, lsim [][]float64, weight f
 	for j, e := range eb {
 		descB[j] = prep(e)
 	}
-	for i := range ea {
+	// Rows are independent (each writes its own matrix row), so the pair
+	// loop fans out over the worker pool.
+	par.For(len(ea), func(i int) {
 		if descA[i] == nil {
-			continue
+			return
 		}
+		row := lsim.Row(i)
 		for j := range eb {
 			if descB[j] == nil {
 				continue
 			}
 			ds := m.NameSimTS(*descA[i], *descB[j])
-			lsim[i][j] = (1-weight)*lsim[i][j] + weight*ds
+			row[j] = (1-weight)*row[j] + weight*ds
 		}
-	}
+	})
 }

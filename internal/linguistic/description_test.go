@@ -51,11 +51,11 @@ func TestBlendDescriptions(t *testing.T) {
 	a := m.Analyze(s1)
 	b := m.Analyze(s2)
 	lsim := m.LSim(a, b)
-	before := lsim[f1.ID()][cn.ID()]
-	noDescBefore := lsim[f2.ID()][nm.ID()]
+	before := lsim.At(f1.ID(), cn.ID())
+	noDescBefore := lsim.At(f2.ID(), nm.ID())
 
 	m.BlendDescriptions(a, b, lsim, 0.5)
-	after := lsim[f1.ID()][cn.ID()]
+	after := lsim.At(f1.ID(), cn.ID())
 	if after <= before {
 		t.Errorf("description blend did not raise lsim: %v -> %v", before, after)
 	}
@@ -63,18 +63,18 @@ func TestBlendDescriptions(t *testing.T) {
 		t.Errorf("blended lsim = %v, want substantial", after)
 	}
 	// Pairs without descriptions are untouched.
-	if lsim[f2.ID()][nm.ID()] != noDescBefore {
+	if lsim.At(f2.ID(), nm.ID()) != noDescBefore {
 		t.Error("pair without descriptions was modified")
 	}
 	// Weight 0 is a no-op.
-	snapshot := lsim[f1.ID()][cn.ID()]
+	snapshot := lsim.At(f1.ID(), cn.ID())
 	m.BlendDescriptions(a, b, lsim, 0)
-	if lsim[f1.ID()][cn.ID()] != snapshot {
+	if lsim.At(f1.ID(), cn.ID()) != snapshot {
 		t.Error("weight 0 modified the matrix")
 	}
 	// Weight above 1 clamps rather than exploding.
 	m.BlendDescriptions(a, b, lsim, 5)
-	if v := lsim[f1.ID()][cn.ID()]; v < 0 || v > 1 {
+	if v := lsim.At(f1.ID(), cn.ID()); v < 0 || v > 1 {
 		t.Errorf("clamped blend out of range: %v", v)
 	}
 }

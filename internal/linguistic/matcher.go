@@ -3,8 +3,11 @@ package linguistic
 import (
 	"fmt"
 	"sort"
+	"sync"
 
+	"repro/internal/matrix"
 	"repro/internal/model"
+	"repro/internal/par"
 	"repro/internal/thesaurus"
 )
 
@@ -59,13 +62,17 @@ func (p Params) Validate() error {
 }
 
 // Matcher performs linguistic matching with one thesaurus and one
-// parameter set. It caches token-pair similarities across calls; a Matcher
-// is not safe for concurrent use.
+// parameter set. It caches token-pair similarities across calls in a
+// sharded striped-mutex cache, so a Matcher IS safe for concurrent use:
+// Analyze, NameSim(TS), CompatiblePairs and LSim may be called from many
+// goroutines at once (LSim itself fans its inner loops out over a bounded
+// worker pool). The only caveat is setup: do not mutate P or Th while
+// matching is in flight.
 type Matcher struct {
 	Th *thesaurus.Thesaurus
 	P  Params
 
-	simCache map[[2]string]float64
+	simCache *simCache
 }
 
 // NewMatcher returns a matcher over the given thesaurus (nil means an
@@ -74,7 +81,59 @@ func NewMatcher(th *thesaurus.Thesaurus) *Matcher {
 	if th == nil {
 		th = thesaurus.New()
 	}
-	return &Matcher{Th: th, P: DefaultParams(), simCache: map[[2]string]float64{}}
+	return &Matcher{Th: th, P: DefaultParams(), simCache: newSimCache()}
+}
+
+// simCacheShards is the stripe count of the token-pair similarity cache.
+// Power of two; 64 stripes keep contention negligible at any realistic
+// GOMAXPROCS while costing ~3KB of empty maps.
+const simCacheShards = 64
+
+// simCache is a striped-mutex map from an ordered token pair to its
+// thesaurus similarity. Stripes are selected by FNV-1a hash of the pair,
+// so goroutines computing different pairs rarely share a lock.
+type simCache struct {
+	shards [simCacheShards]simCacheShard
+}
+
+type simCacheShard struct {
+	mu sync.RWMutex
+	m  map[[2]string]float64
+}
+
+func newSimCache() *simCache {
+	c := &simCache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[[2]string]float64)
+	}
+	return c
+}
+
+func (c *simCache) shard(key [2]string) *simCacheShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(key[0]); i++ {
+		h = (h ^ uint32(key[0][i])) * 16777619
+	}
+	h = (h ^ 0xff) * 16777619 // separator so ("ab","c") != ("a","bc")
+	for i := 0; i < len(key[1]); i++ {
+		h = (h ^ uint32(key[1][i])) * 16777619
+	}
+	return &c.shards[h&(simCacheShards-1)]
+}
+
+func (c *simCache) get(key [2]string) (float64, bool) {
+	sh := c.shard(key)
+	sh.mu.RLock()
+	s, ok := sh.m[key]
+	sh.mu.RUnlock()
+	return s, ok
+}
+
+func (c *simCache) put(key [2]string, v float64) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	sh.m[key] = v
+	sh.mu.Unlock()
 }
 
 // tokenSim returns sim(t1, t2) for two tokens of the same type. Content
@@ -98,11 +157,13 @@ func (m *Matcher) tokenSim(a, b Token) float64 {
 	if key[0] > key[1] {
 		key[0], key[1] = key[1], key[0]
 	}
-	if s, ok := m.simCache[key]; ok {
+	if s, ok := m.simCache.get(key); ok {
 		return s
 	}
+	// A concurrent miss on the same pair computes Th.Sim twice; the value
+	// is a pure function of the pair, so last-write-wins is deterministic.
 	s := m.Th.Sim(a.Raw, b.Raw)
-	m.simCache[key] = s
+	m.simCache.put(key, s)
 	return s
 }
 
@@ -236,12 +297,12 @@ func (m *Matcher) Analyze(s *model.Schema) *SchemaInfo {
 		// Concept categories: one per unique concept tag in the schema.
 		for _, tok := range ts.ByType(TokenConcept) {
 			addMember("concept:"+tok.Raw, "concept:"+tok.Raw,
-				TokenSet{Tokens: []Token{{Raw: tok.Raw, Stem: tok.Raw, Type: TokenContent}}}, id)
+				TokenSet{Tokens: []Token{{Raw: tok.Raw, Stem: tok.Raw, Type: TokenContent}}}.Partitioned(), id)
 		}
 		// Data-type categories for elements carrying a broad leaf type.
 		if kw := e.Type.CategoryKeyword(); kw != "" {
 			addMember("type:"+kw, "type:"+kw,
-				TokenSet{Tokens: []Token{{Raw: kw, Stem: thesaurus.Stem(kw), Type: TokenContent}}}, id)
+				TokenSet{Tokens: []Token{{Raw: kw, Stem: thesaurus.Stem(kw), Type: TokenContent}}}.Partitioned(), id)
 		}
 		// Container categories: the containment parent groups its children
 		// under its own (normalized) name.
@@ -265,17 +326,39 @@ func (m *Matcher) Analyze(s *model.Schema) *SchemaInfo {
 // CompatiblePairs computes, for two analyzed schemas, the pairs of
 // categories whose keyword sets are name-similar above Thns, together with
 // the name similarity of the keyword sets (used later to scale lsim).
+//
+// The category-pair sweep is quadratic in the number of categories and
+// each cell is an independent NameSimTS call, so rows fan out over the
+// par worker pool; each worker fills its own row slice and the merge is a
+// deterministic row-order append, making the result identical to the
+// sequential sweep.
 func (m *Matcher) CompatiblePairs(a, b *SchemaInfo) map[[2]int]float64 {
-	out := map[[2]int]float64{}
-	for i, ca := range a.Categories {
+	na := len(a.Categories)
+	rows := make([][]catPair, na)
+	par.For(na, func(i int) {
+		ka := a.Categories[i].Keywords
+		var row []catPair
 		for j, cb := range b.Categories {
-			ns := m.NameSimTS(ca.Keywords, cb.Keywords)
+			ns := m.NameSimTS(ka, cb.Keywords)
 			if ns >= m.P.Thns {
-				out[[2]int{i, j}] = ns
+				row = append(row, catPair{j: j, ns: ns})
 			}
+		}
+		rows[i] = row
+	})
+	out := make(map[[2]int]float64)
+	for i, row := range rows {
+		for _, c := range row {
+			out[[2]int{i, c.j}] = c.ns
 		}
 	}
 	return out
+}
+
+// catPair is one compatible target category in a source category's row.
+type catPair struct {
+	j  int
+	ns float64
 }
 
 // LSim computes the table of linguistic similarity coefficients between the
@@ -284,13 +367,16 @@ func (m *Matcher) CompatiblePairs(a, b *SchemaInfo) map[[2]int]float64 {
 //	lsim(m1,m2) = ns(m1,m2) · max{ns(c1,c2) : c1∈C1, c2∈C2 compatible}
 //
 // Similarity is zero for element pairs that share no compatible categories.
-// The result is indexed [elementID of a][elementID of b].
-func (m *Matcher) LSim(a, b *SchemaInfo) [][]float64 {
+// The result is indexed (elementID of a, elementID of b).
+//
+// The element-pair comparisons — the dominant cost of the whole pipeline —
+// run on the par worker pool: the scale map is reduced sequentially (max
+// is order-independent), then each surviving pair's NameSimTS·scale lands
+// in its own matrix cell, so the parallel result is bit-identical to the
+// sequential one.
+func (m *Matcher) LSim(a, b *SchemaInfo) matrix.Matrix {
 	compat := m.CompatiblePairs(a, b)
-	lsim := make([][]float64, a.Schema.Len())
-	for i := range lsim {
-		lsim[i] = make([]float64, b.Schema.Len())
-	}
+	lsim := matrix.New(a.Schema.Len(), b.Schema.Len())
 	// Scale per element pair: best compatible category pair.
 	scale := map[[2]int]float64{}
 	// Deterministic iteration over compat.
@@ -315,8 +401,13 @@ func (m *Matcher) LSim(a, b *SchemaInfo) [][]float64 {
 			}
 		}
 	}
-	for p, sc := range scale {
-		lsim[p[0]][p[1]] = m.NameSimTS(a.Tokens[p[0]], b.Tokens[p[1]]) * sc
+	pairs := make([][2]int, 0, len(scale))
+	for p := range scale {
+		pairs = append(pairs, p)
 	}
+	par.For(len(pairs), func(k int) {
+		p := pairs[k]
+		lsim.Set(p[0], p[1], m.NameSimTS(a.Tokens[p[0]], b.Tokens[p[1]])*scale[p])
+	})
 	return lsim
 }

@@ -196,18 +196,18 @@ func TestLSimScalesAndPrunes(t *testing.T) {
 	}
 	st1, st2 := find(s1, "Street"), find(s2, "Street")
 	ci2 := find(s2, "City")
-	if got := lsim[st1.ID()][st2.ID()]; got < 0.99 {
+	if got := lsim.At(st1.ID(), st2.ID()); got < 0.99 {
 		t.Errorf("lsim(Street,Street) = %v, want ~1", got)
 	}
-	cross := lsim[st1.ID()][ci2.ID()]
-	if cross >= lsim[st1.ID()][st2.ID()] {
+	cross := lsim.At(st1.ID(), ci2.ID())
+	if cross >= lsim.At(st1.ID(), st2.ID()) {
 		t.Errorf("lsim(Street,City)=%v not below lsim(Street,Street)", cross)
 	}
 	// Bounds.
-	for i := range lsim {
-		for j := range lsim[i] {
-			if lsim[i][j] < 0 || lsim[i][j] > 1 {
-				t.Fatalf("lsim[%d][%d]=%v out of range", i, j, lsim[i][j])
+	for i := 0; i < lsim.Rows(); i++ {
+		for j := 0; j < lsim.Cols(); j++ {
+			if v := lsim.At(i, j); v < 0 || v > 1 {
+				t.Fatalf("lsim.At(%d, %d)=%v out of range", i, j, v)
 			}
 		}
 	}
@@ -226,7 +226,7 @@ func TestLSimZeroWithoutCompatibleCategories(t *testing.T) {
 	lsim := m.LSim(m.Analyze(s1), m.Analyze(s2))
 	// Xylophone(int) and Yurt(string): containers Zebra/Quokka are
 	// dissimilar, data types differ; no compatible category -> lsim 0.
-	if got := lsim[x1.ID()][y1.ID()]; got != 0 {
+	if got := lsim.At(x1.ID(), y1.ID()); got != 0 {
 		t.Errorf("lsim without compatible categories = %v, want 0", got)
 	}
 }

@@ -3,6 +3,7 @@ package mapping
 import (
 	"testing"
 
+	"repro/internal/matrix"
 	"repro/internal/model"
 	"repro/internal/schematree"
 	"repro/internal/structural"
@@ -25,12 +26,11 @@ func threeWayFixture(t *testing.T) (ab, bc *Mapping) {
 	}
 	a, b, c := build("A"), build("B"), build("C")
 	match := func(ts, tt *schematree.Tree) *Mapping {
-		lsim := make([][]float64, ts.Len())
-		for i := range lsim {
-			lsim[i] = make([]float64, tt.Len())
-			for j := range lsim[i] {
+		lsim := matrix.New(ts.Len(), tt.Len())
+		for i := 0; i < ts.Len(); i++ {
+			for j := 0; j < tt.Len(); j++ {
 				if ts.Nodes[i].Name() == tt.Nodes[j].Name() {
-					lsim[i][j] = 1
+					lsim.Set(i, j, 1)
 				}
 			}
 		}

@@ -17,6 +17,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/matrix"
 	"repro/internal/schematree"
 	"repro/internal/structural"
 )
@@ -118,7 +119,7 @@ func DefaultOptions() Options {
 }
 
 // Generate produces a mapping from TreeMatch results.
-func Generate(ts, tt *schematree.Tree, res *structural.Result, lsim [][]float64, opt Options) *Mapping {
+func Generate(ts, tt *schematree.Tree, res *structural.Result, lsim matrix.Matrix, opt Options) *Mapping {
 	m := &Mapping{SourceSchema: ts.Schema.Name, TargetSchema: tt.Schema.Name}
 	switch opt.Cardinality {
 	case OneToOne:
@@ -155,7 +156,7 @@ func parentWSim(res *structural.Result, s, t *schematree.Node) float64 {
 	if s.Parent == nil || t.Parent == nil {
 		return 0
 	}
-	return res.WSim[s.Parent.Idx][t.Parent.Idx]
+	return res.WSim.At(s.Parent.Idx, t.Parent.Idx)
 }
 
 // bestElsewhere precomputes, per eligible source node, its best and
@@ -188,7 +189,7 @@ func computeBestElsewhere(ts, tt *schematree.Tree, res *structural.Result, opt O
 			if !eligible(t, leaves, opt) {
 				continue
 			}
-			w := res.WSim[s.Idx][t.Idx]
+			w := res.WSim.At(s.Idx, t.Idx)
 			switch {
 			case w > be.max[s.Idx]:
 				be.second[s.Idx] = be.max[s.Idx]
@@ -213,7 +214,7 @@ func (be bestElsewhere) other(s, t int) float64 {
 // generateOneToN implements the paper's naive scheme: for each target node
 // the best acceptable source node (ties broken by parent context, then by
 // the margin rule, then post-order index).
-func generateOneToN(ts, tt *schematree.Tree, res *structural.Result, lsim [][]float64, opt Options, leaves bool) []Element {
+func generateOneToN(ts, tt *schematree.Tree, res *structural.Result, lsim matrix.Matrix, opt Options, leaves bool) []Element {
 	be := computeBestElsewhere(ts, tt, res, opt, leaves)
 	var out []Element
 	for _, t := range tt.Nodes {
@@ -228,7 +229,7 @@ func generateOneToN(ts, tt *schematree.Tree, res *structural.Result, lsim [][]fl
 			if !eligible(s, leaves, opt) {
 				continue
 			}
-			w := res.WSim[s.Idx][t.Idx]
+			w := res.WSim.At(s.Idx, t.Idx)
 			if w < opt.ThAccept {
 				continue
 			}
@@ -248,8 +249,8 @@ func generateOneToN(ts, tt *schematree.Tree, res *structural.Result, lsim [][]fl
 				Source: ts.Nodes[best],
 				Target: t,
 				WSim:   bestW,
-				SSim:   res.SSim[best][t.Idx],
-				LSim:   lsim[best][t.Idx],
+				SSim:   res.SSim.At(best, t.Idx),
+				LSim:   lsim.At(best, t.Idx),
 			})
 		}
 	}
@@ -259,7 +260,7 @@ func generateOneToN(ts, tt *schematree.Tree, res *structural.Result, lsim [][]fl
 // generateOneToOne greedily picks the globally best acceptable pairs,
 // consuming each source and target at most once. Ties break on post-order
 // indexes for determinism.
-func generateOneToOne(ts, tt *schematree.Tree, res *structural.Result, lsim [][]float64, opt Options, leaves bool) []Element {
+func generateOneToOne(ts, tt *schematree.Tree, res *structural.Result, lsim matrix.Matrix, opt Options, leaves bool) []Element {
 	be := computeBestElsewhere(ts, tt, res, opt, leaves)
 	type cand struct {
 		s, t  int
@@ -276,7 +277,7 @@ func generateOneToOne(ts, tt *schematree.Tree, res *structural.Result, lsim [][]
 			if !eligible(t, leaves, opt) {
 				continue
 			}
-			if w := res.WSim[s.Idx][t.Idx]; w >= opt.ThAccept {
+			if w := res.WSim.At(s.Idx, t.Idx); w >= opt.ThAccept {
 				pw := 0.0
 				if leaves {
 					pw = parentWSim(res, s, t)
@@ -313,8 +314,8 @@ func generateOneToOne(ts, tt *schematree.Tree, res *structural.Result, lsim [][]
 			Source: ts.Nodes[c.s],
 			Target: tt.Nodes[c.t],
 			WSim:   c.w,
-			SSim:   res.SSim[c.s][c.t],
-			LSim:   lsim[c.s][c.t],
+			SSim:   res.SSim.At(c.s, c.t),
+			LSim:   lsim.At(c.s, c.t),
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Target.Idx < out[j].Target.Idx })

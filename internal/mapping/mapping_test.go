@@ -4,13 +4,14 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/matrix"
 	"repro/internal/model"
 	"repro/internal/schematree"
 	"repro/internal/structural"
 )
 
 // fixture builds two small matched trees and runs TreeMatch + SecondPass.
-func fixture(t *testing.T) (*schematree.Tree, *schematree.Tree, *structural.Result, [][]float64) {
+func fixture(t *testing.T) (*schematree.Tree, *schematree.Tree, *structural.Result, matrix.Matrix) {
 	t.Helper()
 	build := func(name string) *model.Schema {
 		s := model.New(name)
@@ -28,12 +29,11 @@ func fixture(t *testing.T) (*schematree.Tree, *schematree.Tree, *structural.Resu
 	if err != nil {
 		t.Fatal(err)
 	}
-	lsim := make([][]float64, ts.Len())
-	for i := range lsim {
-		lsim[i] = make([]float64, tt.Len())
-		for j := range lsim[i] {
+	lsim := matrix.New(ts.Len(), tt.Len())
+	for i := 0; i < ts.Len(); i++ {
+		for j := 0; j < tt.Len(); j++ {
 			if ts.Nodes[i].Name() == tt.Nodes[j].Name() {
-				lsim[i][j] = 1
+				lsim.Set(i, j, 1)
 			}
 		}
 	}
@@ -97,13 +97,12 @@ func TestGenerateOneToNAllowsDuplicatedSources(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	lsim := make([][]float64, ts.Len())
-	for i := range lsim {
-		lsim[i] = make([]float64, tt.Len())
-		for j := range lsim[i] {
+	lsim := matrix.New(ts.Len(), tt.Len())
+	for i := 0; i < ts.Len(); i++ {
+		for j := 0; j < tt.Len(); j++ {
 			si, tj := ts.Nodes[i].Name(), tt.Nodes[j].Name()
 			if si == tj || (si == "City" && tj == "CityName") {
-				lsim[i][j] = 1
+				lsim.Set(i, j, 1)
 			}
 		}
 	}

@@ -36,26 +36,26 @@ func TestFastStrongLinksExact(t *testing.T) {
 
 		rf := TreeMatch(ts, tt, lsim, fast)
 		rs := TreeMatch(ts, tt, lsim, slow)
-		for i := range rf.SSim {
-			for j := range rf.SSim[i] {
-				if rf.SSim[i][j] != rs.SSim[i][j] {
+		for i := 0; i < rf.SSim.Rows(); i++ {
+			for j := 0; j < rf.SSim.Cols(); j++ {
+				if rf.SSim.At(i, j) != rs.SSim.At(i, j) {
 					t.Fatalf("%s: ssim[%d][%d] fast %v != slow %v",
-						w.Name, i, j, rf.SSim[i][j], rs.SSim[i][j])
+						w.Name, i, j, rf.SSim.At(i, j), rs.SSim.At(i, j))
 				}
-				if rf.WSim[i][j] != rs.WSim[i][j] {
+				if rf.WSim.At(i, j) != rs.WSim.At(i, j) {
 					t.Fatalf("%s: wsim[%d][%d] fast %v != slow %v",
-						w.Name, i, j, rf.WSim[i][j], rs.WSim[i][j])
+						w.Name, i, j, rf.WSim.At(i, j), rs.WSim.At(i, j))
 				}
 			}
 		}
 		// Second pass too.
 		SecondPass(rf, ts, tt, lsim, fast)
 		SecondPass(rs, ts, tt, lsim, slow)
-		for i := range rf.SSim {
-			for j := range rf.SSim[i] {
-				if rf.SSim[i][j] != rs.SSim[i][j] {
+		for i := 0; i < rf.SSim.Rows(); i++ {
+			for j := 0; j < rf.SSim.Cols(); j++ {
+				if rf.SSim.At(i, j) != rs.SSim.At(i, j) {
 					t.Fatalf("%s: second-pass ssim[%d][%d] fast %v != slow %v",
-						w.Name, i, j, rf.SSim[i][j], rs.SSim[i][j])
+						w.Name, i, j, rf.SSim.At(i, j), rs.SSim.At(i, j))
 				}
 			}
 		}

@@ -35,7 +35,7 @@ func TestChildrenShortcutOnIdenticalSchemas(t *testing.T) {
 	for _, si := range ts.Leaves(ts.Root) {
 		for _, ti := range tt.Leaves(tt.Root) {
 			if ts.Nodes[si].Name() == tt.Nodes[ti].Name() {
-				if w := res.WSim[si][ti]; w < p.ThAccept {
+				if w := res.WSim.At(si, ti); w < p.ThAccept {
 					t.Errorf("leaf %s wsim = %v below thaccept with shortcut",
 						ts.Nodes[si].Name(), w)
 				}
@@ -43,7 +43,7 @@ func TestChildrenShortcutOnIdenticalSchemas(t *testing.T) {
 		}
 	}
 	// Root pair similarity remains high.
-	if v := res.SSim[ts.Root.Idx][tt.Root.Idx]; v < 0.9 {
+	if v := res.SSim.At(ts.Root.Idx, tt.Root.Idx); v < 0.9 {
 		t.Errorf("root ssim with shortcut = %v", v)
 	}
 }
@@ -74,7 +74,7 @@ func TestChildrenShortcutNotOnDissimilar(t *testing.T) {
 	res := TreeMatch(ts, tt, lsimByName(ts, tt, nil), p)
 	n1 := ts.NodeByPath("A.T")
 	n2 := tt.NodeByPath("B.T")
-	if res.SSim[n1.Idx][n2.Idx] >= 0.9 {
-		t.Errorf("dissimilar tables got shortcut-level ssim %v", res.SSim[n1.Idx][n2.Idx])
+	if res.SSim.At(n1.Idx, n2.Idx) >= 0.9 {
+		t.Errorf("dissimilar tables got shortcut-level ssim %v", res.SSim.At(n1.Idx, n2.Idx))
 	}
 }

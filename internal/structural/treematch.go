@@ -1,6 +1,8 @@
 package structural
 
 import (
+	"repro/internal/matrix"
+	"repro/internal/par"
 	"repro/internal/schematree"
 )
 
@@ -10,12 +12,12 @@ type Result struct {
 	// SSim is the structural similarity; leaf entries start from the
 	// data-type compatibility table and are mutated by the increase /
 	// decrease steps.
-	SSim [][]float64
+	SSim matrix.Matrix
 	// WSim is the weighted similarity wsim = wstruct·ssim + (1−wstruct)·lsim.
 	// After TreeMatch returns, leaf entries reflect the final leaf ssim;
 	// non-leaf entries are as of their (single) visit — call SecondPass to
 	// recompute them for non-leaf mapping generation (paper §7).
-	WSim [][]float64
+	WSim matrix.Matrix
 
 	// Stats.
 	Comparisons int // node pairs fully compared
@@ -26,7 +28,7 @@ type Result struct {
 
 type matcher struct {
 	ts, tt *schematree.Tree
-	lsim   [][]float64
+	lsim   matrix.Matrix
 	p      Params
 	compat *CompatTable
 	res    *Result
@@ -45,13 +47,13 @@ type matcher struct {
 // lsim must be indexed by node post-order indexes ([sIdx][tIdx]); the core
 // package derives it from element-level linguistic similarity. The
 // parameter set p should satisfy p.Validate().
-func TreeMatch(ts, tt *schematree.Tree, lsim [][]float64, p Params) *Result {
+func TreeMatch(ts, tt *schematree.Tree, lsim matrix.Matrix, p Params) *Result {
 	m := &matcher{ts: ts, tt: tt, lsim: lsim, p: p, compat: p.Compat}
 	if m.compat == nil {
 		m.compat = DefaultCompat()
 	}
 	ns, nt := ts.Len(), tt.Len()
-	m.res = &Result{SSim: newMatrix(ns, nt), WSim: newMatrix(ns, nt)}
+	m.res = &Result{SSim: matrix.New(ns, nt), WSim: matrix.New(ns, nt)}
 	m.touchedS = make([]bool, ns)
 	m.touchedT = make([]bool, nt)
 	// The lazy memo's copy-invariance argument holds for the leaf basis
@@ -74,23 +76,25 @@ func TreeMatch(ts, tt *schematree.Tree, lsim [][]float64, p Params) *Result {
 	}
 
 	// Phase 1: initialize leaf structural similarity from the data-type
-	// compatibility table (value in [0, 0.5]).
-	for _, s := range ts.Nodes {
-		if !s.IsLeaf() {
-			continue
+	// compatibility table (value in [0, 0.5]). Embarrassingly parallel:
+	// each source leaf owns its matrix row, the compat table is read-only.
+	srcLeaves := ts.Leaves(ts.Root)
+	tgtLeaves := tt.Leaves(tt.Root)
+	par.For(len(srcLeaves), func(i int) {
+		si := srcLeaves[i]
+		st := ts.Nodes[si].Elem.Type
+		row := m.res.SSim.Row(si)
+		for _, ti := range tgtLeaves {
+			row[ti] = m.compat.Lookup(st, tt.Nodes[ti].Elem.Type)
 		}
-		for _, t := range tt.Nodes {
-			if !t.IsLeaf() {
-				continue
-			}
-			m.res.SSim[s.Idx][t.Idx] = m.compat.Lookup(s.Elem.Type, t.Elem.Type)
-		}
-	}
+	})
 
 	// Populate the strong-link index from the initialized leaf values.
 	m.reindexLinks()
 
-	// Phase 2: post-order sweep over all node pairs.
+	// Phase 2: post-order sweep over all node pairs. Sequential by design:
+	// the increase/decrease steps make later comparisons depend on earlier
+	// ones, so this is where the paper's order semantics live.
 	for _, s := range ts.Nodes {
 		for _, t := range tt.Nodes {
 			m.compare(s, t)
@@ -98,22 +102,16 @@ func TreeMatch(ts, tt *schematree.Tree, lsim [][]float64, p Params) *Result {
 	}
 
 	// Refresh leaf wsim entries: increase/decrease steps after a leaf
-	// pair's visit may have changed its ssim.
-	for _, si := range ts.Leaves(ts.Root) {
-		for _, ti := range tt.Leaves(tt.Root) {
-			m.res.WSim[si][ti] = m.wsimLeaf(si, ti)
+	// pair's visit may have changed its ssim. Also embarrassingly parallel
+	// (reads final ssim/lsim, writes disjoint wsim rows).
+	par.For(len(srcLeaves), func(i int) {
+		si := srcLeaves[i]
+		wRow := m.res.WSim.Row(si)
+		for _, ti := range tgtLeaves {
+			wRow[ti] = m.wsimLeaf(si, ti)
 		}
-	}
+	})
 	return m.res
-}
-
-func newMatrix(n, m int) [][]float64 {
-	buf := make([]float64, n*m)
-	rows := make([][]float64, n)
-	for i := range rows {
-		rows[i], buf = buf[:m:m], buf[m:]
-	}
-	return rows
 }
 
 // basis returns the descendant set that drives structural similarity for a
@@ -140,7 +138,7 @@ func (m *matcher) basis(tr *schematree.Tree, n *schematree.Node) []int {
 // pseudo-leaf basis node) pair from live ssim.
 func (m *matcher) wsimLeaf(si, ti int) float64 {
 	w := m.p.WStructLeaf
-	return w*m.res.SSim[si][ti] + (1-w)*m.lsim[si][ti]
+	return w*m.res.SSim.At(si, ti) + (1-w)*m.lsim.At(si, ti)
 }
 
 // strongLink reports whether basis nodes x,y currently have a strong link:
@@ -163,7 +161,7 @@ func (m *matcher) compare(s, t *schematree.Node) {
 			m.res.Pruned++
 			// Not compared: ssim stays 0, wsim records the linguistic part
 			// only, no increase/decrease.
-			m.res.WSim[s.Idx][t.Idx] = (1 - m.p.WStruct) * m.lsim[s.Idx][t.Idx]
+			m.res.WSim.Set(s.Idx, t.Idx, (1-m.p.WStruct)*m.lsim.At(s.Idx, t.Idx))
 			return
 		}
 	}
@@ -171,15 +169,15 @@ func (m *matcher) compare(s, t *schematree.Node) {
 
 	var ssim, w float64
 	if bothLeaves {
-		ssim = m.res.SSim[s.Idx][t.Idx] // initialized from the compat table
+		ssim = m.res.SSim.At(s.Idx, t.Idx) // initialized from the compat table
 		w = m.p.WStructLeaf
 	} else {
 		ssim = m.structuralSim(s, t, ls, lt)
-		m.res.SSim[s.Idx][t.Idx] = ssim
+		m.res.SSim.Set(s.Idx, t.Idx, ssim)
 		w = m.p.WStruct
 	}
-	wsim := w*ssim + (1-w)*m.lsim[s.Idx][t.Idx]
-	m.res.WSim[s.Idx][t.Idx] = wsim
+	wsim := w*ssim + (1-w)*m.lsim.At(s.Idx, t.Idx)
+	m.res.WSim.Set(s.Idx, t.Idx, wsim)
 
 	// Increase/decrease applies only to comparisons involving a non-leaf:
 	// the paper's rationale is ancestor context ("leaves with highly
@@ -286,7 +284,7 @@ func (m *matcher) childrenShortcut(s, t *schematree.Node) (float64, bool) {
 	}
 	for _, cs := range s.Children {
 		for _, ct := range t.Children {
-			if m.res.WSim[cs.Idx][ct.Idx] >= m.p.ThAccept {
+			if m.res.WSim.At(cs.Idx, ct.Idx) >= m.p.ThAccept {
 				linked++
 				break
 			}
@@ -294,7 +292,7 @@ func (m *matcher) childrenShortcut(s, t *schematree.Node) (float64, bool) {
 	}
 	for _, ct := range t.Children {
 		for _, cs := range s.Children {
-			if m.res.WSim[cs.Idx][ct.Idx] >= m.p.ThAccept {
+			if m.res.WSim.At(cs.Idx, ct.Idx) >= m.p.ThAccept {
 				linked++
 				break
 			}
@@ -325,11 +323,11 @@ func (m *matcher) isOptionalBasis(fromTree, xi int, anchor *schematree.Node) boo
 func (m *matcher) adjustLeaves(s, t *schematree.Node, factor float64) {
 	for _, xi := range m.ts.Leaves(s) {
 		for _, yi := range m.tt.Leaves(t) {
-			v := m.res.SSim[xi][yi] * factor
+			v := m.res.SSim.At(xi, yi) * factor
 			if v > 1 {
 				v = 1
 			}
-			m.res.SSim[xi][yi] = v
+			m.res.SSim.Set(xi, yi, v)
 			m.touchedS[xi] = true
 			m.touchedT[yi] = true
 			if m.links != nil {
@@ -416,7 +414,7 @@ func (m *matcher) memoStore(s, t *schematree.Node, ls, lt []int, v float64) {
 // of leaf similarities during tree match may affect the structural
 // similarity of non-leaf nodes after they were first calculated). No
 // increase/decrease steps run during the second pass.
-func SecondPass(res *Result, ts, tt *schematree.Tree, lsim [][]float64, p Params) {
+func SecondPass(res *Result, ts, tt *schematree.Tree, lsim matrix.Matrix, p Params) {
 	m := &matcher{ts: ts, tt: tt, lsim: lsim, p: p, compat: p.Compat, res: res}
 	if m.compat == nil {
 		m.compat = DefaultCompat()
@@ -451,8 +449,8 @@ func SecondPass(res *Result, ts, tt *schematree.Tree, lsim [][]float64, p Params
 				}
 			}
 			ssim := m.structuralSim(s, t, ls, lt)
-			res.SSim[s.Idx][t.Idx] = ssim
-			res.WSim[s.Idx][t.Idx] = p.WStruct*ssim + (1-p.WStruct)*lsim[s.Idx][t.Idx]
+			res.SSim.Set(s.Idx, t.Idx, ssim)
+			res.WSim.Set(s.Idx, t.Idx, p.WStruct*ssim+(1-p.WStruct)*lsim.At(s.Idx, t.Idx))
 		}
 	}
 }

@@ -3,17 +3,15 @@ package structural
 import (
 	"testing"
 
+	"repro/internal/matrix"
 	"repro/internal/model"
 	"repro/internal/schematree"
 )
 
 // lsimByName builds a node-level lsim matrix: 1.0 for equal names, plus
 // explicit overrides for named pairs (order-insensitive).
-func lsimByName(ts, tt *schematree.Tree, overrides map[[2]string]float64) [][]float64 {
-	l := make([][]float64, ts.Len())
-	for i := range l {
-		l[i] = make([]float64, tt.Len())
-	}
+func lsimByName(ts, tt *schematree.Tree, overrides map[[2]string]float64) matrix.Matrix {
+	l := matrix.New(ts.Len(), tt.Len())
 	get := func(a, b string) (float64, bool) {
 		if v, ok := overrides[[2]string{a, b}]; ok {
 			return v, true
@@ -25,10 +23,10 @@ func lsimByName(ts, tt *schematree.Tree, overrides map[[2]string]float64) [][]fl
 		for _, t := range tt.Nodes {
 			switch {
 			case s.Name() == t.Name():
-				l[s.Idx][t.Idx] = 1
+				l.Set(s.Idx, t.Idx, 1)
 			default:
 				if v, ok := get(s.Name(), t.Name()); ok {
-					l[s.Idx][t.Idx] = v
+					l.Set(s.Idx, t.Idx, v)
 				}
 			}
 		}
@@ -134,11 +132,11 @@ func TestIdenticalSchemasMatch(t *testing.T) {
 		s := ts.Nodes[si]
 		for _, ti := range tt.Leaves(tt.Root) {
 			tn := tt.Nodes[ti]
-			w := res.WSim[si][ti]
+			w := res.WSim.At(si, ti)
 			if s.Name() == tn.Name() && w < p.ThAccept {
 				t.Errorf("wsim(%s,%s) = %v below thaccept", s.Name(), tn.Name(), w)
 			}
-			if s.Name() != tn.Name() && w >= res.WSim[si][bestByName(tt, s.Name())] {
+			if s.Name() != tn.Name() && w >= res.WSim.At(si, bestByName(tt, s.Name())) {
 				t.Errorf("wsim(%s,%s) = %v not below namesake", s.Name(), tn.Name(), w)
 			}
 		}
@@ -146,8 +144,8 @@ func TestIdenticalSchemasMatch(t *testing.T) {
 	// Customer table pair matches structurally.
 	cs := ts.NodeByPath("S1.Customer")
 	ct := tt.NodeByPath("S2.Customer")
-	if res.SSim[cs.Idx][ct.Idx] < 0.99 {
-		t.Errorf("ssim(Customer,Customer) = %v, want ~1", res.SSim[cs.Idx][ct.Idx])
+	if res.SSim.At(cs.Idx, ct.Idx) < 0.99 {
+		t.Errorf("ssim(Customer,Customer) = %v, want ~1", res.SSim.At(cs.Idx, ct.Idx))
 	}
 	if res.Comparisons == 0 {
 		t.Error("no comparisons recorded")
@@ -194,8 +192,8 @@ func TestContextDisambiguation(t *testing.T) {
 	cityBill := ts.NodeByPath("PO.POBillTo.City")
 	cityInv := tt.NodeByPath("PurchaseOrder.InvoiceTo.City")
 	cityDel := tt.NodeByPath("PurchaseOrder.DeliverTo.City")
-	wInv := res.WSim[cityBill.Idx][cityInv.Idx]
-	wDel := res.WSim[cityBill.Idx][cityDel.Idx]
+	wInv := res.WSim.At(cityBill.Idx, cityInv.Idx)
+	wDel := res.WSim.At(cityBill.Idx, cityDel.Idx)
 	if wInv <= wDel {
 		t.Errorf("POBillTo.City: wsim(InvoiceTo.City)=%v should exceed wsim(DeliverTo.City)=%v", wInv, wDel)
 	}
@@ -203,9 +201,9 @@ func TestContextDisambiguation(t *testing.T) {
 	bN := ts.NodeByPath("PO.POBillTo")
 	iN := tt.NodeByPath("PurchaseOrder.InvoiceTo")
 	dN := tt.NodeByPath("PurchaseOrder.DeliverTo")
-	if res.WSim[bN.Idx][iN.Idx] <= res.WSim[bN.Idx][dN.Idx] {
+	if res.WSim.At(bN.Idx, iN.Idx) <= res.WSim.At(bN.Idx, dN.Idx) {
 		t.Errorf("POBillTo should prefer InvoiceTo: %v vs %v",
-			res.WSim[bN.Idx][iN.Idx], res.WSim[bN.Idx][dN.Idx])
+			res.WSim.At(bN.Idx, iN.Idx), res.WSim.At(bN.Idx, dN.Idx))
 	}
 }
 
@@ -249,14 +247,14 @@ func TestNestingRobustness(t *testing.T) {
 				tN = n
 			}
 		}
-		if w := res.WSim[sN.Idx][tN.Idx]; w < p.ThAccept {
+		if w := res.WSim.At(sN.Idx, tN.Idx); w < p.ThAccept {
 			t.Errorf("nested/flat leaf %s wsim = %v below thaccept", name, w)
 		}
 	}
 	// The two Customer nodes match despite different nesting.
 	cs := ts.NodeByPath("Nested.Customer")
 	cf := tt.NodeByPath("Flat.Customer")
-	if w := res.WSim[cs.Idx][cf.Idx]; w < p.ThAccept {
+	if w := res.WSim.At(cs.Idx, cf.Idx); w < p.ThAccept {
 		t.Errorf("Customer/Customer wsim = %v below thaccept", w)
 	}
 }
@@ -280,8 +278,8 @@ func TestLeafCountPruning(t *testing.T) {
 	// Big vs Small was pruned: ssim 0.
 	bN := ts.NodeByPath("A.Big")
 	sN := tt.NodeByPath("B.Small")
-	if res.SSim[bN.Idx][sN.Idx] != 0 {
-		t.Errorf("pruned pair ssim = %v, want 0", res.SSim[bN.Idx][sN.Idx])
+	if res.SSim.At(bN.Idx, sN.Idx) != 0 {
+		t.Errorf("pruned pair ssim = %v, want 0", res.SSim.At(bN.Idx, sN.Idx))
 	}
 	// Without pruning the pair is compared.
 	p.LeafCountPruning = false
@@ -289,7 +287,7 @@ func TestLeafCountPruning(t *testing.T) {
 	if res2.Pruned != 0 {
 		t.Error("pruning disabled but pairs pruned")
 	}
-	if res2.SSim[bN.Idx][sN.Idx] == 0 {
+	if res2.SSim.At(bN.Idx, sN.Idx) == 0 {
 		t.Error("unpruned pair should have nonzero ssim (c0 links)")
 	}
 }
@@ -326,13 +324,13 @@ func TestOptionalDiscount(t *testing.T) {
 	sOpt := tOpt.NodeByPath("S.T")
 	sReq := tReq.NodeByPath("S.T")
 	oN := tOther.NodeByPath("O.T")
-	if resOpt.SSim[sOpt.Idx][oN.Idx] <= resReq.SSim[sReq.Idx][oN.Idx] {
+	if resOpt.SSim.At(sOpt.Idx, oN.Idx) <= resReq.SSim.At(sReq.Idx, oN.Idx) {
 		t.Errorf("optional unmatched leaf should be discounted: opt=%v req=%v",
-			resOpt.SSim[sOpt.Idx][oN.Idx], resReq.SSim[sReq.Idx][oN.Idx])
+			resOpt.SSim.At(sOpt.Idx, oN.Idx), resReq.SSim.At(sReq.Idx, oN.Idx))
 	}
 	// With the discount the optional case is a perfect structural match.
-	if resOpt.SSim[sOpt.Idx][oN.Idx] < 0.99 {
-		t.Errorf("optional-discounted ssim = %v, want ~1", resOpt.SSim[sOpt.Idx][oN.Idx])
+	if resOpt.SSim.At(sOpt.Idx, oN.Idx) < 0.99 {
+		t.Errorf("optional-discounted ssim = %v, want ~1", resOpt.SSim.At(sOpt.Idx, oN.Idx))
 	}
 }
 
@@ -368,15 +366,15 @@ func TestLazyMemoIdenticalResults(t *testing.T) {
 	if lazy.MemoHits == 0 {
 		t.Error("lazy run recorded no memo hits on duplicated subtrees")
 	}
-	for i := range eager.SSim {
-		for j := range eager.SSim[i] {
-			if eager.SSim[i][j] != lazy.SSim[i][j] {
+	for i := 0; i < eager.SSim.Rows(); i++ {
+		for j := 0; j < eager.SSim.Cols(); j++ {
+			if eager.SSim.At(i, j) != lazy.SSim.At(i, j) {
 				t.Fatalf("ssim[%d][%d] differs: eager %v lazy %v",
-					i, j, eager.SSim[i][j], lazy.SSim[i][j])
+					i, j, eager.SSim.At(i, j), lazy.SSim.At(i, j))
 			}
-			if eager.WSim[i][j] != lazy.WSim[i][j] {
+			if eager.WSim.At(i, j) != lazy.WSim.At(i, j) {
 				t.Fatalf("wsim[%d][%d] differs: eager %v lazy %v",
-					i, j, eager.WSim[i][j], lazy.WSim[i][j])
+					i, j, eager.WSim.At(i, j), lazy.WSim.At(i, j))
 			}
 		}
 	}
@@ -390,8 +388,8 @@ func TestBasisChildrenAblation(t *testing.T) {
 	res := TreeMatch(ts, tt, lsimByName(ts, tt, nil), p)
 	cs := ts.NodeByPath("S1.Customer")
 	ct := tt.NodeByPath("S2.Customer")
-	if res.SSim[cs.Idx][ct.Idx] < 0.99 {
-		t.Errorf("children-basis ssim(Customer,Customer) = %v", res.SSim[cs.Idx][ct.Idx])
+	if res.SSim.At(cs.Idx, ct.Idx) < 0.99 {
+		t.Errorf("children-basis ssim(Customer,Customer) = %v", res.SSim.At(cs.Idx, ct.Idx))
 	}
 }
 
@@ -403,8 +401,8 @@ func TestFrontierDepthBasis(t *testing.T) {
 	res := TreeMatch(ts, tt, lsimByName(ts, tt, nil), p)
 	cs := ts.NodeByPath("S1.Customer")
 	ct := tt.NodeByPath("S2.Customer")
-	if res.SSim[cs.Idx][ct.Idx] < 0.99 {
-		t.Errorf("frontier-basis ssim = %v", res.SSim[cs.Idx][ct.Idx])
+	if res.SSim.At(cs.Idx, ct.Idx) < 0.99 {
+		t.Errorf("frontier-basis ssim = %v", res.SSim.At(cs.Idx, ct.Idx))
 	}
 }
 
@@ -418,10 +416,10 @@ func TestSecondPassRefreshesNonLeaves(t *testing.T) {
 	// Corrupt a non-leaf entry, run the second pass, verify recomputation.
 	cs := ts.NodeByPath("S1.Customer")
 	ct := tt.NodeByPath("S2.Customer")
-	res.SSim[cs.Idx][ct.Idx] = 0.123
+	res.SSim.Set(cs.Idx, ct.Idx, 0.123)
 	SecondPass(res, ts, tt, lsim, p)
-	if res.SSim[cs.Idx][ct.Idx] < 0.99 {
-		t.Errorf("second pass did not recompute: %v", res.SSim[cs.Idx][ct.Idx])
+	if res.SSim.At(cs.Idx, ct.Idx) < 0.99 {
+		t.Errorf("second pass did not recompute: %v", res.SSim.At(cs.Idx, ct.Idx))
 	}
 }
 
@@ -432,13 +430,13 @@ func TestBounds(t *testing.T) {
 	p := DefaultParams()
 	p.CInc = 3.0
 	res := TreeMatch(ts, tt, lsimByName(ts, tt, nil), p)
-	for i := range res.SSim {
-		for j := range res.SSim[i] {
-			if res.SSim[i][j] < 0 || res.SSim[i][j] > 1 {
-				t.Fatalf("ssim out of range: %v", res.SSim[i][j])
+	for i := 0; i < res.SSim.Rows(); i++ {
+		for j := 0; j < res.SSim.Cols(); j++ {
+			if res.SSim.At(i, j) < 0 || res.SSim.At(i, j) > 1 {
+				t.Fatalf("ssim out of range: %v", res.SSim.At(i, j))
 			}
-			if res.WSim[i][j] < 0 || res.WSim[i][j] > 1 {
-				t.Fatalf("wsim out of range: %v", res.WSim[i][j])
+			if res.WSim.At(i, j) < 0 || res.WSim.At(i, j) > 1 {
+				t.Fatalf("wsim out of range: %v", res.WSim.At(i, j))
 			}
 		}
 	}
@@ -451,9 +449,9 @@ func TestDeterminism(t *testing.T) {
 	lsim := lsimByName(ts, tt, nil)
 	a := TreeMatch(ts, tt, lsim, DefaultParams())
 	b := TreeMatch(ts, tt, lsim, DefaultParams())
-	for i := range a.WSim {
-		for j := range a.WSim[i] {
-			if a.WSim[i][j] != b.WSim[i][j] {
+	for i := 0; i < a.WSim.Rows(); i++ {
+		for j := 0; j < a.WSim.Cols(); j++ {
+			if a.WSim.At(i, j) != b.WSim.At(i, j) {
 				t.Fatalf("nondeterministic wsim at %d,%d", i, j)
 			}
 		}

@@ -7,6 +7,8 @@ import (
 	"testing"
 
 	"repro/internal/linguistic"
+	"repro/internal/matrix"
+	"repro/internal/par"
 	"repro/internal/schematree"
 	"repro/internal/structural"
 	"repro/internal/thesaurus"
@@ -83,11 +85,10 @@ func BenchmarkTreeMatchOnly(b *testing.B) {
 	a := lm.Analyze(w.Source)
 	c := lm.Analyze(w.Target)
 	elem := lm.LSim(a, c)
-	lsim := make([][]float64, ts.Len())
+	lsim := matrix.New(ts.Len(), tt.Len())
 	for i, sn := range ts.Nodes {
-		lsim[i] = make([]float64, tt.Len())
 		for j, tn := range tt.Nodes {
-			lsim[i][j] = elem[sn.Elem.ID()][tn.Elem.ID()]
+			lsim.Set(i, j, elem.At(sn.Elem.ID(), tn.Elem.ID()))
 		}
 	}
 	p := structural.DefaultParams()
@@ -106,5 +107,88 @@ func BenchmarkLinguisticPhaseOnly(b *testing.B) {
 		a := lm.Analyze(w.Source)
 		c := lm.Analyze(w.Target)
 		lm.LSim(a, c)
+	}
+}
+
+func BenchmarkNameSimTS(b *testing.B) {
+	lm := linguistic.NewMatcher(workloads.PaperThesaurus())
+	ts1 := linguistic.Normalize("PurchaseOrderLines", lm.Th)
+	ts2 := linguistic.Normalize("OrderItems", lm.Th)
+	lm.NameSimTS(ts1, ts2) // warm the token-sim cache
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		lm.NameSimTS(ts1, ts2)
+	}
+}
+
+func BenchmarkLSimWarm(b *testing.B) {
+	w := workloads.CIDXExcel()
+	lm := linguistic.NewMatcher(workloads.PaperThesaurus())
+	a := lm.Analyze(w.Source)
+	c := lm.Analyze(w.Target)
+	lm.LSim(a, c) // warm the token-sim cache
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		lm.LSim(a, c)
+	}
+}
+
+// allocFixture builds the mid-size synthetic schema pair used by the
+// allocation-regression assertions (41 elements per side with the default
+// spec: big enough that a per-row or per-call allocation regression is
+// amplified well past the bounds, small enough to run in milliseconds).
+func allocFixture(tb testing.TB) (lm *linguistic.Matcher, a, c *linguistic.SchemaInfo,
+	ts, tt *schematree.Tree, lsim matrix.Matrix) {
+	tb.Helper()
+	w := workloads.Synthetic(workloads.SyntheticSpec{
+		Tables: 4, ColsPerTable: 8, Depth: 2, Seed: 2, Rename: 0.3, Renest: 0.2,
+	})
+	lm = linguistic.NewMatcher(workloads.PaperThesaurus())
+	a = lm.Analyze(w.Source)
+	c = lm.Analyze(w.Target)
+	var err error
+	if ts, err = schematree.Build(w.Source, schematree.DefaultOptions()); err != nil {
+		tb.Fatal(err)
+	}
+	if tt, err = schematree.Build(w.Target, schematree.DefaultOptions()); err != nil {
+		tb.Fatal(err)
+	}
+	elem := lm.LSim(a, c)
+	lsim = matrix.New(ts.Len(), tt.Len())
+	for i, sn := range ts.Nodes {
+		for j, tn := range tt.Nodes {
+			lsim.Set(i, j, elem.At(sn.Elem.ID(), tn.Elem.ID()))
+		}
+	}
+	return lm, a, c, ts, tt, lsim
+}
+
+// TestAllocRegressions pins the allocation behaviour of the hot paths on a
+// mid-size synthetic schema. Bounds carry ~2x headroom over the measured
+// values (0, 68, 75 at the time of writing), so incidental churn passes
+// but reintroducing a per-call or per-row allocation (e.g. ByType
+// re-filtering, [][]float64 row allocation) fails loudly. Runs with one
+// worker so the goroutine machinery of the parallel path is not counted.
+func TestAllocRegressions(t *testing.T) {
+	prev := par.SetMaxWorkers(1)
+	defer par.SetMaxWorkers(prev)
+	lm, a, c, ts, tt, lsim := allocFixture(t)
+
+	ts1 := linguistic.Normalize("PurchaseOrderLines", lm.Th)
+	ts2 := linguistic.Normalize("OrderItems", lm.Th)
+	lm.NameSimTS(ts1, ts2) // warm the cache: steady-state is what we pin
+	if got := testing.AllocsPerRun(200, func() { lm.NameSimTS(ts1, ts2) }); got > 0 {
+		t.Errorf("NameSimTS allocates %.1f objects/op on warm cache, want 0", got)
+	}
+
+	if got := testing.AllocsPerRun(10, func() { lm.LSim(a, c) }); got > 150 {
+		t.Errorf("LSim allocates %.1f objects/op, want <= 150", got)
+	}
+
+	p := structural.DefaultParams()
+	if got := testing.AllocsPerRun(10, func() { structural.TreeMatch(ts, tt, lsim, p) }); got > 150 {
+		t.Errorf("TreeMatch allocates %.1f objects/op, want <= 150", got)
 	}
 }
