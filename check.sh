@@ -1,0 +1,26 @@
+#!/bin/sh
+# check.sh — the repository's `make check` equivalent: the same gate that
+# `cupidbench -exp bench` runs before recording benchmarks, runnable
+# standalone (and from CI). Fails on formatting drift before anything else
+# so BENCH_cupid.json and reviews never see unformatted sources.
+set -eu
+cd "$(dirname "$0")"
+
+echo "check: gofmt -l ."
+dirty=$(gofmt -l .)
+if [ -n "$dirty" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$dirty" >&2
+    exit 1
+fi
+
+echo "check: go vet ./..."
+go vet ./...
+
+echo "check: go build ./..."
+go build ./...
+
+echo "check: go test ./..."
+go test ./...
+
+echo "check: ok"

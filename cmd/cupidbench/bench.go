@@ -11,11 +11,14 @@ import (
 	"os"
 	"os/exec"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/eval"
+	"repro/internal/model"
 	"repro/internal/par"
+	"repro/internal/registry"
 	"repro/internal/workloads"
 )
 
@@ -33,6 +36,23 @@ type BenchPoint struct {
 	Speedup        float64 `json:"speedup"` // seq/par wall-clock ratio
 }
 
+// BatchPoint measures the repository workload: one probe schema matched
+// against K registered schemas, naively (K independent Match calls, each
+// re-validating, re-expanding and re-analyzing both sides) versus via the
+// prepared-schema registry (probe prepared once per op, repository
+// prepared once ever, MatchAll fanning over the worker pool).
+type BatchPoint struct {
+	K             int `json:"k"`
+	ProbeElements int `json:"probe_elements"`
+	RepoElements  int `json:"repo_elements"` // total across the K schemas
+	// Cost of one full 1-vs-K sweep.
+	NaiveNsPerOp        int64   `json:"naive_ns_per_op"`
+	PreparedNsPerOp     int64   `json:"prepared_ns_per_op"`
+	NaiveAllocsPerOp    int64   `json:"naive_allocs_per_op"`
+	PreparedAllocsPerOp int64   `json:"prepared_allocs_per_op"`
+	Speedup             float64 `json:"speedup"` // naive/prepared wall clock
+}
+
 // BenchReport is the file format of BENCH_cupid.json.
 type BenchReport struct {
 	GeneratedUnix int64        `json:"generated_unix"`
@@ -41,6 +61,10 @@ type BenchReport struct {
 	Workers       int          `json:"workers"`
 	Note          string       `json:"note"`
 	Points        []BenchPoint `json:"points"`
+	// Batch is the 1-vs-K repository workload (the registry's raison
+	// d'être): prepared matching must beat K independent Match calls on
+	// both time and allocations.
+	Batch *BatchPoint `json:"batch,omitempty"`
 }
 
 // benchSpecs is the sweep measured by -exp bench: the eval scalability
@@ -72,7 +96,7 @@ func selfCheck() error {
 	}
 	steps := [][]string{
 		{"go", "vet", "./..."},
-		{"go", "test", "-race", "-count=1", "./internal/linguistic", "./internal/structural"},
+		{"go", "test", "-race", "-count=1", "./internal/linguistic", "./internal/structural", "./internal/registry"},
 	}
 	for _, args := range steps {
 		fmt.Printf("bench self-check: %v\n", args)
@@ -83,18 +107,29 @@ func selfCheck() error {
 			return fmt.Errorf("bench self-check failed (%v): %w", args, err)
 		}
 	}
+	// Formatting gate: benchmarks are only recorded from a gofmt-clean
+	// tree, so BENCH_cupid.json never snapshots drifting sources (the
+	// standalone ./check.sh runs the same gate).
+	if _, err := exec.LookPath("gofmt"); err != nil {
+		fmt.Println("bench self-check: gofmt not found, skipping format gate")
+		return nil
+	}
+	fmt.Println("bench self-check: gofmt -l .")
+	out, err := exec.Command("gofmt", "-l", ".").Output()
+	if err != nil {
+		return fmt.Errorf("bench self-check: gofmt: %w", err)
+	}
+	if dirty := strings.TrimSpace(string(out)); dirty != "" {
+		return fmt.Errorf("bench self-check: gofmt needed on:\n%s", dirty)
+	}
 	return nil
 }
 
-// measure times the full pipeline on one workload at the given worker cap.
-// Each iteration builds a fresh Matcher (cold caches), matching how the
-// eval harness runs. It returns ns/op and heap-objects/op averaged over
-// enough iterations to fill minDuration.
-func measure(w workloads.Workload, cfg core.Config, workers int) (nsPerOp, allocsPerOp int64, err error) {
-	prev := par.SetMaxWorkers(workers)
-	defer par.SetMaxWorkers(prev)
+// timeOp times op (one warm-up call, then repeats until minDuration),
+// returning ns/op and heap-objects/op.
+func timeOp(op func() error) (nsPerOp, allocsPerOp int64, err error) {
 	// Warm-up run (page in schemas, thesaurus, code paths).
-	if _, _, err = eval.RunCupid(w, cfg); err != nil {
+	if err = op(); err != nil {
 		return 0, 0, err
 	}
 	const minDuration = 300 * time.Millisecond
@@ -104,7 +139,7 @@ func measure(w workloads.Workload, cfg core.Config, workers int) (nsPerOp, alloc
 	runtime.ReadMemStats(&ms0)
 	start := time.Now()
 	for time.Since(start) < minDuration || iters < minIters {
-		if _, _, err = eval.RunCupid(w, cfg); err != nil {
+		if err = op(); err != nil {
 			return 0, 0, err
 		}
 		iters++
@@ -112,6 +147,92 @@ func measure(w workloads.Workload, cfg core.Config, workers int) (nsPerOp, alloc
 	elapsed := time.Since(start)
 	runtime.ReadMemStats(&ms1)
 	return elapsed.Nanoseconds() / int64(iters), int64(ms1.Mallocs-ms0.Mallocs) / int64(iters), nil
+}
+
+// measure times the full pipeline on one workload at the given worker cap.
+// Each iteration builds a fresh Matcher (cold caches), matching how the
+// eval harness runs.
+func measure(w workloads.Workload, cfg core.Config, workers int) (nsPerOp, allocsPerOp int64, err error) {
+	prev := par.SetMaxWorkers(workers)
+	defer par.SetMaxWorkers(prev)
+	return timeOp(func() error {
+		_, _, err := eval.RunCupid(w, cfg)
+		return err
+	})
+}
+
+// batchK is the repository size of the batch workload: one probe schema
+// against K=50 prepared schemas (the ISSUE acceptance criterion).
+const batchK = 50
+
+// runBatch measures the repository workload. The naive baseline issues K
+// independent Match calls on a shared matcher — today's API, which
+// re-validates, re-expands and re-analyzes the probe and the stored
+// schema on every call. The prepared path registers the repository once
+// (outside the timed loop; that is the point of the registry), then pays
+// per op only the probe's Prepare plus MatchAll.
+func runBatch(cfg core.Config) (*BatchPoint, error) {
+	probe := workloads.Synthetic(workloads.SyntheticSpec{
+		Tables: 2, ColsPerTable: 6, Depth: 2, Seed: 99, Rename: 0.3, Renest: 0.2,
+	}).Source
+	repo := make([]*model.Schema, batchK)
+	repoElements := 0
+	for i := range repo {
+		s := workloads.Synthetic(workloads.SyntheticSpec{
+			Tables: 2, ColsPerTable: 6, Depth: 2, Seed: int64(i + 1), Rename: 0.4, Renest: 0.3,
+		}).Target
+		s.Name = fmt.Sprintf("%s-r%d", s.Name, i)
+		repo[i] = s
+		repoElements += s.Len()
+	}
+
+	naive, err := core.NewMatcher(cfg)
+	if err != nil {
+		return nil, err
+	}
+	naiveNs, naiveAllocs, err := timeOp(func() error {
+		for _, s := range repo {
+			if _, err := naive.Match(probe, s); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	reg, err := registry.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range repo {
+		if _, _, err := reg.Register(s.Name, s); err != nil {
+			return nil, err
+		}
+	}
+	prepNs, prepAllocs, err := timeOp(func() error {
+		p, err := reg.Matcher().Prepare(probe)
+		if err != nil {
+			return err
+		}
+		_, err = reg.MatchAll(p, 0)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	return &BatchPoint{
+		K:                   batchK,
+		ProbeElements:       probe.Len(),
+		RepoElements:        repoElements,
+		NaiveNsPerOp:        naiveNs,
+		PreparedNsPerOp:     prepNs,
+		NaiveAllocsPerOp:    naiveAllocs,
+		PreparedAllocsPerOp: prepAllocs,
+		Speedup:             float64(naiveNs) / float64(prepNs),
+	}, nil
 }
 
 // runBench executes the sweep and writes the JSON report.
@@ -128,7 +249,9 @@ func runBench(outPath string, withSelfCheck bool) error {
 		Workers:       par.Workers(),
 		Note: "full Match pipeline, fresh matcher per op; sequential = 1 worker, " +
 			"parallel = default pool; speedup tracks wall clock and approaches the " +
-			"core count on multi-core hardware (1.0 on a single-core machine)",
+			"core count on multi-core hardware (1.0 on a single-core machine). " +
+			"batch = 1 probe vs K prepared repository schemas: naive re-runs " +
+			"expansion+analysis per Match call, prepared pays them once (registry)",
 	}
 	fmt.Println("cupidbench: sequential vs parallel pipeline sweep")
 	fmt.Printf("  GOMAXPROCS=%d NumCPU=%d workers=%d\n", report.GoMaxProcs, report.NumCPU, report.Workers)
@@ -161,6 +284,21 @@ func runBench(outPath string, withSelfCheck bool) error {
 			pt.Elements, pt.Leaves, pt.SeqNsPerOp, pt.ParNsPerOp, pt.Speedup,
 			pt.SeqAllocsPerOp, pt.ParAllocsPerOp, pt.Name)
 	}
+	fmt.Printf("cupidbench: batch repository workload (1 probe vs K=%d prepared schemas)\n", batchK)
+	batch, err := runBatch(cfg)
+	if err != nil {
+		return err
+	}
+	report.Batch = batch
+	fmt.Printf("  naive (K Match calls):    %-13d ns/op  %d allocs/op\n", batch.NaiveNsPerOp, batch.NaiveAllocsPerOp)
+	fmt.Printf("  prepared (registry):      %-13d ns/op  %d allocs/op\n", batch.PreparedNsPerOp, batch.PreparedAllocsPerOp)
+	fmt.Printf("  speedup: %.2fx  alloc ratio: %.2fx\n", batch.Speedup,
+		float64(batch.NaiveAllocsPerOp)/float64(batch.PreparedAllocsPerOp))
+	if batch.PreparedNsPerOp >= batch.NaiveNsPerOp || batch.PreparedAllocsPerOp >= batch.NaiveAllocsPerOp {
+		return fmt.Errorf("batch workload regression: prepared matching must beat %d independent Match calls on time and allocs (got %d vs %d ns/op, %d vs %d allocs/op)",
+			batchK, batch.PreparedNsPerOp, batch.NaiveNsPerOp, batch.PreparedAllocsPerOp, batch.NaiveAllocsPerOp)
+	}
+
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err

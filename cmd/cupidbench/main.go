@@ -18,7 +18,9 @@
 //	scale      scalability sweep over synthetic schemas (§10 future work)
 //	ablation   design-choice ablations on CIDX-Excel (E10)
 //	tune       auto-tuning grid search (§10 future work)
-//	bench      sequential-vs-parallel perf sweep -> BENCH_cupid.json
+//	bench      sequential-vs-parallel perf sweep + the 1-vs-K batch
+//	           repository workload (naive Match calls vs the prepared-
+//	           schema registry) -> BENCH_cupid.json
 //	all        everything (default; excludes tune and bench)
 //
 // With -csv, the scale and ablation experiments additionally emit CSV to

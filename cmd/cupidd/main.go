@@ -1,0 +1,414 @@
+// Command cupidd serves Cupid schema matching over HTTP/JSON: a
+// prepared-schema repository that clients register schemas into once and
+// then match against — the paper's framing of a matcher that a tool
+// repeatedly applies against a repository of known schemas, run as a
+// service. Registration pays the per-schema cost (validation, tree
+// expansion, linguistic analysis) up front; every subsequent match reuses
+// the prepared artifact, and batch matching fans one-vs-all out over the
+// worker pool.
+//
+// Usage:
+//
+//	cupidd [flags]
+//
+// Flags:
+//
+//	-addr ADDR        listen address (default :8427)
+//	-thesaurus FILE   load a thesaurus JSON file (default: built-in base)
+//	-no-thesaurus     run with an empty thesaurus
+//	-one-to-one       generate 1:1 mappings instead of the naive 1:n
+//	-min FLOAT        acceptance threshold thaccept (default 0.5)
+//
+// Endpoints (request and response bodies are JSON):
+//
+//	POST   /schemas          register {name?, format, content}; format is
+//	                         sql, xsd, dtd or json (cupidmatch's formats)
+//	GET    /schemas          list registered schemas
+//	DELETE /schemas/{name}   remove one schema
+//	POST   /match            match two schemas: {source, target}, each a
+//	                         {"name": ...} reference to a registered schema
+//	                         or an inline {"format", "content"} document
+//	POST   /match/batch      rank the repository against one source schema:
+//	                         {source, topK?}; returns top-K scored results
+//	GET    /healthz          liveness probe
+//
+// The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests before exiting.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	cupid "repro"
+)
+
+// server bundles the registry with the HTTP handlers.
+type server struct {
+	reg *cupid.SchemaRegistry
+}
+
+func newServer(cfg cupid.Config) (*server, error) {
+	reg, err := cupid.NewRegistry(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &server{reg: reg}, nil
+}
+
+// schemaRef names a schema for a match request: either a registered
+// repository entry ({"name": "po"}) or an inline document
+// ({"format": "sql", "content": "CREATE TABLE ..."}).
+type schemaRef struct {
+	Name    string `json:"name,omitempty"`
+	Format  string `json:"format,omitempty"`
+	Content string `json:"content,omitempty"`
+}
+
+// schemaInfo is the summary returned for registered schemas.
+type schemaInfo struct {
+	Name        string `json:"name"`
+	Fingerprint string `json:"fingerprint"`
+	Elements    int    `json:"elements"`
+	Leaves      int    `json:"leaves"`
+}
+
+func infoOf(e *cupid.RegistryEntry) schemaInfo {
+	return schemaInfo{
+		Name:        e.Name,
+		Fingerprint: e.Fingerprint,
+		Elements:    e.Prepared.Schema().Len(),
+		Leaves:      e.Prepared.Tree().NumLeaves(),
+	}
+}
+
+// httpError carries a status code out of a handler helper.
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func errf(code int, format string, args ...any) error {
+	return &httpError{code: code, msg: fmt.Sprintf(format, args...)}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Printf("cupidd: writing response: %v", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	var he *httpError
+	if errors.As(err, &he) {
+		code = he.code
+	}
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// decodeBody decodes a JSON request body, rejecting unknown fields so
+// client typos surface as errors instead of silent defaults.
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return errf(http.StatusBadRequest, "decoding request body: %v", err)
+	}
+	return nil
+}
+
+// resolve turns a schemaRef into a prepared schema (plus its repository
+// name when registered).
+func (s *server) resolve(ref schemaRef) (*cupid.Prepared, string, error) {
+	switch {
+	case ref.Name != "" && ref.Content == "":
+		e, ok := s.reg.Get(ref.Name)
+		if !ok {
+			return nil, "", errf(http.StatusNotFound, "schema %q is not registered", ref.Name)
+		}
+		return e.Prepared, e.Name, nil
+	case ref.Content != "":
+		if ref.Format == "" {
+			return nil, "", errf(http.StatusBadRequest, "inline schema needs a format (one of %s)", strings.Join(cupid.SchemaFormats(), ", "))
+		}
+		sch, err := cupid.ParseSchema(ref.Name, ref.Format, []byte(ref.Content))
+		if err != nil {
+			return nil, "", errf(http.StatusBadRequest, "parsing inline schema: %v", err)
+		}
+		p, err := s.reg.Matcher().Prepare(sch)
+		if err != nil {
+			return nil, "", errf(http.StatusBadRequest, "preparing inline schema: %v", err)
+		}
+		return p, "", nil
+	default:
+		return nil, "", errf(http.StatusBadRequest, `schema reference needs "name" or "format"+"content"`)
+	}
+}
+
+func (s *server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Name    string `json:"name,omitempty"`
+		Format  string `json:"format"`
+		Content string `json:"content"`
+	}
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	sch, err := cupid.ParseSchema(req.Name, req.Format, []byte(req.Content))
+	if err != nil {
+		writeError(w, errf(http.StatusBadRequest, "parsing schema: %v", err))
+		return
+	}
+	e, created, err := s.reg.Register(req.Name, sch)
+	if err != nil {
+		writeError(w, errf(http.StatusBadRequest, "%v", err))
+		return
+	}
+	code := http.StatusCreated
+	if !created {
+		code = http.StatusOK // idempotent re-registration
+	}
+	writeJSON(w, code, infoOf(e))
+}
+
+func (s *server) handleList(w http.ResponseWriter, _ *http.Request) {
+	entries := s.reg.List()
+	infos := make([]schemaInfo, 0, len(entries))
+	for _, e := range entries {
+		infos = append(infos, infoOf(e))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"schemas": infos})
+}
+
+func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.reg.Remove(name) {
+		writeError(w, errf(http.StatusNotFound, "schema %q is not registered", name))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"removed": name})
+}
+
+// jsonPair is one mapping element in a match response.
+type jsonPair struct {
+	Source string  `json:"source"`
+	Target string  `json:"target"`
+	WSim   float64 `json:"wsim"`
+	SSim   float64 `json:"ssim"`
+	LSim   float64 `json:"lsim"`
+}
+
+func pairsOf(es []cupid.MappingElement) []jsonPair {
+	out := make([]jsonPair, 0, len(es))
+	for _, e := range es {
+		out = append(out, jsonPair{
+			Source: e.Source.Path(),
+			Target: e.Target.Path(),
+			WSim:   e.WSim,
+			SSim:   e.SSim,
+			LSim:   e.LSim,
+		})
+	}
+	return out
+}
+
+func (s *server) handleMatch(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Source schemaRef `json:"source"`
+		Target schemaRef `json:"target"`
+	}
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	src, _, err := s.resolve(req.Source)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	dst, _, err := s.resolve(req.Target)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	res, err := s.reg.Matcher().MatchPrepared(src, dst)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"sourceSchema": res.SourceTree.Schema.Name,
+		"targetSchema": res.TargetTree.Schema.Name,
+		"leaves":       pairsOf(res.Mapping.Leaves),
+		"nonLeaves":    pairsOf(res.Mapping.NonLeaves),
+	})
+}
+
+// batchResult is one ranked repository schema in a batch response.
+type batchResult struct {
+	Name        string     `json:"name"`
+	Fingerprint string     `json:"fingerprint"`
+	Score       float64    `json:"score"`
+	Leaves      []jsonPair `json:"leaves"`
+}
+
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Source schemaRef `json:"source"`
+		TopK   int       `json:"topK,omitempty"`
+	}
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	src, srcName, err := s.resolve(req.Source)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	// Rank the whole repository, drop the source's trivial self-match,
+	// and only then truncate — otherwise a registered source would eat
+	// one of the caller's topK slots with itself.
+	ranked, err := s.reg.MatchAll(src, 0)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	results := make([]batchResult, 0, len(ranked))
+	for _, rk := range ranked {
+		// A registered source trivially matches itself; skip that entry.
+		// The fingerprint check keeps the entry in the ranking if a
+		// concurrent re-registration replaced the name with different
+		// content between resolve and the MatchAll snapshot.
+		if srcName != "" && rk.Entry.Name == srcName && rk.Entry.Fingerprint == src.Fingerprint() {
+			continue
+		}
+		if req.TopK > 0 && len(results) == req.TopK {
+			break
+		}
+		results = append(results, batchResult{
+			Name:        rk.Entry.Name,
+			Fingerprint: rk.Entry.Fingerprint,
+			Score:       rk.Score,
+			Leaves:      pairsOf(rk.Result.Mapping.Leaves),
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"source":  sourceName(src, srcName),
+		"results": results,
+	})
+}
+
+// sourceName labels the batch source: its repository name when registered,
+// otherwise the inline schema's own name.
+func sourceName(p *cupid.Prepared, registered string) string {
+	if registered != "" {
+		return registered
+	}
+	return p.Schema().Name
+}
+
+// routes builds the HTTP handler; split out so tests can drive the server
+// through httptest without binding a socket.
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /schemas", s.handleRegister)
+	mux.HandleFunc("GET /schemas", s.handleList)
+	mux.HandleFunc("DELETE /schemas/{name}", s.handleDelete)
+	mux.HandleFunc("POST /match", s.handleMatch)
+	mux.HandleFunc("POST /match/batch", s.handleBatch)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+func run() error {
+	addr := flag.String("addr", ":8427", "listen address")
+	thesaurusPath := flag.String("thesaurus", "", "thesaurus JSON file (default: built-in base thesaurus)")
+	noThesaurus := flag.Bool("no-thesaurus", false, "run with an empty thesaurus")
+	oneToOne := flag.Bool("one-to-one", false, "generate 1:1 mappings")
+	minAccept := flag.Float64("min", 0.5, "acceptance threshold thaccept")
+	flag.Parse()
+
+	cfg := cupid.DefaultConfig()
+	switch {
+	case *noThesaurus:
+		cfg.Thesaurus = cupid.NewThesaurus()
+	case *thesaurusPath != "":
+		f, err := os.Open(*thesaurusPath)
+		if err != nil {
+			return err
+		}
+		th, err := cupid.ReadThesaurus(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("loading thesaurus: %w", err)
+		}
+		cfg.Thesaurus = th
+	}
+	if *oneToOne {
+		cfg.Mapping.Cardinality = cupid.OneToOne
+	}
+	cfg.Mapping.ThAccept = *minAccept
+
+	s, err := newServer(cfg)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.routes(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("cupidd: listening on %s", *addr)
+		errCh <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+		stop()
+		log.Print("cupidd: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			return fmt.Errorf("graceful shutdown: %w", err)
+		}
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cupidd:", err)
+		os.Exit(1)
+	}
+}

@@ -38,18 +38,12 @@ func loadSchema(path string) (*cupid.Schema, error) {
 	if err != nil {
 		return nil, err
 	}
-	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
-	switch strings.ToLower(filepath.Ext(path)) {
-	case ".sql":
-		return cupid.ParseSQL(name, string(data))
-	case ".xsd":
-		return cupid.ParseXSD(name, data)
-	case ".dtd":
-		return cupid.ParseDTD(name, string(data))
-	case ".json":
-		return cupid.ReadSchemaJSON(strings.NewReader(string(data)))
+	ext := filepath.Ext(path)
+	if ext == "" {
+		return nil, fmt.Errorf("cannot infer the schema format of %q: the path has no extension (want .sql, .xsd, .dtd or .json)", path)
 	}
-	return nil, fmt.Errorf("unknown schema format %q (want .sql, .xsd, .dtd or .json)", filepath.Ext(path))
+	name := strings.TrimSuffix(filepath.Base(path), ext)
+	return cupid.ParseSchema(name, ext, data)
 }
 
 func run() error {

@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -38,10 +39,20 @@ func TestLoadSchemaDispatch(t *testing.T) {
 		}
 	}
 
-	// Unknown extension rejected.
+	// Unknown extension rejected, with the extension named in the error.
 	txt := write(t, dir, "e.txt", "hello")
 	if _, err := loadSchema(txt); err == nil {
 		t.Error("unknown extension accepted")
+	} else if !strings.Contains(err.Error(), ".txt") {
+		t.Errorf("unknown-extension error does not name the extension: %v", err)
+	}
+	// Extension-less path rejected with a readable message (not the old
+	// `unknown schema format ""`).
+	bare := write(t, dir, "noext", "hello")
+	if _, err := loadSchema(bare); err == nil {
+		t.Error("extension-less path accepted")
+	} else if !strings.Contains(err.Error(), "no extension") {
+		t.Errorf("extension-less error is not readable: %v", err)
 	}
 	// Missing file.
 	if _, err := loadSchema(filepath.Join(dir, "missing.sql")); err == nil {

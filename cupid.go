@@ -48,20 +48,38 @@
 // first, then share: mutating Config, Params or the Thesaurus while
 // matches are in flight is not synchronized.
 //
+// # Repository matching
+//
+// The paper frames Cupid as a matching component that a tool repeatedly
+// applies against a repository of known schemas. Matcher.Prepare builds a
+// reusable per-schema artifact (validated schema + expanded tree +
+// linguistic analysis) and Matcher.MatchPrepared matches two artifacts
+// with results bit-identical to Match, turning the per-schema phases into
+// a one-time cost. SchemaRegistry stores prepared schemas keyed by name
+// and content fingerprint and ranks a whole repository against one
+// incoming schema (MatchAll, fanned over the worker pool); the cupidd
+// command serves register/list/match/batch over HTTP/JSON.
+//
 // The cupidbench command's bench experiment (-exp bench) measures the
-// sequential-vs-parallel pipeline on synthetic schemas of growing size,
-// self-checks with go vet and the -race determinism tests, and writes the
-// trajectory to BENCH_cupid.json as the perf baseline for future changes.
+// sequential-vs-parallel pipeline on synthetic schemas of growing size
+// and the 1-vs-K batch repository workload (naive Match calls vs the
+// prepared-schema registry), self-checks with go vet, gofmt and the -race
+// determinism tests, and writes the trajectory to BENCH_cupid.json as the
+// perf baseline for future changes.
 package cupid
 
 import (
+	"bytes"
+	"fmt"
 	"io"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/dtd"
 	"repro/internal/linguistic"
 	"repro/internal/mapping"
 	"repro/internal/model"
+	"repro/internal/registry"
 	"repro/internal/schematree"
 	"repro/internal/sqlddl"
 	"repro/internal/structural"
@@ -217,7 +235,10 @@ type Node = schematree.Node
 func DefaultConfig() Config { return core.DefaultConfig() }
 
 // Matcher runs the Cupid pipeline for one configuration. A Matcher may be
-// reused across schema pairs; it is not safe for concurrent use.
+// reused across schema pairs and is safe for concurrent use (see the
+// package documentation's concurrency contract): the token-similarity
+// cache is sharded behind striped mutexes and all other per-match state is
+// call-local. Configure first, then share.
 type Matcher = core.Matcher
 
 // NewMatcher builds a Matcher, validating the configuration.
@@ -225,6 +246,62 @@ func NewMatcher(cfg Config) (*Matcher, error) { return core.NewMatcher(cfg) }
 
 // Match runs the full pipeline with DefaultConfig.
 func Match(source, target *Schema) (*Result, error) { return core.Match(source, target) }
+
+// Prepared is the reusable per-schema matching artifact: a validated
+// schema plus its expanded schema tree and linguistic analysis, immutable
+// after construction. Build one with Matcher.Prepare; matching two
+// prepared schemas with Matcher.MatchPrepared skips the per-schema phases
+// and is bit-identical to Match. Repository/service workloads (matching
+// one incoming schema against many stored ones) should prepare each
+// schema once — see SchemaRegistry and the cupidd server.
+type Prepared = core.Prepared
+
+// SchemaRegistry is a concurrency-safe repository of prepared schemas,
+// keyed by name and content fingerprint. Register schemas once, then
+// MatchAll an incoming schema against every entry (fanned out over the
+// worker pool) for ranked top-K retrieval.
+type SchemaRegistry = registry.Registry
+
+// RegistryEntry is one registered schema: name, content fingerprint, and
+// prepared artifact.
+type RegistryEntry = registry.Entry
+
+// RankedMatch is one repository schema's result in a MatchAll run.
+type RankedMatch = registry.Ranked
+
+// NewRegistry builds a schema registry with its own Matcher for the given
+// configuration.
+func NewRegistry(cfg Config) (*SchemaRegistry, error) { return registry.New(cfg) }
+
+// NewRegistryWithMatcher builds a schema registry around an existing
+// Matcher.
+func NewRegistryWithMatcher(m *Matcher) *SchemaRegistry { return registry.NewWithMatcher(m) }
+
+// SchemaFingerprint returns the stable content hash of a schema — the
+// identity the registry keys entries by.
+func SchemaFingerprint(s *Schema) string { return model.Fingerprint(s) }
+
+// SchemaFormats lists the schema formats ParseSchema accepts.
+func SchemaFormats() []string { return []string{"sql", "xsd", "dtd", "json"} }
+
+// ParseSchema imports a schema from raw bytes in the named format: "sql"
+// (SQL DDL), "xsd" (XML Schema), "dtd" (XML DTD), or "json" (the native
+// schema JSON). Format names are case-insensitive and may carry a leading
+// dot (".sql"), so file extensions can be passed through directly. The
+// cupidmatch CLI and the cupidd server share this loader.
+func ParseSchema(name, format string, data []byte) (*Schema, error) {
+	switch strings.TrimPrefix(strings.ToLower(strings.TrimSpace(format)), ".") {
+	case "sql":
+		return sqlddl.Parse(name, string(data))
+	case "xsd":
+		return xsdlite.Parse(name, data)
+	case "dtd":
+		return dtd.Parse(name, string(data))
+	case "json":
+		return model.ReadJSON(bytes.NewReader(data))
+	}
+	return nil, fmt.Errorf("unknown schema format %q (want sql, xsd, dtd or json)", format)
+}
 
 // ParseSQL imports a relational schema from SQL DDL (CREATE TABLE with
 // PRIMARY KEY / FOREIGN KEY constraints, CREATE VIEW).

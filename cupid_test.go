@@ -127,3 +127,60 @@ func TestPublicDataTypes(t *testing.T) {
 		t.Error("compat lookup")
 	}
 }
+
+func TestPublicPreparedAndRegistry(t *testing.T) {
+	src, dst := buildPair()
+	m, err := cupid.NewMatcher(cupid.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := m.Prepare(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, err := m.Prepare(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.MatchPrepared(ps, pd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Mapping.HasPair("PO.Item.Qty", "PurchaseOrder.Item.Quantity") {
+		t.Errorf("prepared match missing Qty mapping:\n%s", res.Mapping)
+	}
+	if ps.Fingerprint() != cupid.SchemaFingerprint(src) {
+		t.Error("Prepared fingerprint disagrees with SchemaFingerprint")
+	}
+
+	reg := cupid.NewRegistryWithMatcher(m)
+	if _, _, err := reg.Register("", dst); err != nil {
+		t.Fatal(err)
+	}
+	ranked, err := reg.MatchAll(ps, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != 1 || ranked[0].Entry.Name != "PurchaseOrder" {
+		t.Fatalf("unexpected ranking: %+v", ranked)
+	}
+	if ranked[0].Score <= 0 {
+		t.Errorf("score %v, want > 0", ranked[0].Score)
+	}
+}
+
+func TestPublicParseSchema(t *testing.T) {
+	s, err := cupid.ParseSchema("T", ".SQL", []byte("CREATE TABLE T (X INT);"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() < 3 {
+		t.Errorf("parsed schema has %d elements", s.Len())
+	}
+	if _, err := cupid.ParseSchema("T", "yaml", nil); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if len(cupid.SchemaFormats()) != 4 {
+		t.Errorf("SchemaFormats = %v", cupid.SchemaFormats())
+	}
+}

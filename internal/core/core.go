@@ -150,72 +150,31 @@ func NewMatcher(cfg Config) (*Matcher, error) {
 	return &Matcher{cfg: cfg, ling: lm}, nil
 }
 
-// Match computes a mapping between the source and target schemas.
+// Match computes a mapping between the source and target schemas. It is
+// Prepare + MatchPrepared in one call: callers that match the same schema
+// repeatedly (the repository workload of internal/registry) should Prepare
+// once and reuse the artifact — the results are bit-identical.
 func (m *Matcher) Match(src, dst *model.Schema) (*Result, error) {
-	if err := src.Validate(); err != nil {
-		return nil, fmt.Errorf("core: source schema: %w", err)
-	}
-	if err := dst.Validate(); err != nil {
-		return nil, fmt.Errorf("core: target schema: %w", err)
-	}
-	ts, err := schematree.Build(src, m.cfg.Tree)
+	ps, err := m.Prepare(src)
 	if err != nil {
-		return nil, fmt.Errorf("core: expanding source: %w", err)
-	}
-	tt, err := schematree.Build(dst, m.cfg.Tree)
-	if err != nil {
-		return nil, fmt.Errorf("core: expanding target: %w", err)
-	}
-
-	res := &Result{SourceTree: ts, TargetTree: tt}
-	res.SourceInfo = m.ling.Analyze(src)
-	res.TargetInfo = m.ling.Analyze(dst)
-
-	if m.cfg.Mode == ModeLinguisticOnly {
-		return m.matchLinguisticOnly(res)
-	}
-
-	// Element-level lsim lifted to tree nodes (context copies inherit the
-	// similarity of their element — linguistic matching is unaffected by
-	// the graph-to-tree expansion, §8.2).
-	elemLSim := m.ling.LSim(res.SourceInfo, res.TargetInfo)
-	m.ling.BlendDescriptions(res.SourceInfo, res.TargetInfo, elemLSim, m.cfg.DescriptionWeight)
-	if m.cfg.Mode == ModeStructuralOnly {
-		elemLSim.Zero()
-	}
-	if err := m.applyInitialMapping(src, dst, elemLSim); err != nil {
 		return nil, err
 	}
-	res.LSim = liftToNodes(ts, tt, elemLSim)
-
-	res.Struct = structural.TreeMatch(ts, tt, res.LSim, m.cfg.Structural)
-	if m.cfg.Mapping.NonLeaves {
-		// Second post-order traversal (§7): leaf similarity updates during
-		// TreeMatch may have changed non-leaf structural similarity.
-		structural.SecondPass(res.Struct, ts, tt, res.LSim, m.cfg.Structural)
+	pd, err := m.Prepare(dst)
+	if err != nil {
+		return nil, err
 	}
-	res.WSim = res.Struct.WSim
-	res.Mapping = mapping.Generate(ts, tt, res.Struct, res.LSim, m.cfg.Mapping)
-	return res, nil
+	return m.MatchPrepared(ps, pd)
 }
 
 // matchLinguisticOnly implements the §9.3 methodology: similarity is the
 // linguistic similarity of complete path names; mapping generation applies
 // the same acceptance threshold. Each node's path is normalized once per
-// tree (the old code re-tokenized both full path strings for every node
-// pair — O(n·m) normalizations), then the pair sweep runs NameSimTS over
-// the cached token sets, rows fanned out over the worker pool.
-func (m *Matcher) matchLinguisticOnly(res *Result) (*Result, error) {
+// Prepared artifact (tokS/tokT are the cached token sets; the old code
+// re-tokenized both full path strings for every node pair — O(n·m)
+// normalizations), then the pair sweep runs NameSimTS over the cached
+// token sets, rows fanned out over the worker pool.
+func (m *Matcher) matchLinguisticOnly(res *Result, tokS, tokT []linguistic.TokenSet) (*Result, error) {
 	ts, tt := res.SourceTree, res.TargetTree
-	pathTokens := func(tr *schematree.Tree) []linguistic.TokenSet {
-		out := make([]linguistic.TokenSet, tr.Len())
-		par.For(tr.Len(), func(i int) {
-			out[i] = linguistic.Normalize(tr.Nodes[i].Path(), m.ling.Th)
-		})
-		return out
-	}
-	tokS := pathTokens(ts)
-	tokT := pathTokens(tt)
 	lsim := matrix.New(ts.Len(), tt.Len())
 	par.For(ts.Len(), func(i int) {
 		row := lsim.Row(i)

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/linguistic"
+	"repro/internal/mapping"
+	"repro/internal/model"
+	"repro/internal/par"
+	"repro/internal/schematree"
+	"repro/internal/structural"
+)
+
+// Prepared is the reusable per-schema matching artifact: a validated
+// schema together with its expanded schema tree and linguistic analysis.
+// Preparing a schema once and matching it many times turns the per-schema
+// phases of the pipeline (validation, schematree.Build, linguistic
+// Analyze) into a one-time cost — the repository/service workload the
+// paper envisions, where one incoming schema is compared against many
+// stored ones.
+//
+// A Prepared is immutable after construction and safe for concurrent use
+// by any number of MatchPrepared calls. It is bound to the Matcher that
+// built it (the tree depends on the matcher's tree options, the analysis
+// on its thesaurus and linguistic parameters); passing it to a different
+// Matcher is an error. The caller must not mutate the underlying schema
+// after Prepare — the artifact holds the analysis of the schema as it was.
+type Prepared struct {
+	owner  *Matcher
+	schema *model.Schema
+	tree   *schematree.Tree
+	info   *linguistic.SchemaInfo
+
+	// fp caches the content hash. Lazy (once, concurrency-safe): plain
+	// Match goes through Prepare too and never reads it, so the per-call
+	// fast path should not pay two schema hashes.
+	fpOnce sync.Once
+	fp     string
+
+	// pathToks caches the normalized token set of every node's full
+	// context path. Only ModeLinguisticOnly consumes it, so it is computed
+	// lazily (once, concurrency-safe) instead of on every Prepare.
+	pathOnce sync.Once
+	pathToks []linguistic.TokenSet
+}
+
+// Schema returns the underlying schema graph.
+func (p *Prepared) Schema() *model.Schema { return p.schema }
+
+// Tree returns the expanded schema tree.
+func (p *Prepared) Tree() *schematree.Tree { return p.tree }
+
+// Info returns the linguistic analysis (token sets, categories).
+func (p *Prepared) Info() *linguistic.SchemaInfo { return p.info }
+
+// Fingerprint returns the content hash of the schema (model.Fingerprint),
+// the identity the registry keys entries by. Computed on first use.
+func (p *Prepared) Fingerprint() string {
+	p.fpOnce.Do(func() { p.fp = model.Fingerprint(p.schema) })
+	return p.fp
+}
+
+// Prepare validates the schema and builds the reusable matching artifact:
+// the expanded schema tree (under the matcher's tree options) and the
+// linguistic analysis (under its thesaurus and parameters). Prepare is
+// safe for concurrent use, like every other method of Matcher.
+func (m *Matcher) Prepare(s *model.Schema) (*Prepared, error) {
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("core: schema %q: %w", s.Name, err)
+	}
+	t, err := schematree.Build(s, m.cfg.Tree)
+	if err != nil {
+		return nil, fmt.Errorf("core: expanding %q: %w", s.Name, err)
+	}
+	return &Prepared{
+		owner:  m,
+		schema: s,
+		tree:   t,
+		info:   m.ling.Analyze(s),
+	}, nil
+}
+
+// pathTokens returns the normalized token set of every node's context
+// path, computed once per Prepared (ModeLinguisticOnly's per-tree cost).
+func (p *Prepared) pathTokens() []linguistic.TokenSet {
+	p.pathOnce.Do(func() {
+		toks := make([]linguistic.TokenSet, p.tree.Len())
+		par.For(p.tree.Len(), func(i int) {
+			toks[i] = linguistic.Normalize(p.tree.Nodes[i].Path(), p.owner.ling.Th)
+		})
+		p.pathToks = toks
+	})
+	return p.pathToks
+}
+
+// MatchPrepared computes a mapping between two prepared schemas, skipping
+// the per-schema validation/expansion/analysis phases. The result is
+// bit-identical to Match on the same schemas (Match is implemented on top
+// of Prepare + MatchPrepared; the determinism tests assert the
+// equivalence). Both artifacts must have been built by this Matcher.
+func (m *Matcher) MatchPrepared(src, dst *Prepared) (*Result, error) {
+	if src == nil || dst == nil {
+		return nil, fmt.Errorf("core: nil prepared schema")
+	}
+	if src.owner != m || dst.owner != m {
+		return nil, fmt.Errorf("core: prepared schema belongs to a different matcher (prepare and match with the same Matcher)")
+	}
+	res := &Result{
+		SourceTree: src.tree,
+		TargetTree: dst.tree,
+		SourceInfo: src.info,
+		TargetInfo: dst.info,
+	}
+	if m.cfg.Mode == ModeLinguisticOnly {
+		return m.matchLinguisticOnly(res, src.pathTokens(), dst.pathTokens())
+	}
+
+	// Element-level lsim lifted to tree nodes (context copies inherit the
+	// similarity of their element — linguistic matching is unaffected by
+	// the graph-to-tree expansion, §8.2).
+	elemLSim := m.ling.LSim(res.SourceInfo, res.TargetInfo)
+	m.ling.BlendDescriptions(res.SourceInfo, res.TargetInfo, elemLSim, m.cfg.DescriptionWeight)
+	if m.cfg.Mode == ModeStructuralOnly {
+		elemLSim.Zero()
+	}
+	if err := m.applyInitialMapping(src.schema, dst.schema, elemLSim); err != nil {
+		return nil, err
+	}
+	res.LSim = liftToNodes(src.tree, dst.tree, elemLSim)
+
+	res.Struct = structural.TreeMatch(src.tree, dst.tree, res.LSim, m.cfg.Structural)
+	if m.cfg.Mapping.NonLeaves {
+		// Second post-order traversal (§7): leaf similarity updates during
+		// TreeMatch may have changed non-leaf structural similarity.
+		structural.SecondPass(res.Struct, src.tree, dst.tree, res.LSim, m.cfg.Structural)
+	}
+	res.WSim = res.Struct.WSim
+	res.Mapping = mapping.Generate(src.tree, dst.tree, res.Struct, res.LSim, m.cfg.Mapping)
+	return res, nil
+}

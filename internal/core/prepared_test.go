@@ -1,0 +1,177 @@
+package core
+
+// Prepared-artifact coverage: MatchPrepared must be bit-identical to Match
+// (the ISSUE acceptance criterion), artifacts must be reusable across many
+// concurrent calls, and cross-matcher artifacts must be rejected. Run with
+// -race to exercise the concurrent reuse paths.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+func assertSameResult(t *testing.T, name string, want, got *Result) {
+	t.Helper()
+	if !want.LSim.Equal(got.LSim) {
+		t.Fatalf("%s: prepared lsim differs from Match (max diff %v)",
+			name, want.LSim.MaxAbsDiff(got.LSim))
+	}
+	if !want.WSim.Equal(got.WSim) {
+		t.Fatalf("%s: prepared wsim differs from Match (max diff %v)",
+			name, want.WSim.MaxAbsDiff(got.WSim))
+	}
+	if (want.Struct == nil) != (got.Struct == nil) {
+		t.Fatalf("%s: structural result presence differs", name)
+	}
+	if want.Struct != nil && !want.Struct.SSim.Equal(got.Struct.SSim) {
+		t.Fatalf("%s: prepared ssim differs from Match", name)
+	}
+	if w, g := want.Mapping.String(), got.Mapping.String(); w != g {
+		t.Fatalf("%s: mappings differ\nMatch:\n%s\nMatchPrepared:\n%s", name, w, g)
+	}
+}
+
+// TestMatchPreparedEqualsMatch checks element-for-element equality of the
+// full Result across workloads and all three modes.
+func TestMatchPreparedEqualsMatch(t *testing.T) {
+	for _, mode := range []Mode{ModeFull, ModeLinguisticOnly, ModeStructuralOnly} {
+		cfg := DefaultConfig()
+		cfg.Mode = mode
+		m, err := NewMatcher(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []workloads.Workload{
+			workloads.Figure2(),
+			workloads.CIDXExcel(),
+			workloads.University(),
+		} {
+			want, err := m.Match(w.Source, w.Target)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ps, err := m.Prepare(w.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pd, err := m.Prepare(w.Target)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := m.MatchPrepared(ps, pd)
+			if err != nil {
+				t.Fatal(err)
+			}
+			name := w.Name
+			assertSameResult(t, name, want, got)
+
+			// The artifact is reusable: a second match over the same
+			// Prepared values must reproduce the result exactly.
+			again, err := m.MatchPrepared(ps, pd)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameResult(t, name+" (reused)", want, again)
+		}
+	}
+}
+
+// TestMatchPreparedConcurrentReuse shares two Prepared artifacts across
+// goroutines; all results must equal the sequential one (run with -race).
+func TestMatchPreparedConcurrentReuse(t *testing.T) {
+	w := workloads.Figure2()
+	m, err := NewMatcher(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := m.Prepare(w.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, err := m.Prepare(w.Target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.MatchPrepared(ps, pd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const callers = 6
+	results := make([]*Result, callers)
+	errs := make([]error, callers)
+	done := make(chan struct{})
+	for g := 0; g < callers; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			results[g], errs[g] = m.MatchPrepared(ps, pd)
+		}(g)
+	}
+	for i := 0; i < callers; i++ {
+		<-done
+	}
+	for g := 0; g < callers; g++ {
+		if errs[g] != nil {
+			t.Fatal(errs[g])
+		}
+		if !results[g].WSim.Equal(want.WSim) {
+			t.Fatalf("concurrent MatchPrepared call %d drifted", g)
+		}
+		if results[g].Mapping.String() != want.Mapping.String() {
+			t.Fatalf("concurrent MatchPrepared call %d produced a different mapping", g)
+		}
+	}
+}
+
+func TestMatchPreparedForeignMatcherRejected(t *testing.T) {
+	w := workloads.Figure2()
+	m1, err := NewMatcher(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := NewMatcher(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := m1.Prepare(w.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, err := m2.Prepare(w.Target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m1.MatchPrepared(ps, pd); err == nil {
+		t.Error("prepared artifact from a different matcher accepted")
+	} else if !strings.Contains(err.Error(), "different matcher") {
+		t.Errorf("unexpected error: %v", err)
+	}
+	if _, err := m1.MatchPrepared(nil, pd); err == nil {
+		t.Error("nil prepared artifact accepted")
+	}
+}
+
+func TestPreparedAccessors(t *testing.T) {
+	w := workloads.Figure2()
+	m, err := NewMatcher(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.Prepare(w.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Schema() != w.Source {
+		t.Error("Schema() does not return the prepared schema")
+	}
+	if p.Tree() == nil || p.Tree().Len() == 0 {
+		t.Error("Tree() is empty")
+	}
+	if p.Info() == nil || len(p.Info().Tokens) != w.Source.Len() {
+		t.Error("Info() analysis missing or wrong size")
+	}
+	if len(p.Fingerprint()) != 32 {
+		t.Errorf("Fingerprint() length %d, want 32", len(p.Fingerprint()))
+	}
+}

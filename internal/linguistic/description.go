@@ -2,7 +2,6 @@ package linguistic
 
 import (
 	"repro/internal/matrix"
-	"repro/internal/model"
 	"repro/internal/par"
 )
 
@@ -43,6 +42,32 @@ func filterDescTokens(ts TokenSet) TokenSet {
 	return out.Partitioned()
 }
 
+// descTokens returns the filtered description token set of every element
+// (nil for elements with no usable description), computed once per
+// SchemaInfo and cached — a prepared schema reused across many matches
+// (internal/registry) pays the description normalization once, not per
+// call. Concurrency-safe via sync.Once; the cache is keyed to the
+// SchemaInfo, which — like its name Tokens — is tied to the thesaurus of
+// the matcher that analyzed it.
+func (m *Matcher) descTokens(si *SchemaInfo) []*TokenSet {
+	si.descOnce.Do(func() {
+		es := si.Schema.Elements()
+		out := make([]*TokenSet, len(es))
+		for i, e := range es {
+			if e.Description == "" {
+				continue
+			}
+			ts := filterDescTokens(Normalize(e.Description, m.Th))
+			if len(ts.Tokens) == 0 {
+				continue
+			}
+			out[i] = &ts
+		}
+		si.descToks = out
+	})
+	return si.descToks
+}
+
 // BlendDescriptions mixes description similarity into an element-level
 // lsim matrix in place: for every element pair where both elements carry a
 // description,
@@ -62,26 +87,8 @@ func (m *Matcher) BlendDescriptions(a, b *SchemaInfo, lsim matrix.Matrix, weight
 	}
 	ea := a.Schema.Elements()
 	eb := b.Schema.Elements()
-	// Cache description token sets per element to avoid re-normalizing in
-	// the O(n²) pair loop.
-	descA := make([]*TokenSet, len(ea))
-	descB := make([]*TokenSet, len(eb))
-	prep := func(e *model.Element) *TokenSet {
-		if e.Description == "" {
-			return nil
-		}
-		ts := filterDescTokens(Normalize(e.Description, m.Th))
-		if len(ts.Tokens) == 0 {
-			return nil
-		}
-		return &ts
-	}
-	for i, e := range ea {
-		descA[i] = prep(e)
-	}
-	for j, e := range eb {
-		descB[j] = prep(e)
-	}
+	descA := m.descTokens(a)
+	descB := m.descTokens(b)
 	// Rows are independent (each writes its own matrix row), so the pair
 	// loop fans out over the worker pool.
 	par.For(len(ea), func(i int) {

@@ -254,6 +254,11 @@ type SchemaInfo struct {
 	Categories []Category
 	// memberCats maps element ID -> indexes into Categories.
 	memberCats [][]int
+	// descToks lazily caches the filtered description token set per
+	// element (see Matcher.descTokens); nil entries mean no usable
+	// description.
+	descOnce sync.Once
+	descToks []*TokenSet
 }
 
 // CategoriesOf returns the indexes of the categories the element belongs

@@ -47,7 +47,9 @@ func toJSON(es []Element) []jsonElement {
 }
 
 // WriteJSON serializes the mapping for downstream tools (the stand-in for
-// the BizTalk Mapper hand-off the paper's prototype used).
+// the BizTalk Mapper hand-off the paper's prototype used). The output ends
+// with a newline, so redirected CLI output is a valid POSIX text file
+// (diff-friendly).
 func (m *Mapping) WriteJSON(w io.Writer) error {
 	jm := jsonMapping{
 		SourceSchema: m.SourceSchema,
@@ -59,6 +61,7 @@ func (m *Mapping) WriteJSON(w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	b = append(b, '\n')
 	_, err = w.Write(b)
 	return err
 }

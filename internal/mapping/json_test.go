@@ -46,4 +46,11 @@ func TestWriteJSON(t *testing.T) {
 	if len(decoded.NonLeaves) == 0 {
 		t.Error("non-leaf elements missing from serialization")
 	}
+	// POSIX text: the serialization must end with exactly one newline so
+	// `cupidmatch -json > out.json` is diff-friendly.
+	if b := buf.Bytes(); len(b) == 0 || b[len(b)-1] != '\n' {
+		t.Error("WriteJSON output does not end with a newline")
+	} else if len(b) > 1 && b[len(b)-2] == '\n' {
+		t.Error("WriteJSON output ends with more than one newline")
+	}
 }

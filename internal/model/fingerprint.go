@@ -1,0 +1,76 @@
+package model
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+)
+
+// Fingerprint returns a stable content hash of the schema: two schemas
+// built the same way (same element names, kinds, types, flags, and
+// relationship structure, in the same creation order) share a fingerprint,
+// regardless of how or when they were constructed. The schema repository
+// (internal/registry) keys prepared schemas by name + fingerprint so that
+// re-registering identical content is an idempotent no-op while changed
+// content replaces the stale entry.
+//
+// The hash covers everything that influences matching: the schema name,
+// and per element (in creation/ID order) its name, description, kind,
+// type, flags, containment parent, and the IsDerivedFrom, aggregation and
+// reference edges. It is a content identity, not a semantic one — element
+// order matters, exactly as it does to the matcher's tie-breaking.
+func Fingerprint(s *Schema) string {
+	h := sha256.New()
+	writeString(h, s.Name)
+	for _, e := range s.elements {
+		writeString(h, e.Name)
+		writeString(h, e.Description)
+		writeInt(h, int(e.Kind))
+		writeInt(h, int(e.Type))
+		writeBool(h, e.Optional)
+		writeBool(h, e.NotInstantiated)
+		writeBool(h, e.IsKey)
+		if e.parent != nil {
+			writeInt(h, e.parent.id)
+		} else {
+			writeInt(h, -1)
+		}
+		// Children are hashed as an ordered edge list, not only via the
+		// parent pointer: Contain attaches in call order, so two schemas
+		// can create identical elements yet order siblings differently —
+		// which changes post-order indexes and hence tie-breaking.
+		writeEdges(h, e.children)
+		writeEdges(h, e.derivedFrom)
+		writeEdges(h, e.aggregates)
+		writeEdges(h, e.references)
+	}
+	sum := h.Sum(nil)
+	return hex.EncodeToString(sum[:16])
+}
+
+func writeString(h hash.Hash, s string) {
+	writeInt(h, len(s))
+	h.Write([]byte(s))
+}
+
+func writeInt(h hash.Hash, v int) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(int64(v)))
+	h.Write(b[:])
+}
+
+func writeBool(h hash.Hash, v bool) {
+	if v {
+		h.Write([]byte{1})
+	} else {
+		h.Write([]byte{0})
+	}
+}
+
+func writeEdges(h hash.Hash, es []*Element) {
+	writeInt(h, len(es))
+	for _, e := range es {
+		writeInt(h, e.id)
+	}
+}

@@ -1,0 +1,89 @@
+package model
+
+import "testing"
+
+func fpSchema() *Schema {
+	s := New("PO")
+	item := s.AddChild(s.Root(), "Item", KindElement)
+	qty := s.AddChild(item, "Qty", KindAttribute)
+	qty.Type = DTInt
+	uom := s.AddChild(item, "UOM", KindAttribute)
+	uom.Type = DTString
+	return s
+}
+
+func TestFingerprintStable(t *testing.T) {
+	a := fpSchema()
+	b := fpSchema()
+	if Fingerprint(a) != Fingerprint(b) {
+		t.Error("identically built schemas have different fingerprints")
+	}
+	if Fingerprint(a) != Fingerprint(a) {
+		t.Error("fingerprint is not deterministic")
+	}
+	if len(Fingerprint(a)) != 32 {
+		t.Errorf("fingerprint length %d, want 32 hex chars", len(Fingerprint(a)))
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := Fingerprint(fpSchema())
+
+	renamed := fpSchema()
+	renamed.Elements()[2].Name = "Quantity"
+	if Fingerprint(renamed) == base {
+		t.Error("renaming an element did not change the fingerprint")
+	}
+
+	retyped := fpSchema()
+	retyped.Elements()[2].Type = DTFloat
+	if Fingerprint(retyped) == base {
+		t.Error("retyping an element did not change the fingerprint")
+	}
+
+	optional := fpSchema()
+	optional.Elements()[3].Optional = true
+	if Fingerprint(optional) == base {
+		t.Error("toggling Optional did not change the fingerprint")
+	}
+
+	extra := fpSchema()
+	extra.AddChild(extra.Root(), "Extra", KindElement)
+	if Fingerprint(extra) == base {
+		t.Error("adding an element did not change the fingerprint")
+	}
+
+	derived := fpSchema()
+	typ := derived.NewElement("Address", KindType)
+	if err := derived.DeriveFrom(derived.Elements()[1], typ); err != nil {
+		t.Fatal(err)
+	}
+	if Fingerprint(derived) == base {
+		t.Error("adding an IsDerivedFrom edge did not change the fingerprint")
+	}
+}
+
+// TestFingerprintSiblingOrder: Contain attaches children in call order,
+// independent of element-creation order, and sibling order changes
+// post-order tie-breaking — so it must change the fingerprint.
+func TestFingerprintSiblingOrder(t *testing.T) {
+	build := func(swap bool) *Schema {
+		s := New("S")
+		x := s.NewElement("X", KindElement)
+		y := s.NewElement("Y", KindElement)
+		first, second := x, y
+		if swap {
+			first, second = y, x
+		}
+		if err := s.Contain(s.Root(), first); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Contain(s.Root(), second); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	if Fingerprint(build(false)) == Fingerprint(build(true)) {
+		t.Error("sibling order does not change the fingerprint")
+	}
+}

@@ -1,0 +1,228 @@
+// Package registry implements the prepared-schema repository: a
+// concurrency-safe store of core.Prepared artifacts that a long-lived
+// service (cmd/cupidd) registers schemas into once and then matches
+// incoming schemas against many times. This is the workload the paper
+// frames Cupid for — a matching component that a tool repeatedly applies
+// against a repository of known schemas — made cheap by paying the
+// per-schema cost (validation, tree expansion, linguistic analysis) at
+// registration instead of on every match.
+//
+// Entries are keyed by name and content fingerprint (model.Fingerprint):
+// re-registering identical content under the same name is an idempotent
+// no-op, while changed content replaces the stale entry. MatchAll fans
+// one-vs-all matching out over the internal/par worker pool and returns
+// results ranked by score; the ranking is deterministic regardless of
+// worker count (asserted by the -race determinism tests).
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/par"
+)
+
+// Entry is one registered schema: its repository name, content
+// fingerprint, and the prepared matching artifact. Entries are immutable;
+// re-registration replaces the whole entry.
+type Entry struct {
+	// Name is the repository key the schema was registered under.
+	Name string
+	// Fingerprint is the content hash of the schema (model.Fingerprint).
+	Fingerprint string
+	// Prepared is the reusable matching artifact.
+	Prepared *core.Prepared
+}
+
+// Registry is the concurrency-safe prepared-schema repository. All
+// methods may be called from any number of goroutines; Register/Remove
+// take a write lock only around the map mutation (preparation runs
+// outside the lock), and MatchAll works on an immutable snapshot, so
+// matching never blocks registration and vice versa.
+type Registry struct {
+	matcher *core.Matcher
+
+	mu     sync.RWMutex
+	byName map[string]*Entry
+}
+
+// New builds a registry with its own Matcher for the given configuration.
+func New(cfg core.Config) (*Registry, error) {
+	m, err := core.NewMatcher(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return NewWithMatcher(m), nil
+}
+
+// NewWithMatcher builds a registry around an existing Matcher. Every
+// schema registered is prepared by (and every match runs on) this matcher.
+func NewWithMatcher(m *core.Matcher) *Registry {
+	return &Registry{matcher: m, byName: map[string]*Entry{}}
+}
+
+// Matcher returns the registry's matcher, e.g. to Prepare an incoming
+// schema for MatchAll.
+func (r *Registry) Matcher() *core.Matcher { return r.matcher }
+
+// Register prepares the schema and stores it under the given name (the
+// schema's own name when empty). Registering content identical to the
+// current entry of that name returns the existing entry without
+// re-preparing and reports created=false; new names and changed content
+// store a fresh entry and report created=true. The created flag is
+// decided under the registry lock, so concurrent registrations agree on
+// which call actually created the entry.
+func (r *Registry) Register(name string, s *model.Schema) (e *Entry, created bool, err error) {
+	if s == nil {
+		return nil, false, fmt.Errorf("registry: nil schema")
+	}
+	if name == "" {
+		name = s.Name
+	}
+	if name == "" {
+		return nil, false, fmt.Errorf("registry: schema has no name; register with an explicit one")
+	}
+	fp := model.Fingerprint(s)
+	r.mu.RLock()
+	cur, ok := r.byName[name]
+	r.mu.RUnlock()
+	if ok && cur.Fingerprint == fp {
+		return cur, false, nil
+	}
+	p, err := r.matcher.Prepare(s)
+	if err != nil {
+		return nil, false, fmt.Errorf("registry: preparing %q: %w", name, err)
+	}
+	e = &Entry{Name: name, Fingerprint: fp, Prepared: p}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	// A racing Register of identical content may have landed first; keep
+	// whichever entry is already there to stay idempotent.
+	if cur, ok := r.byName[name]; ok && cur.Fingerprint == fp {
+		return cur, false, nil
+	}
+	r.byName[name] = e
+	return e, true, nil
+}
+
+// Get returns the entry registered under name.
+func (r *Registry) Get(name string) (*Entry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.byName[name]
+	return e, ok
+}
+
+// Remove deletes the entry registered under name, reporting whether it
+// existed.
+func (r *Registry) Remove(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.byName[name]
+	delete(r.byName, name)
+	return ok
+}
+
+// Len returns the number of registered schemas.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.byName)
+}
+
+// List returns the entries sorted by name.
+func (r *Registry) List() []*Entry {
+	r.mu.RLock()
+	out := make([]*Entry, 0, len(r.byName))
+	for _, e := range r.byName {
+		out = append(out, e)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Ranked is one repository schema's result in a MatchAll run.
+type Ranked struct {
+	// Entry is the repository entry the source was matched against (the
+	// match target).
+	Entry *Entry
+	// Result is the full match output (source = the MatchAll argument,
+	// target = Entry's schema).
+	Result *core.Result
+	// Score is the ranking score; see Score.
+	Score float64
+}
+
+// Score ranks a match result for one-vs-all retrieval: the sum of the
+// leaf mapping elements' weighted similarities, normalized by the larger
+// of the two trees' leaf counts. It rewards both strength (high wsim) and
+// coverage (many mapped leaves) and lies in [0,1] for default parameters
+// (each leaf wsim is at most 1 and each target leaf maps at most once).
+func Score(res *core.Result) float64 {
+	leaves := res.SourceTree.NumLeaves()
+	if n := res.TargetTree.NumLeaves(); n > leaves {
+		leaves = n
+	}
+	if leaves == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, e := range res.Mapping.Leaves {
+		sum += e.WSim
+	}
+	return sum / float64(leaves)
+}
+
+// MatchAll matches one prepared source schema against every registered
+// entry, fanning the one-vs-all sweep out over the internal/par worker
+// pool, and returns the results ranked by descending score (ties broken
+// by name). topK truncates the ranking; topK <= 0 returns all. The source
+// must have been prepared by the registry's matcher.
+//
+// The sweep runs over an immutable snapshot of the repository: entries
+// registered or removed concurrently do not affect an in-flight call, and
+// the ranking is deterministic for a given snapshot regardless of worker
+// count.
+func (r *Registry) MatchAll(src *core.Prepared, topK int) ([]Ranked, error) {
+	entries := r.List()
+	out := make([]Ranked, len(entries))
+	errs := make([]error, len(entries))
+	par.For(len(entries), func(i int) {
+		res, err := r.matcher.MatchPrepared(src, entries[i].Prepared)
+		if err != nil {
+			errs[i] = fmt.Errorf("registry: matching against %q: %w", entries[i].Name, err)
+			return
+		}
+		out[i] = Ranked{Entry: entries[i], Result: res, Score: Score(res)}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Entry.Name < out[j].Entry.Name
+	})
+	if topK > 0 && topK < len(out) {
+		out = out[:topK]
+	}
+	return out, nil
+}
+
+// MatchAllSchema prepares the schema with the registry's matcher and runs
+// MatchAll — the one-call form for serving an incoming (un-prepared)
+// schema.
+func (r *Registry) MatchAllSchema(s *model.Schema, topK int) ([]Ranked, error) {
+	p, err := r.matcher.Prepare(s)
+	if err != nil {
+		return nil, fmt.Errorf("registry: preparing source: %w", err)
+	}
+	return r.MatchAll(p, topK)
+}
