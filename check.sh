@@ -17,6 +17,26 @@ fi
 echo "check: go vet ./..."
 go vet ./...
 
+echo "check: docs present"
+for f in README.md docs/ARCHITECTURE.md docs/API.md; do
+    if [ ! -f "$f" ]; then
+        echo "missing $f (entry-point documentation is part of the contract)" >&2
+        exit 1
+    fi
+done
+
+echo "check: package comments"
+# Every internal package must carry a package-level doc comment
+# ("// Package <name> ..."): the doc-presence half of godoc hygiene.
+for d in $(find internal -type d); do
+    ls "$d"/*.go >/dev/null 2>&1 || continue # directory without sources
+    pkg=$(basename "$d")
+    if ! grep -ql "^// Package $pkg " "$d"/*.go; then
+        echo "internal package $d has no package comment" >&2
+        exit 1
+    fi
+done
+
 echo "check: go build ./..."
 go build ./...
 

@@ -1,9 +1,11 @@
 package main
 
 // The bench experiment: a sequential-vs-parallel perf trajectory for the
-// whole Match pipeline, written to BENCH_cupid.json so future PRs have a
-// baseline to compare against, plus a self-check that keeps `go vet` and
-// the -race determinism tests green before any number is trusted.
+// whole Match pipeline plus the repository workloads (1-vs-K prepared
+// batch, 1-vs-200 pruned retrieval), written to BENCH_cupid.json so future
+// PRs have a baseline to compare against, plus a self-check that keeps
+// `go vet`, the -race determinism tests, gofmt and the doc-presence gate
+// green before any number is trusted.
 
 import (
 	"encoding/json"
@@ -53,6 +55,24 @@ type BatchPoint struct {
 	Speedup             float64 `json:"speedup"` // naive/prepared wall clock
 }
 
+// PrunePoint measures candidate pruning on the big-repository workload:
+// one probe ranked against K prepared schemas, exhaustively (MatchAll runs
+// the full tree match K times) versus pruned (MatchTop runs cheap
+// signature affinities over all K, then the full match only on the top
+// candidates). Recall@K compares the two top-K result lists; the bench
+// fails unless it is exactly 1.0 — pruning must not change what the
+// caller sees on this corpus.
+type PrunePoint struct {
+	K          int `json:"k"`
+	TopK       int `json:"top_k"`
+	Candidates int `json:"candidates"` // entries that reached the full match
+	// Cost of one full 1-vs-K ranking.
+	FullNsPerOp   int64   `json:"full_ns_per_op"`
+	PrunedNsPerOp int64   `json:"pruned_ns_per_op"`
+	Speedup       float64 `json:"speedup"` // full/pruned wall clock
+	RecallAtK     float64 `json:"recall_at_k"`
+}
+
 // BenchReport is the file format of BENCH_cupid.json.
 type BenchReport struct {
 	GeneratedUnix int64        `json:"generated_unix"`
@@ -65,6 +85,10 @@ type BenchReport struct {
 	// d'être): prepared matching must beat K independent Match calls on
 	// both time and allocations.
 	Batch *BatchPoint `json:"batch,omitempty"`
+	// Prune is the big-repository retrieval workload: signature-based
+	// candidate pruning must beat the exhaustive scan on time with
+	// recall@K = 1.0.
+	Prune *PrunePoint `json:"prune,omitempty"`
 }
 
 // benchSpecs is the sweep measured by -exp bench: the eval scalability
@@ -105,6 +129,14 @@ func selfCheck() error {
 		cmd.Stderr = os.Stderr
 		if err := cmd.Run(); err != nil {
 			return fmt.Errorf("bench self-check failed (%v): %w", args, err)
+		}
+	}
+	// Doc-presence gate: the entry-point documentation (README, the
+	// architecture and API references) is part of the contract ./check.sh
+	// enforces; benchmarks are only recorded from a tree that carries it.
+	for _, f := range []string{"README.md", "docs/ARCHITECTURE.md", "docs/API.md"} {
+		if _, err := os.Stat(f); err != nil {
+			return fmt.Errorf("bench self-check: required documentation missing: %s", f)
 		}
 	}
 	// Formatting gate: benchmarks are only recorded from a gofmt-clean
@@ -235,6 +267,78 @@ func runBatch(cfg core.Config) (*BatchPoint, error) {
 	}, nil
 }
 
+// pruneK is the repository size of the pruning workload and pruneTopK the
+// requested ranking depth (the ISSUE acceptance criterion: 1-vs-200,
+// recall@K = 1.0).
+const (
+	pruneK    = 200
+	pruneTopK = 10
+)
+
+// runPrune measures the pruned-vs-full retrieval workload on the
+// family-structured example corpus (workloads.FamilyCorpus): 200 schemas
+// across 10 domain vocabularies, probe drawn from one of them. The full
+// scan tree-matches all 200; the pruned path tree-matches only the
+// signature-ranked candidates. Besides timing, it verifies recall: the
+// pruned top-K must be element-for-element the exhaustive top-K.
+func runPrune(cfg core.Config) (*PrunePoint, error) {
+	reg, err := registry.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	corpus := workloads.FamilyCorpus(workloads.FamilyCorpusSpec{PerFamily: pruneK / 10, Seed: 11})
+	for _, s := range corpus {
+		if _, _, err := reg.Register(s.Name, s); err != nil {
+			return nil, err
+		}
+	}
+	probe, err := reg.Matcher().Prepare(workloads.FamilyProbe(3, 42))
+	if err != nil {
+		return nil, err
+	}
+	opt := registry.DefaultPruneOptions()
+
+	full, err := reg.MatchAll(probe, pruneTopK)
+	if err != nil {
+		return nil, err
+	}
+	pruned, err := reg.MatchTop(probe, pruneTopK, opt)
+	if err != nil {
+		return nil, err
+	}
+	recall := 0.0
+	for i := range full {
+		if i < len(pruned) && pruned[i].Entry.Name == full[i].Entry.Name && pruned[i].Score == full[i].Score {
+			recall++
+		}
+	}
+	recall /= float64(len(full))
+
+	fullNs, _, err := timeOp(func() error {
+		_, err := reg.MatchAll(probe, pruneTopK)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	prunedNs, _, err := timeOp(func() error {
+		_, err := reg.MatchTop(probe, pruneTopK, opt)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &PrunePoint{
+		K:             pruneK,
+		TopK:          pruneTopK,
+		Candidates:    opt.Limit(pruneK, pruneTopK),
+		FullNsPerOp:   fullNs,
+		PrunedNsPerOp: prunedNs,
+		Speedup:       float64(fullNs) / float64(prunedNs),
+		RecallAtK:     recall,
+	}, nil
+}
+
 // runBench executes the sweep and writes the JSON report.
 func runBench(outPath string, withSelfCheck bool) error {
 	if withSelfCheck {
@@ -251,7 +355,9 @@ func runBench(outPath string, withSelfCheck bool) error {
 			"parallel = default pool; speedup tracks wall clock and approaches the " +
 			"core count on multi-core hardware (1.0 on a single-core machine). " +
 			"batch = 1 probe vs K prepared repository schemas: naive re-runs " +
-			"expansion+analysis per Match call, prepared pays them once (registry)",
+			"expansion+analysis per Match call, prepared pays them once (registry). " +
+			"prune = 1 probe vs K on the family corpus: full MatchAll scan vs " +
+			"signature-pruned MatchTop, recall@K asserted exactly 1.0",
 	}
 	fmt.Println("cupidbench: sequential vs parallel pipeline sweep")
 	fmt.Printf("  GOMAXPROCS=%d NumCPU=%d workers=%d\n", report.GoMaxProcs, report.NumCPU, report.Workers)
@@ -297,6 +403,22 @@ func runBench(outPath string, withSelfCheck bool) error {
 	if batch.PreparedNsPerOp >= batch.NaiveNsPerOp || batch.PreparedAllocsPerOp >= batch.NaiveAllocsPerOp {
 		return fmt.Errorf("batch workload regression: prepared matching must beat %d independent Match calls on time and allocs (got %d vs %d ns/op, %d vs %d allocs/op)",
 			batchK, batch.PreparedNsPerOp, batch.NaiveNsPerOp, batch.PreparedAllocsPerOp, batch.NaiveAllocsPerOp)
+	}
+
+	fmt.Printf("cupidbench: pruned retrieval workload (1 probe vs K=%d, top-%d)\n", pruneK, pruneTopK)
+	prune, err := runPrune(cfg)
+	if err != nil {
+		return err
+	}
+	report.Prune = prune
+	fmt.Printf("  full scan (MatchAll):     %-13d ns/op\n", prune.FullNsPerOp)
+	fmt.Printf("  pruned (MatchTop, %3d):   %-13d ns/op\n", prune.Candidates, prune.PrunedNsPerOp)
+	fmt.Printf("  speedup: %.2fx  recall@%d: %.3f\n", prune.Speedup, prune.TopK, prune.RecallAtK)
+	if prune.RecallAtK != 1.0 {
+		return fmt.Errorf("prune workload recall regression: recall@%d = %.3f, want exactly 1.0 (pruning changed the top-K ranking)", prune.TopK, prune.RecallAtK)
+	}
+	if prune.PrunedNsPerOp >= prune.FullNsPerOp {
+		return fmt.Errorf("prune workload regression: pruned ranking must beat the full scan on time (got %d vs %d ns/op)", prune.PrunedNsPerOp, prune.FullNsPerOp)
 	}
 
 	data, err := json.MarshalIndent(report, "", "  ")

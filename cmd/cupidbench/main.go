@@ -20,7 +20,9 @@
 //	tune       auto-tuning grid search (§10 future work)
 //	bench      sequential-vs-parallel perf sweep + the 1-vs-K batch
 //	           repository workload (naive Match calls vs the prepared-
-//	           schema registry) -> BENCH_cupid.json
+//	           schema registry) + the 1-vs-200 pruned-retrieval workload
+//	           (exhaustive MatchAll vs signature-pruned MatchTop, recall@K
+//	           asserted 1.0) -> BENCH_cupid.json
 //	all        everything (default; excludes tune and bench)
 //
 // With -csv, the scale and ablation experiments additionally emit CSV to

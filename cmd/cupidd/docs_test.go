@@ -1,0 +1,231 @@
+package main
+
+// Doc-conformance coverage: docs/API.md is the server's contract, and this
+// file keeps it honest. The route set and flag set documented there must
+// equal the ones the binary declares (both directions), every fenced JSON
+// example must parse, and the documented quickstart flow must behave as
+// the doc claims when driven against the real handler stack.
+
+import (
+	"encoding/json"
+	"flag"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+
+	cupid "repro"
+)
+
+const apiDocPath = "../../docs/API.md"
+
+func readAPIDoc(t *testing.T) string {
+	t.Helper()
+	b, err := os.ReadFile(apiDocPath)
+	if err != nil {
+		t.Fatalf("docs/API.md must exist (the cupidd API reference): %v", err)
+	}
+	return string(b)
+}
+
+func TestAPIDocRoutesMatchServer(t *testing.T) {
+	doc := readAPIDoc(t)
+	routeHeader := regexp.MustCompile("(?m)^### `(GET|POST|DELETE|PUT|PATCH) ([^`]+)`$")
+	documented := map[string]bool{}
+	for _, m := range routeHeader.FindAllStringSubmatch(doc, -1) {
+		documented[m[1]+" "+m[2]] = true
+	}
+	if len(documented) == 0 {
+		t.Fatal("docs/API.md documents no routes (### `METHOD /path` headers)")
+	}
+
+	s, err := newServer(cupid.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	declared := map[string]bool{}
+	for _, rt := range s.routeTable() {
+		declared[rt.method+" "+rt.pattern] = true
+	}
+
+	for r := range declared {
+		if !documented[r] {
+			t.Errorf("route %q is served but not documented in docs/API.md", r)
+		}
+	}
+	for r := range documented {
+		if !declared[r] {
+			t.Errorf("route %q is documented in docs/API.md but not served", r)
+		}
+	}
+}
+
+func TestAPIDocFlagsMatchServer(t *testing.T) {
+	doc := readAPIDoc(t)
+	flagRow := regexp.MustCompile("(?m)^\\| `-([a-z0-9-]+)` \\|")
+	documented := map[string]bool{}
+	for _, m := range flagRow.FindAllStringSubmatch(doc, -1) {
+		documented[m[1]] = true
+	}
+	if len(documented) == 0 {
+		t.Fatal("docs/API.md documents no flags (| `-flag` | table rows)")
+	}
+
+	fs, _ := newFlagSet()
+	declared := map[string]bool{}
+	fs.VisitAll(func(f *flag.Flag) { declared[f.Name] = true })
+
+	for f := range declared {
+		if !documented[f] {
+			t.Errorf("flag -%s is declared but not documented in docs/API.md", f)
+		}
+	}
+	for f := range documented {
+		if !declared[f] {
+			t.Errorf("flag -%s is documented in docs/API.md but not declared", f)
+		}
+	}
+}
+
+func TestAPIDocJSONExamplesParse(t *testing.T) {
+	doc := readAPIDoc(t)
+	fence := regexp.MustCompile("(?s)```json\n(.*?)```")
+	blocks := fence.FindAllStringSubmatch(doc, -1)
+	if len(blocks) < 8 {
+		t.Fatalf("docs/API.md has %d json examples, expected the full request/response tour (>= 8)", len(blocks))
+	}
+	for i, b := range blocks {
+		var v any
+		if err := json.Unmarshal([]byte(b[1]), &v); err != nil {
+			snippet := b[1]
+			if len(snippet) > 120 {
+				snippet = snippet[:120] + "…"
+			}
+			t.Errorf("json example %d does not parse: %v\n%s", i, err, snippet)
+		}
+	}
+}
+
+// TestAPIDocQuickstartFlow drives the documented example sequence —
+// register both example schemas, list, pair match, batch with topK,
+// delete, healthz — against the real handler stack, asserting the status
+// codes and response shapes the doc promises.
+func TestAPIDocQuickstartFlow(t *testing.T) {
+	ordersSQL, err := os.ReadFile("../../examples/schemas/orders.sql")
+	if err != nil {
+		t.Fatalf("examples/schemas/orders.sql (referenced by README and docs/API.md): %v", err)
+	}
+	purchasesSQL, err := os.ReadFile("../../examples/schemas/purchases.sql")
+	if err != nil {
+		t.Fatalf("examples/schemas/purchases.sql (referenced by README and docs/API.md): %v", err)
+	}
+
+	s, err := newServer(cupid.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.routes())
+	defer ts.Close()
+
+	// POST /schemas: 201 with name/fingerprint/elements/leaves.
+	var info schemaInfo
+	code := call(t, ts, http.MethodPost, "/schemas",
+		map[string]string{"name": "orders", "format": "sql", "content": string(ordersSQL)}, &info)
+	if code != http.StatusCreated {
+		t.Fatalf("register: status %d, want 201", code)
+	}
+	if info.Name != "orders" || len(info.Fingerprint) != 32 || info.Elements == 0 || info.Leaves == 0 {
+		t.Fatalf("register response missing documented fields: %+v", info)
+	}
+	// Idempotent re-registration: 200, as documented.
+	if code := call(t, ts, http.MethodPost, "/schemas",
+		map[string]string{"name": "orders", "format": "sql", "content": string(ordersSQL)}, &info); code != http.StatusOK {
+		t.Errorf("idempotent re-register: status %d, want 200", code)
+	}
+	register(t, ts, "purchases", "sql", string(purchasesSQL))
+
+	// POST /match with documented body shape.
+	var pair struct {
+		SourceSchema string     `json:"sourceSchema"`
+		TargetSchema string     `json:"targetSchema"`
+		Leaves       []jsonPair `json:"leaves"`
+		NonLeaves    []jsonPair `json:"nonLeaves"`
+	}
+	if code := call(t, ts, http.MethodPost, "/match", map[string]any{
+		"source": map[string]string{"name": "orders"},
+		"target": map[string]string{"name": "purchases"},
+	}, &pair); code != http.StatusOK {
+		t.Fatalf("match: status %d", code)
+	}
+	if pair.SourceSchema != "orders" || pair.TargetSchema != "purchases" || len(pair.Leaves) == 0 {
+		t.Fatalf("match response missing documented fields: %+v", pair)
+	}
+
+	// POST /match/batch with the documented inline-source example.
+	var batch struct {
+		Source  string        `json:"source"`
+		Results []batchResult `json:"results"`
+	}
+	if code := call(t, ts, http.MethodPost, "/match/batch", map[string]any{
+		"source": map[string]any{"format": "sql",
+			"content": "CREATE TABLE Sales (SaleID INT PRIMARY KEY, Customer VARCHAR(64), SaleDate DATE);"},
+		"topK": 2,
+	}, &batch); code != http.StatusOK {
+		t.Fatalf("batch: status %d", code)
+	}
+	if len(batch.Results) != 2 {
+		t.Fatalf("batch topK=2 returned %d results", len(batch.Results))
+	}
+
+	// Error shape: one {"error": ...} object, 404 for unknown names.
+	var errResp struct {
+		Error string `json:"error"`
+	}
+	if code := call(t, ts, http.MethodPost, "/match", map[string]any{
+		"source": map[string]string{"name": "ghost"},
+		"target": map[string]string{"name": "orders"},
+	}, &errResp); code != http.StatusNotFound || errResp.Error == "" {
+		t.Errorf("error contract: status %d, error %q", code, errResp.Error)
+	}
+
+	// DELETE /schemas/{name} and GET /healthz round out the tour.
+	var removed map[string]string
+	if code := call(t, ts, http.MethodDelete, "/schemas/purchases", nil, &removed); code != http.StatusOK || removed["removed"] != "purchases" {
+		t.Errorf("delete: status %d, body %v", code, removed)
+	}
+	var health map[string]string
+	if code := call(t, ts, http.MethodGet, "/healthz", nil, &health); code != http.StatusOK || health["status"] != "ok" {
+		t.Errorf("healthz: status %d, body %v", code, health)
+	}
+}
+
+// TestCommandDocMentionsEveryFlagAndRoute keeps the package comment at the
+// top of main.go (the godoc face of the command) in sync with reality.
+func TestCommandDocMentionsEveryFlagAndRoute(t *testing.T) {
+	b, err := os.ReadFile("main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := string(b)
+	head := src
+	if i := strings.Index(src, "package main"); i > 0 {
+		head = src[:i]
+	}
+	fs, _ := newFlagSet()
+	fs.VisitAll(func(f *flag.Flag) {
+		if !strings.Contains(head, "-"+f.Name) {
+			t.Errorf("command doc comment does not mention flag -%s", f.Name)
+		}
+	})
+	s, err := newServer(cupid.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rt := range s.routeTable() {
+		if !strings.Contains(head, rt.pattern) {
+			t.Errorf("command doc comment does not mention route %s", rt.pattern)
+		}
+	}
+}

@@ -7,19 +7,32 @@
 // the prepared artifact, and batch matching fans one-vs-all out over the
 // worker pool.
 //
+// With -data the repository is durable: every registered schema's source
+// document is journaled to a versioned JSON-lines snapshot store under the
+// data directory (atomic write+rename, fsync'd synchronously per mutation
+// by default, or batched with -snapshot-interval), and a restart restores
+// the newest consistent snapshot — serving bit-identical match rankings.
+// Batch matching prunes candidates by cheap per-schema signatures before
+// running the full tree match; -exact restores the exhaustive scan.
+//
 // Usage:
 //
 //	cupidd [flags]
 //
 // Flags:
 //
-//	-addr ADDR        listen address (default :8427)
-//	-thesaurus FILE   load a thesaurus JSON file (default: built-in base)
-//	-no-thesaurus     run with an empty thesaurus
-//	-one-to-one       generate 1:1 mappings instead of the naive 1:n
-//	-min FLOAT        acceptance threshold thaccept (default 0.5)
+//	-addr ADDR             listen address (default :8427)
+//	-thesaurus FILE        load a thesaurus JSON file (default: built-in base)
+//	-no-thesaurus          run with an empty thesaurus
+//	-one-to-one            generate 1:1 mappings instead of the naive 1:n
+//	-min FLOAT             acceptance threshold thaccept (default 0.5)
+//	-data DIR              persist the repository under DIR (default: in-memory only)
+//	-snapshot-interval DUR batch snapshots at most once per DUR; 0 = fsync
+//	                       a snapshot synchronously on every mutation
+//	-exact                 exhaustive /match/batch scans (disable pruning)
 //
-// Endpoints (request and response bodies are JSON):
+// Endpoints (request and response bodies are JSON; docs/API.md is the full
+// reference, kept honest by a doc-conformance test):
 //
 //	POST   /schemas          register {name?, format, content}; format is
 //	                         sql, xsd, dtd or json (cupidmatch's formats)
@@ -33,7 +46,7 @@
 //	GET    /healthz          liveness probe
 //
 // The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
-// requests before exiting.
+// requests and flushing any pending snapshot before exiting.
 package main
 
 import (
@@ -57,6 +70,13 @@ import (
 // server bundles the registry with the HTTP handlers.
 type server struct {
 	reg *cupid.SchemaRegistry
+	// persist is the durable registry when -data is set; nil means the
+	// repository is in-memory only. When non-nil, reg is persist's embedded
+	// in-memory registry — reads go through reg, mutations through persist.
+	persist *cupid.PersistentRegistry
+	// exact disables signature-based candidate pruning in /match/batch.
+	exact bool
+	prune cupid.PruneOptions
 }
 
 func newServer(cfg cupid.Config) (*server, error) {
@@ -64,7 +84,31 @@ func newServer(cfg cupid.Config) (*server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &server{reg: reg}, nil
+	return &server{reg: reg, prune: cupid.DefaultPruneOptions()}, nil
+}
+
+// newPersistentServer builds a server on a durable registry rooted at dir.
+func newPersistentServer(cfg cupid.Config, dir string, interval time.Duration) (*server, error) {
+	m, err := cupid.NewMatcher(cfg)
+	if err != nil {
+		return nil, err
+	}
+	p, warns, err := cupid.OpenPersistentRegistry(dir, m, interval)
+	if err != nil {
+		return nil, err
+	}
+	for _, w := range warns {
+		log.Printf("cupidd: recovery: %s", w)
+	}
+	return &server{reg: p.Registry, persist: p, prune: cupid.DefaultPruneOptions()}, nil
+}
+
+// close flushes and detaches the persistence layer, if any.
+func (s *server) close() error {
+	if s.persist == nil {
+		return nil
+	}
+	return s.persist.Close()
 }
 
 // schemaRef names a schema for a match request: either a registered
@@ -173,12 +217,29 @@ func (s *server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	sch, err := cupid.ParseSchema(req.Name, req.Format, []byte(req.Content))
-	if err != nil {
-		writeError(w, errf(http.StatusBadRequest, "parsing schema: %v", err))
-		return
+	var (
+		e       *cupid.RegistryEntry
+		created bool
+		err     error
+	)
+	if s.persist != nil {
+		// The durable path parses and persists the source document
+		// verbatim, so a restart re-parses exactly what was registered. A
+		// failed snapshot write (entry exists but err != nil) is a
+		// server-side error: the mutation is in memory but its durability
+		// could not be guaranteed.
+		e, created, err = s.persist.RegisterSource(req.Name, req.Format, []byte(req.Content))
+		if err != nil && e != nil {
+			writeError(w, errf(http.StatusInternalServerError, "%v", err))
+			return
+		}
+	} else {
+		var sch *cupid.Schema
+		sch, err = cupid.ParseSchema(req.Name, req.Format, []byte(req.Content))
+		if err == nil {
+			e, created, err = s.reg.Register(req.Name, sch)
+		}
 	}
-	e, created, err := s.reg.Register(req.Name, sch)
 	if err != nil {
 		writeError(w, errf(http.StatusBadRequest, "%v", err))
 		return
@@ -201,8 +262,21 @@ func (s *server) handleList(w http.ResponseWriter, _ *http.Request) {
 
 func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	if !s.reg.Remove(name) {
+	var (
+		ok  bool
+		err error
+	)
+	if s.persist != nil {
+		ok, err = s.persist.Remove(name)
+	} else {
+		ok = s.reg.Remove(name)
+	}
+	if !ok {
 		writeError(w, errf(http.StatusNotFound, "schema %q is not registered", name))
+		return
+	}
+	if err != nil {
+		writeError(w, errf(http.StatusInternalServerError, "%v", err))
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"removed": name})
@@ -285,12 +359,26 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	// Rank the whole repository, drop the source's trivial self-match,
-	// and only then truncate — otherwise a registered source would eat
-	// one of the caller's topK slots with itself.
-	ranked, err := s.reg.MatchAll(src, 0)
-	if err != nil {
-		writeError(w, err)
+	// Rank the repository, drop the source's trivial self-match, and only
+	// then truncate — otherwise a registered source would eat one of the
+	// caller's topK slots with itself. The default path prunes candidates
+	// by signature affinity (MatchTop) with one extra slot to absorb the
+	// self-match; -exact scans every entry (MatchAll). With topK <= 0 the
+	// exact scan ranks the whole repository, the pruned one its candidate
+	// set.
+	var ranked []cupid.RankedMatch
+	var err2 error
+	if s.exact {
+		ranked, err2 = s.reg.MatchAll(src, 0)
+	} else {
+		want := req.TopK
+		if want > 0 && srcName != "" {
+			want++
+		}
+		ranked, err2 = s.reg.MatchTop(src, want, s.prune)
+	}
+	if err2 != nil {
+		writeError(w, err2)
 		return
 	}
 	results := make([]batchResult, 0, len(ranked))
@@ -327,56 +415,120 @@ func sourceName(p *cupid.Prepared, registered string) string {
 	return p.Schema().Name
 }
 
+// route is one HTTP endpoint; the table form keeps the mux, the command
+// doc and docs/API.md mechanically comparable (the doc-conformance test
+// walks it).
+type route struct {
+	method, pattern string
+	handler         http.HandlerFunc
+}
+
+// routeTable lists every endpoint the server exposes.
+func (s *server) routeTable() []route {
+	return []route{
+		{http.MethodPost, "/schemas", s.handleRegister},
+		{http.MethodGet, "/schemas", s.handleList},
+		{http.MethodDelete, "/schemas/{name}", s.handleDelete},
+		{http.MethodPost, "/match", s.handleMatch},
+		{http.MethodPost, "/match/batch", s.handleBatch},
+		{http.MethodGet, "/healthz", func(w http.ResponseWriter, _ *http.Request) {
+			writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		}},
+	}
+}
+
 // routes builds the HTTP handler; split out so tests can drive the server
 // through httptest without binding a socket.
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /schemas", s.handleRegister)
-	mux.HandleFunc("GET /schemas", s.handleList)
-	mux.HandleFunc("DELETE /schemas/{name}", s.handleDelete)
-	mux.HandleFunc("POST /match", s.handleMatch)
-	mux.HandleFunc("POST /match/batch", s.handleBatch)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	for _, rt := range s.routeTable() {
+		mux.HandleFunc(rt.method+" "+rt.pattern, rt.handler)
+	}
 	return mux
 }
 
-func run() error {
-	addr := flag.String("addr", ":8427", "listen address")
-	thesaurusPath := flag.String("thesaurus", "", "thesaurus JSON file (default: built-in base thesaurus)")
-	noThesaurus := flag.Bool("no-thesaurus", false, "run with an empty thesaurus")
-	oneToOne := flag.Bool("one-to-one", false, "generate 1:1 mappings")
-	minAccept := flag.Float64("min", 0.5, "acceptance threshold thaccept")
-	flag.Parse()
+// options holds every command-line flag value.
+type options struct {
+	addr             string
+	thesaurusPath    string
+	noThesaurus      bool
+	oneToOne         bool
+	minAccept        float64
+	dataDir          string
+	snapshotInterval time.Duration
+	exact            bool
+}
 
+// newFlagSet declares the flags; split out so the doc-conformance test can
+// compare the declared set against docs/API.md.
+func newFlagSet() (*flag.FlagSet, *options) {
+	opt := &options{}
+	fs := flag.NewFlagSet("cupidd", flag.ExitOnError)
+	fs.StringVar(&opt.addr, "addr", ":8427", "listen address")
+	fs.StringVar(&opt.thesaurusPath, "thesaurus", "", "thesaurus JSON file (default: built-in base thesaurus)")
+	fs.BoolVar(&opt.noThesaurus, "no-thesaurus", false, "run with an empty thesaurus")
+	fs.BoolVar(&opt.oneToOne, "one-to-one", false, "generate 1:1 mappings")
+	fs.Float64Var(&opt.minAccept, "min", 0.5, "acceptance threshold thaccept")
+	fs.StringVar(&opt.dataDir, "data", "", "persist the schema repository under this directory (default: in-memory only)")
+	fs.DurationVar(&opt.snapshotInterval, "snapshot-interval", 0, "batch repository snapshots at most once per interval; 0 snapshots synchronously on every mutation")
+	fs.BoolVar(&opt.exact, "exact", false, "exhaustive /match/batch scans: disable signature-based candidate pruning")
+	return fs, opt
+}
+
+// newServerFromOptions assembles the configured server.
+func newServerFromOptions(opt *options) (*server, error) {
 	cfg := cupid.DefaultConfig()
 	switch {
-	case *noThesaurus:
+	case opt.noThesaurus:
 		cfg.Thesaurus = cupid.NewThesaurus()
-	case *thesaurusPath != "":
-		f, err := os.Open(*thesaurusPath)
+	case opt.thesaurusPath != "":
+		f, err := os.Open(opt.thesaurusPath)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		th, err := cupid.ReadThesaurus(f)
 		f.Close()
 		if err != nil {
-			return fmt.Errorf("loading thesaurus: %w", err)
+			return nil, fmt.Errorf("loading thesaurus: %w", err)
 		}
 		cfg.Thesaurus = th
 	}
-	if *oneToOne {
+	if opt.oneToOne {
 		cfg.Mapping.Cardinality = cupid.OneToOne
 	}
-	cfg.Mapping.ThAccept = *minAccept
+	cfg.Mapping.ThAccept = opt.minAccept
 
-	s, err := newServer(cfg)
+	var s *server
+	var err error
+	if opt.dataDir != "" {
+		if opt.snapshotInterval < 0 {
+			return nil, fmt.Errorf("negative -snapshot-interval %v", opt.snapshotInterval)
+		}
+		s, err = newPersistentServer(cfg, opt.dataDir, opt.snapshotInterval)
+	} else {
+		s, err = newServer(cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.exact = opt.exact
+	return s, nil
+}
+
+func run(args []string) error {
+	fs, opt := newFlagSet()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s, err := newServerFromOptions(opt)
 	if err != nil {
 		return err
 	}
+	if s.persist != nil {
+		log.Printf("cupidd: repository persisted under %s (%d schemas restored)", opt.dataDir, s.reg.Len())
+	}
 	srv := &http.Server{
-		Addr:              *addr,
+		Addr:              opt.addr,
 		Handler:           s.routes(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
@@ -385,11 +537,20 @@ func run() error {
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("cupidd: listening on %s", *addr)
+		log.Printf("cupidd: listening on %s", opt.addr)
 		errCh <- srv.ListenAndServe()
 	}()
+	// closeLoud flushes the persistence layer on the error exits, where the
+	// HTTP error takes precedence but a dropped snapshot must not vanish
+	// silently.
+	closeLoud := func() {
+		if err := s.close(); err != nil {
+			log.Printf("cupidd: flushing repository snapshot: %v", err)
+		}
+	}
 	select {
 	case err := <-errCh:
+		closeLoud()
 		return err
 	case <-ctx.Done():
 		stop()
@@ -397,17 +558,23 @@ func run() error {
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
+			closeLoud()
 			return fmt.Errorf("graceful shutdown: %w", err)
 		}
 		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			closeLoud()
 			return err
+		}
+		// Flush any pending snapshot only after in-flight requests drained.
+		if err := s.close(); err != nil {
+			return fmt.Errorf("flushing repository snapshot: %w", err)
 		}
 		return nil
 	}
 }
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "cupidd:", err)
 		os.Exit(1)
 	}

@@ -1,0 +1,177 @@
+package main
+
+// Integration coverage for the persistence layer as wired into the server:
+// restart on a populated -data dir serves identical /match/batch rankings,
+// and a torn snapshot falls back to the last consistent one.
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	cupid "repro"
+)
+
+// newPersistentTestServer builds a server persisting under dir; the close
+// function flushes the snapshot (call it before "restarting").
+func newPersistentTestServer(t *testing.T, dir string, interval time.Duration) (*httptest.Server, func()) {
+	t.Helper()
+	s, err := newServerFromOptions(&options{dataDir: dir, snapshotInterval: interval, minAccept: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.routes())
+	var closed bool
+	closeAll := func() {
+		if closed {
+			return
+		}
+		closed = true
+		ts.Close()
+		if err := s.close(); err != nil {
+			t.Errorf("closing persistent server: %v", err)
+		}
+	}
+	t.Cleanup(closeAll)
+	return ts, closeAll
+}
+
+// batchResponse captures /match/batch for byte-level comparison.
+type batchResponse struct {
+	Source  string        `json:"source"`
+	Results []batchResult `json:"results"`
+}
+
+func batchOf(t *testing.T, ts *httptest.Server, body any) batchResponse {
+	t.Helper()
+	var out batchResponse
+	if code := call(t, ts, http.MethodPost, "/match/batch", body, &out); code != http.StatusOK {
+		t.Fatalf("batch: status %d", code)
+	}
+	return out
+}
+
+func TestServerRestartServesIdenticalRankings(t *testing.T) {
+	dir := t.TempDir()
+
+	ts1, close1 := newPersistentTestServer(t, dir, 0)
+	register(t, ts1, "orders", "sql", ordersDDL)
+	register(t, ts1, "purchases", "sql", purchasesDDL)
+	register(t, ts1, "inventory", "json", inventoryJSON)
+	req := map[string]any{"source": map[string]string{"name": "orders"}, "topK": 5}
+	before := batchOf(t, ts1, req)
+	if len(before.Results) == 0 {
+		t.Fatal("no batch results before restart")
+	}
+	close1()
+
+	// Restart on the same data dir: rankings — names, scores, fingerprints,
+	// leaf mappings — must be identical.
+	ts2, _ := newPersistentTestServer(t, dir, 0)
+	var list struct {
+		Schemas []schemaInfo `json:"schemas"`
+	}
+	if code := call(t, ts2, http.MethodGet, "/schemas", nil, &list); code != http.StatusOK {
+		t.Fatalf("list after restart: status %d", code)
+	}
+	if len(list.Schemas) != 3 {
+		t.Fatalf("restart restored %d schemas, want 3", len(list.Schemas))
+	}
+	after := batchOf(t, ts2, req)
+	if !reflect.DeepEqual(before, after) {
+		b1, _ := json.MarshalIndent(before, "", " ")
+		b2, _ := json.MarshalIndent(after, "", " ")
+		t.Errorf("batch rankings differ across restart:\nbefore: %s\nafter:  %s", b1, b2)
+	}
+}
+
+func TestServerRestartAfterTornSnapshot(t *testing.T) {
+	dir := t.TempDir()
+
+	ts1, close1 := newPersistentTestServer(t, dir, 0)
+	register(t, ts1, "orders", "sql", ordersDDL)
+	baseline := batchOf(t, ts1, map[string]any{
+		"source": map[string]string{"format": "sql", "content": purchasesDDL},
+	})
+	// Second mutation writes a second snapshot generation; tearing it must
+	// roll the repository back to the single-schema state.
+	register(t, ts1, "inventory", "json", inventoryJSON)
+	close1()
+
+	snaps, err := filepath.Glob(filepath.Join(dir, "snapshot-*.jsonl"))
+	if err != nil || len(snaps) < 2 {
+		t.Fatalf("want >= 2 snapshot generations, got %v (err %v)", snaps, err)
+	}
+	newest := snaps[len(snaps)-1]
+	b, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newest, b[:len(b)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ts2, _ := newPersistentTestServer(t, dir, 0)
+	var list struct {
+		Schemas []schemaInfo `json:"schemas"`
+	}
+	call(t, ts2, http.MethodGet, "/schemas", nil, &list)
+	if len(list.Schemas) != 1 || list.Schemas[0].Name != "orders" {
+		t.Fatalf("torn-snapshot recovery restored %+v, want just orders", list.Schemas)
+	}
+	// And the surviving state matches exactly what that snapshot served.
+	got := batchOf(t, ts2, map[string]any{
+		"source": map[string]string{"format": "sql", "content": purchasesDDL},
+	})
+	if !reflect.DeepEqual(baseline, got) {
+		t.Error("recovered repository serves different rankings than the consistent snapshot did")
+	}
+}
+
+// TestServerBatchedSnapshotFlushedOnClose covers -snapshot-interval > 0:
+// nothing hits disk per mutation, but a graceful shutdown flushes.
+func TestServerBatchedSnapshotFlushedOnClose(t *testing.T) {
+	dir := t.TempDir()
+	ts1, close1 := newPersistentTestServer(t, dir, time.Hour)
+	register(t, ts1, "orders", "sql", ordersDDL)
+	if snaps, _ := filepath.Glob(filepath.Join(dir, "snapshot-*.jsonl")); len(snaps) != 0 {
+		t.Fatalf("batched mode wrote %v before close", snaps)
+	}
+	close1()
+
+	ts2, _ := newPersistentTestServer(t, dir, time.Hour)
+	var list struct {
+		Schemas []schemaInfo `json:"schemas"`
+	}
+	call(t, ts2, http.MethodGet, "/schemas", nil, &list)
+	if len(list.Schemas) != 1 {
+		t.Fatalf("batched-mode restart restored %d schemas, want 1", len(list.Schemas))
+	}
+}
+
+// TestServerExactFlagMatchesPrunedOnSmallRepo sanity-checks that -exact
+// and the default pruned path agree on a small repository (pruning cannot
+// engage below the candidate floor).
+func TestServerExactFlagMatchesPrunedOnSmallRepo(t *testing.T) {
+	build := func(exact bool) batchResponse {
+		s, err := newServer(cupid.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.exact = exact
+		ts := httptest.NewServer(s.routes())
+		t.Cleanup(ts.Close)
+		register(t, ts, "orders", "sql", ordersDDL)
+		register(t, ts, "purchases", "sql", purchasesDDL)
+		register(t, ts, "inventory", "json", inventoryJSON)
+		return batchOf(t, ts, map[string]any{"source": map[string]string{"name": "orders"}, "topK": 2})
+	}
+	if exact, pruned := build(true), build(false); !reflect.DeepEqual(exact, pruned) {
+		t.Errorf("exact and pruned rankings differ on a small repository:\nexact:  %+v\npruned: %+v", exact, pruned)
+	}
+}

@@ -57,15 +57,26 @@
 // with results bit-identical to Match, turning the per-schema phases into
 // a one-time cost. SchemaRegistry stores prepared schemas keyed by name
 // and content fingerprint and ranks a whole repository against one
-// incoming schema (MatchAll, fanned over the worker pool); the cupidd
-// command serves register/list/match/batch over HTTP/JSON.
+// incoming schema: MatchAll scans exhaustively, MatchTop prunes
+// candidates first by cheap per-schema signatures (size + normalized
+// token overlap, see Prepared.Signature) so only the top fraction pays
+// the full tree match. PersistentRegistry makes the repository durable —
+// every mutation journals the schema's source document into a versioned
+// JSON-lines snapshot store (atomic write+rename, fsync'd; synchronous
+// or interval-batched) and a restart restores the newest consistent
+// snapshot with bit-identical rankings. The cupidd command serves
+// register/list/match/batch over HTTP/JSON on top of all of this
+// (docs/API.md is the full reference; docs/ARCHITECTURE.md the system
+// tour).
 //
 // The cupidbench command's bench experiment (-exp bench) measures the
-// sequential-vs-parallel pipeline on synthetic schemas of growing size
-// and the 1-vs-K batch repository workload (naive Match calls vs the
-// prepared-schema registry), self-checks with go vet, gofmt and the -race
-// determinism tests, and writes the trajectory to BENCH_cupid.json as the
-// perf baseline for future changes.
+// sequential-vs-parallel pipeline on synthetic schemas of growing size,
+// the 1-vs-K batch repository workload (naive Match calls vs the
+// prepared-schema registry), and the 1-vs-200 pruned-retrieval workload
+// (exhaustive MatchAll vs signature-pruned MatchTop, recall@K asserted
+// exactly 1.0); it self-checks with go vet, gofmt, doc presence and the
+// -race determinism tests, and writes the trajectory to BENCH_cupid.json
+// as the perf baseline for future changes.
 package cupid
 
 import (
@@ -73,6 +84,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dtd"
@@ -276,6 +288,37 @@ func NewRegistry(cfg Config) (*SchemaRegistry, error) { return registry.New(cfg)
 // NewRegistryWithMatcher builds a schema registry around an existing
 // Matcher.
 func NewRegistryWithMatcher(m *Matcher) *SchemaRegistry { return registry.NewWithMatcher(m) }
+
+// PruneOptions sizes the candidate set SchemaRegistry.MatchTop lets
+// through to the full tree match (candidate fraction and floor).
+type PruneOptions = registry.PruneOptions
+
+// DefaultPruneOptions keeps the top quarter of the repository, never fewer
+// than 16 candidates.
+func DefaultPruneOptions() PruneOptions { return registry.DefaultPruneOptions() }
+
+// PersistentRegistry is a SchemaRegistry whose contents survive restarts:
+// every mutation journals the schema's source document into a versioned
+// JSON-lines snapshot store under a data directory (atomic write+rename,
+// fsync'd; synchronous per mutation or batched on an interval), and
+// opening the directory restores the newest consistent snapshot — after a
+// torn write, the previous one. Matching is served from memory exactly
+// like the plain registry. The cupidd server runs on one when started
+// with -data.
+type PersistentRegistry = registry.Persistent
+
+// SchemaSignature is the cheap per-schema summary (size + normalized token
+// bag) candidate pruning compares; derive one with Prepared.Signature.
+type SchemaSignature = model.Signature
+
+// OpenPersistentRegistry opens (creating if needed) the data directory,
+// restores the newest consistent snapshot, and returns the durable
+// registry. interval 0 snapshots synchronously on every mutation;
+// interval > 0 batches snapshots in the background (Close flushes).
+// Warnings report snapshots that had to be skipped during recovery.
+func OpenPersistentRegistry(dir string, m *Matcher, interval time.Duration) (p *PersistentRegistry, warnings []string, err error) {
+	return registry.OpenPersistent(dir, m, interval, ParseSchema)
+}
 
 // SchemaFingerprint returns the stable content hash of a schema — the
 // identity the registry keys entries by.

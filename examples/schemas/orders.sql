@@ -1,0 +1,8 @@
+-- A small order-management schema; pairs with purchases.sql in the README
+-- and docs/API.md quickstarts.
+CREATE TABLE Orders (
+    OrderID INT PRIMARY KEY,
+    Customer VARCHAR(64),
+    OrderDate DATE,
+    Amount DECIMAL(10,2)
+);

@@ -1,0 +1,8 @@
+-- A renamed sibling of orders.sql: same shape, different vocabulary, so
+-- the thesaurus-driven linguistic phase has work to do.
+CREATE TABLE Purchases (
+    PurchaseID INT PRIMARY KEY,
+    Customer VARCHAR(64),
+    PurchaseDate DATE,
+    Total DECIMAL(10,2)
+);

@@ -43,6 +43,12 @@ type Prepared struct {
 	// lazily (once, concurrency-safe) instead of on every Prepare.
 	pathOnce sync.Once
 	pathToks []linguistic.TokenSet
+
+	// sig caches the pruning signature. Lazy like fp: only repository
+	// candidate pruning (registry.MatchTop) reads it, so plain Match never
+	// pays the token-bag sweep.
+	sigOnce sync.Once
+	sig     model.Signature
 }
 
 // Schema returns the underlying schema graph.
@@ -59,6 +65,20 @@ func (p *Prepared) Info() *linguistic.SchemaInfo { return p.info }
 func (p *Prepared) Fingerprint() string {
 	p.fpOnce.Do(func() { p.fp = model.Fingerprint(p.schema) })
 	return p.fp
+}
+
+// Signature returns the schema's pruning signature (model.Signature):
+// element count, expanded-tree leaf count, and the normalized token bag of
+// the cached linguistic analysis. The repository's candidate pruning stage
+// (registry.MatchTop) ranks entries by signature affinity before running
+// the full tree match on the survivors. Computed on first use,
+// concurrency-safe, immutable afterwards.
+func (p *Prepared) Signature() model.Signature {
+	p.sigOnce.Do(func() {
+		p.sig = model.NewSignature(p.schema.Len(), p.tree.NumLeaves(),
+			p.owner.ling.SignatureTokens(p.info))
+	})
+	return p.sig
 }
 
 // Prepare validates the schema and builds the reusable matching artifact:

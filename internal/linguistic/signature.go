@@ -1,0 +1,77 @@
+package linguistic
+
+// Signature support: the repository's candidate pruning stage
+// (internal/registry) compares whole schemas by the overlap of their
+// normalized token bags before paying for the full pipeline. This file
+// exposes the two linguistic primitives it needs — a token-set Jaccard and
+// the derivation of one schema's signature token bag from the analysis the
+// matcher has already cached.
+
+// Jaccard returns the Jaccard similarity |A∩B| / |A∪B| of two normalized
+// token sets, compared by stem so inflection differences ("orders" vs
+// "order") do not break overlap. Common (stop-word) tokens are excluded —
+// they carry no matching signal, exactly as in name comparison. Two empty
+// sets score 0. model.Signature.TokenJaccard computes the same measure
+// over whole-schema bags of these comparison keys, precomputed and sorted
+// (that is the form the pruning hot path uses); the two must agree on the
+// key semantics, which signatureKey centralizes.
+func Jaccard(a, b TokenSet) float64 {
+	seen := map[string]int{} // 1 = in a, 2 = in b, 3 = both
+	for _, t := range a.Tokens {
+		if t.Type != TokenCommon {
+			seen[signatureKey(t)] |= 1
+		}
+	}
+	for _, t := range b.Tokens {
+		if t.Type != TokenCommon {
+			seen[signatureKey(t)] |= 2
+		}
+	}
+	if len(seen) == 0 {
+		return 0
+	}
+	inter := 0
+	for _, v := range seen {
+		if v == 3 {
+			inter++
+		}
+	}
+	return float64(inter) / float64(len(seen))
+}
+
+// signatureKey is the comparison key of one token: the stem for content
+// tokens (matching tokenSim's stem-equality fast path), the raw surface
+// form for the other types, prefixed by the type so a concept token never
+// collides with an identically spelled content token.
+func signatureKey(t Token) string {
+	if t.Type == TokenContent {
+		return t.Stem
+	}
+	return t.Type.String() + ":" + t.Raw
+}
+
+// SignatureTokens derives the schema-wide signature token bag from an
+// analysis: the union of every element's normalized name tokens and
+// description tokens (stop words excluded), as comparison keys. The result
+// feeds model.NewSignature; sorting and deduplication happen there. The
+// token sets are the ones Analyze already computed and cached, so the
+// derivation is a linear sweep, not a re-normalization.
+func (m *Matcher) SignatureTokens(si *SchemaInfo) []string {
+	var out []string
+	add := func(ts TokenSet) {
+		for _, t := range ts.Tokens {
+			if t.Type != TokenCommon {
+				out = append(out, signatureKey(t))
+			}
+		}
+	}
+	for _, ts := range si.Tokens {
+		add(ts)
+	}
+	for _, ts := range m.descTokens(si) {
+		if ts != nil {
+			add(*ts)
+		}
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package linguistic
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/thesaurus"
+)
+
+func TestJaccard(t *testing.T) {
+	th := thesaurus.Base()
+	norm := func(s string) TokenSet { return Normalize(s, th) }
+
+	if j := Jaccard(norm("PurchaseOrder"), norm("purchase_order")); j != 1 {
+		t.Errorf("case/separator variants: Jaccard = %v, want 1", j)
+	}
+	// Stemming unifies inflections.
+	if j := Jaccard(norm("OrderLines"), norm("OrderLine")); j != 1 {
+		t.Errorf("inflection variants: Jaccard = %v, want 1", j)
+	}
+	if j := Jaccard(norm("City"), norm("Voltage")); j != 0 {
+		t.Errorf("unrelated names: Jaccard = %v, want 0", j)
+	}
+	if j := Jaccard(norm(""), norm("")); j != 0 {
+		t.Errorf("empty sets: Jaccard = %v, want 0", j)
+	}
+	// Stop words are excluded: "of the order" and "order" overlap fully.
+	if j := Jaccard(norm("of the order"), norm("order")); j != 1 {
+		t.Errorf("stop words counted: Jaccard = %v, want 1", j)
+	}
+	// Partial overlap lands strictly between 0 and 1 and is symmetric.
+	a, b := norm("OrderDate"), norm("OrderAmount")
+	j := Jaccard(a, b)
+	if j <= 0 || j >= 1 {
+		t.Errorf("partial overlap: Jaccard = %v, want in (0,1)", j)
+	}
+	if Jaccard(b, a) != j {
+		t.Error("Jaccard is not symmetric")
+	}
+}
+
+func TestJaccardTypePrefixSeparatesConceptFromContent(t *testing.T) {
+	// A concept token must not collide with an identically spelled content
+	// token: "money" as a concept tag is a different signature key than
+	// "money" the word.
+	content := TokenSet{Tokens: []Token{{Raw: "money", Stem: "money", Type: TokenContent}}}.Partitioned()
+	concept := TokenSet{Tokens: []Token{{Raw: "money", Stem: "money", Type: TokenConcept}}}.Partitioned()
+	if j := Jaccard(content, concept); j != 0 {
+		t.Errorf("concept vs content collision: Jaccard = %v, want 0", j)
+	}
+}
+
+func TestSignatureTokensCoverNamesAndDescriptions(t *testing.T) {
+	s := model.New("Orders")
+	e := s.AddChild(s.Root(), "OrderDate", model.KindColumn)
+	e.Description = "the shipment timestamp"
+
+	m := NewMatcher(thesaurus.Base())
+	si := m.Analyze(s)
+	toks := m.SignatureTokens(si)
+	want := map[string]bool{}
+	for _, k := range toks {
+		want[k] = true
+	}
+	for _, stem := range []string{thesaurus.Stem("order"), thesaurus.Stem("date"), thesaurus.Stem("shipment"), thesaurus.Stem("timestamp")} {
+		if !want[stem] {
+			t.Errorf("signature tokens missing %q; got %v", stem, toks)
+		}
+	}
+	// "the" is a stop word and must not appear under any key.
+	for _, k := range toks {
+		if k == "the" || k == "common:the" {
+			t.Errorf("signature tokens include stop word: %v", toks)
+		}
+	}
+}
+
+func TestSignatureTokensAffinityRanksRelatedSchemas(t *testing.T) {
+	build := func(name string, cols ...string) *model.Schema {
+		s := model.New(name)
+		tbl := s.AddChild(s.Root(), name+"Table", model.KindTable)
+		for _, c := range cols {
+			s.AddChild(tbl, c, model.KindColumn)
+		}
+		return s
+	}
+	m := NewMatcher(thesaurus.Base())
+	sig := func(s *model.Schema) model.Signature {
+		return model.NewSignature(s.Len(), s.Len(), m.SignatureTokens(m.Analyze(s)))
+	}
+	probe := sig(build("Orders", "OrderID", "Customer", "OrderDate", "Amount"))
+	near := sig(build("Purchases", "PurchaseID", "Customer", "PurchaseDate", "Total"))
+	far := sig(build("Telemetry", "SensorID", "Voltage", "Reading", "Epoch"))
+	an, af := probe.Affinity(near), probe.Affinity(far)
+	if an <= af {
+		t.Errorf("related schema affinity %v must exceed unrelated %v", an, af)
+	}
+	if self := probe.Affinity(probe); math.Abs(self-1) > 1e-12 {
+		t.Errorf("self affinity = %v, want 1", self)
+	}
+}

@@ -1,0 +1,243 @@
+package registry
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// Persistent is a Registry whose contents survive restarts. It embeds the
+// in-memory Registry — matching (MatchAll, MatchTop, Get, List) is served
+// straight from memory at the same cost — and journals every mutation's
+// source document to a Store snapshot.
+//
+// Two durability modes, chosen by the snapshot interval:
+//
+//   - interval == 0 (synchronous): every Register/Remove writes and fsyncs
+//     a full snapshot before returning. A mutation that was acknowledged is
+//     on disk.
+//   - interval > 0 (batched): mutations mark the repository dirty and a
+//     background writer snapshots at most once per interval; Close (and
+//     Flush) write any pending state. A crash can lose at most the last
+//     interval's mutations — the store still guarantees the surviving
+//     snapshot is a consistent point-in-time image, never a torn one.
+//
+// Mutations are serialized by an internal lock so the persisted document
+// set can never disagree with the in-memory registry; reads and matching
+// never take that lock.
+type Persistent struct {
+	*Registry
+	store    *Store
+	interval time.Duration
+
+	mu    sync.Mutex // serializes mutations + snapshot state
+	docs  map[string]Doc
+	dirty bool
+
+	wg   sync.WaitGroup
+	stop chan struct{}
+
+	errMu   sync.Mutex
+	saveErr error // first background snapshot failure, surfaced on Close
+}
+
+// OpenPersistent opens the data directory, restores the newest consistent
+// snapshot into a fresh registry around the given matcher, and returns the
+// durable registry. Warnings describe snapshots that had to be skipped
+// (e.g. a torn write recovered from). A nil parse restricts persisted
+// documents to the native "json" format.
+func OpenPersistent(dir string, m *core.Matcher, interval time.Duration, parse ParseFunc) (p *Persistent, warnings []string, err error) {
+	st, err := OpenStore(dir, parse)
+	if err != nil {
+		return nil, nil, err
+	}
+	loaded, warnings, err := st.Load()
+	if err != nil {
+		return nil, warnings, err
+	}
+	p = &Persistent{
+		Registry: NewWithMatcher(m),
+		store:    st,
+		interval: interval,
+		docs:     make(map[string]Doc, len(loaded)),
+		stop:     make(chan struct{}),
+	}
+	for _, l := range loaded {
+		e, _, err := p.Registry.Register(l.Doc.Name, l.Schema)
+		if err != nil {
+			return nil, warnings, fmt.Errorf("registry: restoring %q: %w", l.Doc.Name, err)
+		}
+		// Keep the original document; refresh the fingerprint to the one
+		// the restored entry actually carries (identical for source-doc
+		// registrations, normalized once for native-JSON fallbacks).
+		d := l.Doc
+		d.Fingerprint = e.Fingerprint
+		p.docs[e.Name] = d
+	}
+	if interval > 0 {
+		p.wg.Add(1)
+		go p.writer()
+	}
+	return p, warnings, nil
+}
+
+// writer is the batched-mode background snapshotter.
+func (p *Persistent) writer() {
+	defer p.wg.Done()
+	t := time.NewTicker(p.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if err := p.Flush(); err != nil {
+				p.noteErr(err)
+			}
+		case <-p.stop:
+			return
+		}
+	}
+}
+
+func (p *Persistent) noteErr(err error) {
+	p.errMu.Lock()
+	if p.saveErr == nil {
+		p.saveErr = err
+	}
+	p.errMu.Unlock()
+}
+
+// Err returns the first background snapshot failure, if any (batched mode
+// only; synchronous mode returns failures from the mutation itself).
+func (p *Persistent) Err() error {
+	p.errMu.Lock()
+	defer p.errMu.Unlock()
+	return p.saveErr
+}
+
+// snapshotLocked writes the current document set; callers hold p.mu.
+func (p *Persistent) snapshotLocked() error {
+	docs := make([]Doc, 0, len(p.docs))
+	for _, d := range p.docs {
+		docs = append(docs, d)
+	}
+	if err := p.store.Save(docs); err != nil {
+		return err
+	}
+	p.dirty = false
+	return nil
+}
+
+// noteMutationLocked persists per the durability mode; callers hold p.mu.
+// The dirty flag is raised before a synchronous snapshot attempt (and
+// cleared only by a successful one), so a failed write leaves the
+// repository marked un-persisted and a later mutation, Flush or Close
+// retries it — otherwise a transient disk error would strand acknowledged
+// in-memory state ahead of disk forever.
+func (p *Persistent) noteMutationLocked() error {
+	p.dirty = true
+	if p.interval == 0 {
+		return p.snapshotLocked()
+	}
+	return nil
+}
+
+// RegisterSource parses a source document and registers the schema under
+// the given name (the schema's own name when empty), persisting the
+// document bytes verbatim so a restart re-parses exactly what was
+// registered. This is the durable path the cupidd server uses.
+func (p *Persistent) RegisterSource(name, format string, content []byte) (*Entry, bool, error) {
+	s, err := p.store.parse(name, format, content)
+	if err != nil {
+		return nil, false, err
+	}
+	return p.register(name, s, func(e *Entry) (Doc, error) {
+		return Doc{Name: e.Name, Fingerprint: e.Fingerprint, Format: format, Content: string(content)}, nil
+	})
+}
+
+// Register registers an in-memory schema graph, persisting its native JSON
+// serialization. See Store: the first reload of such an entry may
+// normalize its fingerprint; registering via RegisterSource avoids that.
+func (p *Persistent) Register(name string, s *model.Schema) (*Entry, bool, error) {
+	return p.register(name, s, func(e *Entry) (Doc, error) {
+		b, err := e.Prepared.Schema().MarshalJSON()
+		if err != nil {
+			return Doc{}, fmt.Errorf("registry: serializing %q for persistence: %w", e.Name, err)
+		}
+		return Doc{Name: e.Name, Fingerprint: e.Fingerprint, Format: "json", Content: string(b)}, nil
+	})
+}
+
+func (p *Persistent) register(name string, s *model.Schema, doc func(*Entry) (Doc, error)) (*Entry, bool, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, created, err := p.Registry.Register(name, s)
+	if err != nil {
+		return nil, false, err
+	}
+	if !created {
+		if _, ok := p.docs[e.Name]; ok {
+			// Idempotent re-registration: nothing new to persist — unless an
+			// earlier synchronous snapshot failed, in which case this is the
+			// retry that must land the state on disk before acknowledging.
+			if p.dirty && p.interval == 0 {
+				return e, false, p.snapshotLocked()
+			}
+			return e, false, nil
+		}
+	}
+	d, err := doc(e)
+	if err != nil {
+		return e, created, err
+	}
+	p.docs[e.Name] = d
+	if err := p.noteMutationLocked(); err != nil {
+		return e, created, fmt.Errorf("registry: registered %q but persisting failed: %w", e.Name, err)
+	}
+	return e, created, nil
+}
+
+// Remove deletes the entry and persists the removal, reporting whether the
+// entry existed.
+func (p *Persistent) Remove(name string) (bool, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.Registry.Remove(name) {
+		return false, nil
+	}
+	delete(p.docs, name)
+	if err := p.noteMutationLocked(); err != nil {
+		return true, fmt.Errorf("registry: removed %q but persisting failed: %w", name, err)
+	}
+	return true, nil
+}
+
+// Flush snapshots now if there are unpersisted mutations.
+func (p *Persistent) Flush() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.dirty {
+		return nil
+	}
+	return p.snapshotLocked()
+}
+
+// Close stops the background writer (batched mode), flushes pending state,
+// and surfaces any earlier background snapshot failure. The registry
+// remains usable in memory after Close, but nothing persists anymore.
+func (p *Persistent) Close() error {
+	select {
+	case <-p.stop:
+		// already closed
+	default:
+		close(p.stop)
+	}
+	p.wg.Wait()
+	if err := p.Flush(); err != nil {
+		return err
+	}
+	return p.Err()
+}

@@ -1,0 +1,274 @@
+package registry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// Store is the registry's durability layer: a versioned JSON-lines
+// snapshot store under one data directory. Each snapshot is a complete,
+// self-validating image of the repository:
+//
+//	{"magic":"cupid-registry","version":1,"seq":3,"count":2}   header
+//	{"name":"orders","fingerprint":"…","format":"sql","content":"…"}
+//	{"name":"po","fingerprint":"…","format":"json","content":"…"}
+//	{"eof":true,"count":2}                                     footer
+//
+// Snapshots are written to a temp file, fsync'd, and atomically renamed to
+// snapshot-<seq>.jsonl (the directory is fsync'd too), so a crash mid-write
+// never clobbers the previous image. Load walks snapshots newest-first and
+// returns the first consistent one — header and footer intact, every record
+// decodable, every schema parseable — which makes recovery after a torn or
+// corrupted snapshot automatic. The two most recent snapshots are retained;
+// older ones are pruned on each Save.
+//
+// Records persist the schema's original source document (format + raw
+// content), not a re-serialization: re-parsing the same bytes is
+// deterministic, so a reloaded repository serves bit-identical match
+// rankings and fingerprints. Schemas registered from an in-memory graph
+// (no source document) fall back to the native JSON serialization, whose
+// first round-trip may normalize the fingerprint (refint reconstruction
+// reorders element creation); their match behaviour is preserved, and the
+// normalized form is stable from then on.
+type Store struct {
+	dir   string
+	parse ParseFunc
+	seq   uint64 // sequence of the most recent snapshot written or seen
+}
+
+// ParseFunc turns a persisted source document back into a schema. The
+// cupidd server passes the shared multi-format loader (cupid.ParseSchema);
+// nil restricts the store to the native "json" format.
+type ParseFunc func(name, format string, data []byte) (*model.Schema, error)
+
+// Doc is one persisted repository entry: the registration key plus the
+// source document it was parsed from.
+type Doc struct {
+	Name        string `json:"name"`
+	Fingerprint string `json:"fingerprint"`
+	Format      string `json:"format"`
+	Content     string `json:"content"`
+}
+
+const (
+	snapshotMagic   = "cupid-registry"
+	snapshotVersion = 1
+	snapshotPrefix  = "snapshot-"
+	snapshotSuffix  = ".jsonl"
+	// snapshotsKept is how many consistent generations stay on disk: the
+	// current one plus one fallback for torn-write recovery.
+	snapshotsKept = 2
+)
+
+type snapshotHeader struct {
+	Magic   string `json:"magic"`
+	Version int    `json:"version"`
+	Seq     uint64 `json:"seq"`
+	Count   int    `json:"count"`
+}
+
+type snapshotFooter struct {
+	EOF   bool `json:"eof"`
+	Count int  `json:"count"`
+}
+
+// OpenStore opens (creating if needed) the data directory and scans it for
+// existing snapshots.
+func OpenStore(dir string, parse ParseFunc) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("registry: store needs a data directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("registry: creating data dir: %w", err)
+	}
+	if parse == nil {
+		parse = func(name, format string, data []byte) (*model.Schema, error) {
+			if strings.TrimPrefix(strings.ToLower(strings.TrimSpace(format)), ".") != "json" {
+				return nil, fmt.Errorf("registry: store has no parser for format %q (only the native json format without one)", format)
+			}
+			return model.ReadJSON(bytes.NewReader(data))
+		}
+	}
+	st := &Store{dir: dir, parse: parse}
+	for _, seq := range st.sequences() {
+		if seq > st.seq {
+			st.seq = seq
+		}
+	}
+	return st, nil
+}
+
+// Dir returns the store's data directory.
+func (st *Store) Dir() string { return st.dir }
+
+// sequences lists the snapshot sequence numbers present on disk,
+// ascending. Unparseable names are ignored.
+func (st *Store) sequences() []uint64 {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, snapshotPrefix) || !strings.HasSuffix(name, snapshotSuffix) {
+			continue
+		}
+		seq, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, snapshotPrefix), snapshotSuffix), 10, 64)
+		if err != nil {
+			continue
+		}
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs
+}
+
+func (st *Store) path(seq uint64) string {
+	return filepath.Join(st.dir, fmt.Sprintf("%s%d%s", snapshotPrefix, seq, snapshotSuffix))
+}
+
+// Save writes the given docs as the next snapshot generation: temp file,
+// fsync, atomic rename, directory fsync, then pruning of generations older
+// than the retained window. Docs are written sorted by name so equal
+// repository states produce byte-identical snapshots.
+func (st *Store) Save(docs []Doc) error {
+	sorted := append([]Doc(nil), docs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	if err := enc.Encode(snapshotHeader{Magic: snapshotMagic, Version: snapshotVersion, Seq: st.seq + 1, Count: len(sorted)}); err != nil {
+		return fmt.Errorf("registry: encoding snapshot header: %w", err)
+	}
+	for _, d := range sorted {
+		if err := enc.Encode(d); err != nil {
+			return fmt.Errorf("registry: encoding snapshot record %q: %w", d.Name, err)
+		}
+	}
+	if err := enc.Encode(snapshotFooter{EOF: true, Count: len(sorted)}); err != nil {
+		return fmt.Errorf("registry: encoding snapshot footer: %w", err)
+	}
+
+	tmp, err := os.CreateTemp(st.dir, ".snapshot-*.tmp")
+	if err != nil {
+		return fmt.Errorf("registry: creating snapshot temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after successful rename
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		return fmt.Errorf("registry: writing snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("registry: syncing snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("registry: closing snapshot: %w", err)
+	}
+	next := st.seq + 1
+	if err := os.Rename(tmpName, st.path(next)); err != nil {
+		return fmt.Errorf("registry: publishing snapshot: %w", err)
+	}
+	if d, err := os.Open(st.dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	st.seq = next
+
+	// Prune generations beyond the retained window; failures are cosmetic.
+	seqs := st.sequences()
+	for i := 0; i+snapshotsKept < len(seqs); i++ {
+		os.Remove(st.path(seqs[i]))
+	}
+	return nil
+}
+
+// Loaded is one restored repository entry: the persisted document plus the
+// schema parsed back from it.
+type Loaded struct {
+	Doc    Doc
+	Schema *model.Schema
+}
+
+// Load restores the newest consistent snapshot, or (nil, nil) when the
+// directory holds no usable snapshot (a fresh store). Inconsistent
+// snapshots — torn writes, corrupted records, unparseable schemas — are
+// skipped with their reason recorded in the returned warnings, falling
+// back to the previous generation.
+func (st *Store) Load() (docs []Loaded, warnings []string, err error) {
+	seqs := st.sequences()
+	for i := len(seqs) - 1; i >= 0; i-- {
+		loaded, err := st.loadSnapshot(seqs[i])
+		if err != nil {
+			warnings = append(warnings, fmt.Sprintf("snapshot %d unusable: %v", seqs[i], err))
+			continue
+		}
+		return loaded, warnings, nil
+	}
+	return nil, warnings, nil
+}
+
+// loadSnapshot reads and fully validates one snapshot generation.
+func (st *Store) loadSnapshot(seq uint64) ([]Loaded, error) {
+	f, err := os.Open(st.path(seq))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
+
+	if !sc.Scan() {
+		return nil, fmt.Errorf("empty snapshot")
+	}
+	var hdr snapshotHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return nil, fmt.Errorf("decoding header: %w", err)
+	}
+	if hdr.Magic != snapshotMagic {
+		return nil, fmt.Errorf("bad magic %q", hdr.Magic)
+	}
+	if hdr.Version != snapshotVersion {
+		return nil, fmt.Errorf("unsupported snapshot version %d", hdr.Version)
+	}
+	out := make([]Loaded, 0, hdr.Count)
+	for i := 0; i < hdr.Count; i++ {
+		if !sc.Scan() {
+			return nil, fmt.Errorf("torn snapshot: %d of %d records", i, hdr.Count)
+		}
+		var d Doc
+		if err := json.Unmarshal(sc.Bytes(), &d); err != nil {
+			return nil, fmt.Errorf("decoding record %d: %w", i, err)
+		}
+		s, err := st.parse(d.Name, d.Format, []byte(d.Content))
+		if err != nil {
+			return nil, fmt.Errorf("re-parsing %q: %w", d.Name, err)
+		}
+		out = append(out, Loaded{Doc: d, Schema: s})
+	}
+	if !sc.Scan() {
+		return nil, fmt.Errorf("torn snapshot: missing footer")
+	}
+	var ftr snapshotFooter
+	if err := json.Unmarshal(sc.Bytes(), &ftr); err != nil {
+		return nil, fmt.Errorf("decoding footer: %w", err)
+	}
+	if !ftr.EOF || ftr.Count != hdr.Count {
+		return nil, fmt.Errorf("inconsistent footer (eof=%v count=%d, header count=%d)", ftr.EOF, ftr.Count, hdr.Count)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,356 @@
+package registry
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/sqlddl"
+	"repro/internal/workloads"
+)
+
+// storeParse is the multi-format ParseFunc the cupidd server would supply,
+// reduced to the two formats these tests use.
+func storeParse(name, format string, data []byte) (*model.Schema, error) {
+	if format == "sql" {
+		return sqlddl.Parse(name, string(data))
+	}
+	return model.ReadJSON(strings.NewReader(string(data)))
+}
+
+const storeDDL = `CREATE TABLE Orders (
+  OrderID INT PRIMARY KEY,
+  Customer VARCHAR(64),
+  Amount DECIMAL(10,2),
+  Ref INT,
+  FOREIGN KEY (Ref) REFERENCES Billing(BillID)
+);
+CREATE TABLE Billing (BillID INT PRIMARY KEY, Total DECIMAL(10,2));`
+
+func newPersistent(t *testing.T, dir string, interval time.Duration) *Persistent {
+	t.Helper()
+	m, err := core.NewMatcher(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, warns, err := OpenPersistent(dir, m, interval, storeParse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range warns {
+		t.Logf("open warning: %s", w)
+	}
+	return p
+}
+
+func snapshotFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, snapshotPrefix+"*"+snapshotSuffix))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return matches
+}
+
+func TestPersistentRoundTripPreservesFingerprintAndRanking(t *testing.T) {
+	dir := t.TempDir()
+
+	p1 := newPersistent(t, dir, 0)
+	e1, created, err := p1.RegisterSource("orders", "sql", []byte(storeDDL))
+	if err != nil || !created {
+		t.Fatalf("register: created=%v err=%v", created, err)
+	}
+	corpus := workloads.FamilyCorpus(workloads.FamilyCorpusSpec{Families: 3, PerFamily: 3, Seed: 5})
+	for _, s := range corpus {
+		b, err := s.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := p1.RegisterSource(s.Name, "json", b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	probe, err := p1.Matcher().Prepare(workloads.FamilyProbe(1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := p1.MatchAll(probe, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart on the same dir: same entries, same fingerprints, identical
+	// ranking for the same probe.
+	p2 := newPersistent(t, dir, 0)
+	defer p2.Close()
+	if p2.Len() != p1.Len() {
+		t.Fatalf("restart lost entries: %d vs %d", p2.Len(), p1.Len())
+	}
+	e2, ok := p2.Get("orders")
+	if !ok {
+		t.Fatal("orders not restored")
+	}
+	if e2.Fingerprint != e1.Fingerprint {
+		t.Errorf("fingerprint drifted across restart: %s vs %s", e2.Fingerprint, e1.Fingerprint)
+	}
+	probe2, err := p2.Matcher().Prepare(workloads.FamilyProbe(1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := p2.MatchAll(probe2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameRanking(t, before, after)
+	for i := range before {
+		if before[i].Entry.Fingerprint != after[i].Entry.Fingerprint {
+			t.Errorf("rank %d fingerprint drifted", i)
+		}
+	}
+}
+
+func TestPersistentRemoveSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	p1 := newPersistent(t, dir, 0)
+	if _, _, err := p1.RegisterSource("orders", "sql", []byte(storeDDL)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p1.RegisterSource("billing", "sql",
+		[]byte("CREATE TABLE Billing (BillID INT PRIMARY KEY, Total DECIMAL(10,2));")); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := p1.Remove("orders")
+	if err != nil || !ok {
+		t.Fatalf("remove: ok=%v err=%v", ok, err)
+	}
+	if err := p1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p2 := newPersistent(t, dir, 0)
+	defer p2.Close()
+	if _, ok := p2.Get("orders"); ok {
+		t.Error("removed entry came back after restart")
+	}
+	if _, ok := p2.Get("billing"); !ok {
+		t.Error("surviving entry lost after restart")
+	}
+}
+
+// TestCrashRecoveryTornSnapshot simulates a crash that tears the newest
+// snapshot mid-write (truncated file): restart must fall back to the last
+// consistent snapshot and serve its exact state.
+func TestCrashRecoveryTornSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	p1 := newPersistent(t, dir, 0)
+	if _, _, err := p1.RegisterSource("orders", "sql", []byte(storeDDL)); err != nil {
+		t.Fatal(err)
+	}
+	// Second mutation creates a second snapshot generation.
+	if _, _, err := p1.RegisterSource("billing", "sql",
+		[]byte("CREATE TABLE Billing (BillID INT PRIMARY KEY, Total DECIMAL(10,2));")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	files := snapshotFiles(t, dir)
+	if len(files) != 2 {
+		t.Fatalf("expected 2 retained snapshot generations, got %v", files)
+	}
+	// Tear the newest snapshot: keep the header and half a record.
+	newest := files[len(files)-1]
+	b, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newest, b[:len(b)*2/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := core.NewMatcher(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, warns, err := OpenPersistent(dir, m, 0, storeParse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if len(warns) == 0 {
+		t.Error("recovery from a torn snapshot produced no warning")
+	}
+	// The last consistent snapshot held only "orders".
+	if _, ok := p2.Get("orders"); !ok {
+		t.Error("last consistent snapshot's entry missing")
+	}
+	if _, ok := p2.Get("billing"); ok {
+		t.Error("torn snapshot's entry leaked into the restored state")
+	}
+}
+
+// TestCrashRecoveryGarbageSnapshot: a snapshot overwritten with garbage is
+// skipped the same way.
+func TestCrashRecoveryGarbageSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	p1 := newPersistent(t, dir, 0)
+	if _, _, err := p1.RegisterSource("orders", "sql", []byte(storeDDL)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p1.RegisterSource("extra", "sql",
+		[]byte("CREATE TABLE Extra (ID INT PRIMARY KEY);")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	files := snapshotFiles(t, dir)
+	if err := os.WriteFile(files[len(files)-1], []byte("{\"magic\":\"not-a-registry\"}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p2 := newPersistent(t, dir, 0)
+	defer p2.Close()
+	if p2.Len() != 1 {
+		t.Fatalf("restored %d entries from fallback snapshot, want 1", p2.Len())
+	}
+}
+
+func TestPersistentEmptyDirStartsEmpty(t *testing.T) {
+	p := newPersistent(t, t.TempDir(), 0)
+	defer p.Close()
+	if p.Len() != 0 {
+		t.Fatalf("fresh store restored %d entries", p.Len())
+	}
+}
+
+func TestPersistentBatchedIntervalFlushesOnClose(t *testing.T) {
+	dir := t.TempDir()
+	// Interval long enough that the ticker never fires during the test:
+	// only Close's flush can have written the snapshot.
+	p1 := newPersistent(t, dir, time.Hour)
+	if _, _, err := p1.RegisterSource("orders", "sql", []byte(storeDDL)); err != nil {
+		t.Fatal(err)
+	}
+	if len(snapshotFiles(t, dir)) != 0 {
+		t.Error("batched mode snapshotted synchronously")
+	}
+	if err := p1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(snapshotFiles(t, dir)) != 1 {
+		t.Error("Close did not flush the pending snapshot")
+	}
+	p2 := newPersistent(t, dir, time.Hour)
+	defer p2.Close()
+	if _, ok := p2.Get("orders"); !ok {
+		t.Error("entry lost across batched-mode restart")
+	}
+}
+
+func TestPersistentBatchedWriterFires(t *testing.T) {
+	dir := t.TempDir()
+	p := newPersistent(t, dir, 10*time.Millisecond)
+	defer p.Close()
+	if _, _, err := p.RegisterSource("orders", "sql", []byte(storeDDL)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(snapshotFiles(t, dir)) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background writer never snapshotted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestPersistentNativeJSONFallbackRegister(t *testing.T) {
+	dir := t.TempDir()
+	p1 := newPersistent(t, dir, 0)
+	w := workloads.Figure2()
+	if _, _, err := p1.Register("po", w.Source); err != nil {
+		t.Fatal(err)
+	}
+	if err := p1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	p2 := newPersistent(t, dir, 0)
+	defer p2.Close()
+	e, ok := p2.Get("po")
+	if !ok {
+		t.Fatal("library-registered schema not restored")
+	}
+	// The restored schema must match like the original: same leaf count,
+	// and a self-match against the original scores 1-ish per leaf.
+	if got, want := e.Prepared.Tree().NumLeaves(), 8; got != want {
+		t.Errorf("restored schema has %d leaves, want %d", got, want)
+	}
+	// Fingerprint may have normalized once; a second restart is stable.
+	fp := e.Fingerprint
+	if err := p2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	p3 := newPersistent(t, dir, 0)
+	defer p3.Close()
+	e3, _ := p3.Get("po")
+	if e3.Fingerprint != fp {
+		t.Errorf("native-JSON fallback fingerprint unstable across restarts: %s vs %s", e3.Fingerprint, fp)
+	}
+}
+
+// TestSyncSnapshotFailureIsRetried: in synchronous mode a failed snapshot
+// write must leave the repository dirty so a later attempt (retry of the
+// same registration, Flush, or Close) lands the state on disk — not
+// strand acknowledged in-memory state ahead of disk forever.
+func TestSyncSnapshotFailureIsRetried(t *testing.T) {
+	dir := t.TempDir()
+	p := newPersistent(t, dir, 0)
+	defer p.Close()
+
+	// Fail the snapshot's temp-file creation by yanking the data dir out
+	// from under the store (works regardless of euid, unlike chmod).
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := p.RegisterSource("orders", "sql", []byte(storeDDL))
+	if err == nil {
+		t.Fatal("registration acknowledged durable success while the snapshot write failed")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// Retrying the identical registration must now write the snapshot.
+	if _, _, err := p.RegisterSource("orders", "sql", []byte(storeDDL)); err != nil {
+		t.Fatalf("retry after disk recovery: %v", err)
+	}
+	if len(snapshotFiles(t, dir)) == 0 {
+		t.Fatal("retry did not write the pending snapshot")
+	}
+	p2 := newPersistent(t, dir, 0)
+	defer p2.Close()
+	if _, ok := p2.Get("orders"); !ok {
+		t.Error("retried registration not durable")
+	}
+}
+
+func TestStoreSnapshotRetention(t *testing.T) {
+	dir := t.TempDir()
+	p := newPersistent(t, dir, 0)
+	defer p.Close()
+	for i := 0; i < 5; i++ {
+		ddl := "CREATE TABLE T" + string(rune('A'+i)) + " (ID INT PRIMARY KEY);"
+		if _, _, err := p.RegisterSource("t"+string(rune('a'+i)), "sql", []byte(ddl)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(snapshotFiles(t, dir)); got != snapshotsKept {
+		t.Errorf("%d snapshot generations retained, want %d", got, snapshotsKept)
+	}
+}

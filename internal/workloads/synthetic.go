@@ -29,6 +29,10 @@ type SyntheticSpec struct {
 	Renest float64
 	// FKs adds this many foreign keys between consecutive tables.
 	FKs int
+	// Vocab overrides the (canonical, variant) column-name vocabulary; nil
+	// uses the built-in commerce vocabulary. FamilyCorpus passes per-domain
+	// vocabularies here to generate repositories with distinct clusters.
+	Vocab [][2]string
 }
 
 // vocabulary for generated column names; pairs of (canonical, variant) let
@@ -73,6 +77,10 @@ func Synthetic(spec SyntheticSpec) Workload {
 	if spec.Depth <= 0 {
 		spec.Depth = 1
 	}
+	vocab := spec.Vocab
+	if vocab == nil {
+		vocab = synthVocab
+	}
 	rng := rand.New(rand.NewSource(spec.Seed))
 
 	type colSpec struct {
@@ -83,7 +91,7 @@ func Synthetic(spec SyntheticSpec) Workload {
 	var cols []colSpec
 	for t := 0; t < spec.Tables; t++ {
 		for c := 0; c < spec.ColsPerTable; c++ {
-			v := synthVocab[rng.Intn(len(synthVocab))]
+			v := vocab[rng.Intn(len(vocab))]
 			cs := colSpec{
 				table: t,
 				group: c % spec.Depth,
