@@ -2,10 +2,10 @@ package main
 
 // The bench experiment: a sequential-vs-parallel perf trajectory for the
 // whole Match pipeline plus the repository workloads (1-vs-K prepared
-// batch, 1-vs-200 pruned retrieval), written to BENCH_cupid.json so future
-// PRs have a baseline to compare against, plus a self-check that keeps
-// `go vet`, the -race determinism tests, gofmt and the doc-presence gate
-// green before any number is trusted.
+// batch, 1-vs-200 pruned retrieval, 1-vs-2000 indexed retrieval), written
+// to BENCH_cupid.json so future PRs have a baseline to compare against,
+// plus a self-check that keeps `go vet`, the -race determinism tests,
+// gofmt and the doc-presence gate green before any number is trusted.
 
 import (
 	"encoding/json"
@@ -73,6 +73,38 @@ type PrunePoint struct {
 	RecallAtK     float64 `json:"recall_at_k"`
 }
 
+// IndexPoint measures indexed retrieval on the big-repository workload:
+// one probe ranked against K prepared schemas three ways — exhaustively
+// (MatchAll), signature-pruned (MatchTop: an affinity against every
+// entry, full match on the top quarter), and indexed (MatchIndexed: the
+// sharded token inverted index generates candidates from genuine token
+// overlap only, full match on the top eighth). Recall@K is averaged over
+// one probe per corpus family against the exact scan; the bench fails
+// unless indexed recall is >= 0.98 and the indexed path beats the pruned
+// one on wall clock.
+type IndexPoint struct {
+	K    int `json:"k"`
+	TopK int `json:"top_k"`
+	// PrunedCandidates and IndexedCandidates are the two paths' full-match
+	// budgets (same Limit policy, different default fractions).
+	PrunedCandidates  int `json:"pruned_candidates"`
+	IndexedCandidates int `json:"indexed_candidates"`
+	// CandidatesScored is how many entries the index's accumulator
+	// actually scored for the timed probe (survivors of the stop-posting
+	// cut); the pruned path always scores all K.
+	CandidatesScored int `json:"candidates_scored"`
+	// Cost of one full 1-vs-K ranking per path.
+	FullNsPerOp     int64   `json:"full_ns_per_op"`
+	PrunedNsPerOp   int64   `json:"pruned_ns_per_op"`
+	IndexedNsPerOp  int64   `json:"indexed_ns_per_op"`
+	SpeedupVsPruned float64 `json:"speedup_vs_pruned"` // pruned/indexed wall clock
+	SpeedupVsFull   float64 `json:"speedup_vs_full"`   // full/indexed wall clock
+	// RecallAtK / PrunedRecallAtK: mean top-K overlap with the exact scan
+	// across the per-family probes.
+	RecallAtK       float64 `json:"recall_at_k"`
+	PrunedRecallAtK float64 `json:"pruned_recall_at_k"`
+}
+
 // BenchReport is the file format of BENCH_cupid.json.
 type BenchReport struct {
 	GeneratedUnix int64        `json:"generated_unix"`
@@ -89,6 +121,10 @@ type BenchReport struct {
 	// candidate pruning must beat the exhaustive scan on time with
 	// recall@K = 1.0.
 	Prune *PrunePoint `json:"prune,omitempty"`
+	// Index is the 1-vs-2000 retrieval workload: the sharded token
+	// inverted index must beat the pruned scan on time with recall@10 >=
+	// 0.98 against the exact scan.
+	Index *IndexPoint `json:"index,omitempty"`
 }
 
 // benchSpecs is the sweep measured by -exp bench: the eval scalability
@@ -120,7 +156,7 @@ func selfCheck() error {
 	}
 	steps := [][]string{
 		{"go", "vet", "./..."},
-		{"go", "test", "-race", "-count=1", "./internal/linguistic", "./internal/structural", "./internal/registry"},
+		{"go", "test", "-race", "-count=1", "./internal/linguistic", "./internal/structural", "./internal/registry", "./internal/index"},
 	}
 	for _, args := range steps {
 		fmt.Printf("bench self-check: %v\n", args)
@@ -339,6 +375,121 @@ func runPrune(cfg core.Config) (*PrunePoint, error) {
 	}, nil
 }
 
+// indexK is the repository size of the indexed retrieval workload and
+// indexTopK its ranking depth (the ISSUE acceptance criterion: 1-vs-2000,
+// recall@10 >= 0.98 vs the exact scan, indexed beats pruned on time).
+const (
+	indexK    = 2000
+	indexTopK = 10
+)
+
+// topNames returns the entry-name set of a ranking.
+func topNames(ranked []registry.Ranked) map[string]bool {
+	out := make(map[string]bool, len(ranked))
+	for _, rk := range ranked {
+		out[rk.Entry.Name] = true
+	}
+	return out
+}
+
+// runIndexed measures the 1-vs-2000 retrieval workload on the family
+// corpus: exhaustive MatchAll vs signature-pruned MatchTop vs indexed
+// MatchIndexed. Wall clock is measured on one probe; recall@K is averaged
+// over one probe per family (10 probes) so the >= 0.98 gate has real
+// granularity instead of 1/topK steps.
+func runIndexed(cfg core.Config) (*IndexPoint, error) {
+	reg, err := registry.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	corpus := workloads.FamilyCorpus(workloads.FamilyCorpusSpec{PerFamily: indexK / workloads.NumFamilies(), Seed: 17})
+	for _, s := range corpus {
+		if _, _, err := reg.Register(s.Name, s); err != nil {
+			return nil, err
+		}
+	}
+	pruneOpt := registry.DefaultPruneOptions()
+	indexOpt := registry.DefaultIndexOptions()
+
+	recall, prunedRecall := 0.0, 0.0
+	for fam := 0; fam < workloads.NumFamilies(); fam++ {
+		probe, err := reg.Matcher().Prepare(workloads.FamilyProbe(fam, 99))
+		if err != nil {
+			return nil, err
+		}
+		full, err := reg.MatchAll(probe, indexTopK)
+		if err != nil {
+			return nil, err
+		}
+		indexed, _, err := reg.MatchIndexed(probe, indexTopK, indexOpt)
+		if err != nil {
+			return nil, err
+		}
+		pruned, err := reg.MatchTop(probe, indexTopK, pruneOpt)
+		if err != nil {
+			return nil, err
+		}
+		exact := topNames(full)
+		for _, rk := range indexed {
+			if exact[rk.Entry.Name] {
+				recall++
+			}
+		}
+		for _, rk := range pruned {
+			if exact[rk.Entry.Name] {
+				prunedRecall++
+			}
+		}
+	}
+	probes := float64(workloads.NumFamilies() * indexTopK)
+	recall /= probes
+	prunedRecall /= probes
+
+	probe, err := reg.Matcher().Prepare(workloads.FamilyProbe(4, 99))
+	if err != nil {
+		return nil, err
+	}
+	_, stats, err := reg.MatchIndexed(probe, indexTopK, indexOpt)
+	if err != nil {
+		return nil, err
+	}
+	fullNs, _, err := timeOp(func() error {
+		_, err := reg.MatchAll(probe, indexTopK)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	prunedNs, _, err := timeOp(func() error {
+		_, err := reg.MatchTop(probe, indexTopK, pruneOpt)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	indexedNs, _, err := timeOp(func() error {
+		_, _, err := reg.MatchIndexed(probe, indexTopK, indexOpt)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &IndexPoint{
+		K:                 indexK,
+		TopK:              indexTopK,
+		PrunedCandidates:  pruneOpt.Limit(indexK, indexTopK),
+		IndexedCandidates: indexOpt.Limit(indexK, indexTopK),
+		CandidatesScored:  stats.CandidatesScored,
+		FullNsPerOp:       fullNs,
+		PrunedNsPerOp:     prunedNs,
+		IndexedNsPerOp:    indexedNs,
+		SpeedupVsPruned:   float64(prunedNs) / float64(indexedNs),
+		SpeedupVsFull:     float64(fullNs) / float64(indexedNs),
+		RecallAtK:         recall,
+		PrunedRecallAtK:   prunedRecall,
+	}, nil
+}
+
 // runBench executes the sweep and writes the JSON report.
 func runBench(outPath string, withSelfCheck bool) error {
 	if withSelfCheck {
@@ -357,7 +508,11 @@ func runBench(outPath string, withSelfCheck bool) error {
 			"batch = 1 probe vs K prepared repository schemas: naive re-runs " +
 			"expansion+analysis per Match call, prepared pays them once (registry). " +
 			"prune = 1 probe vs K on the family corpus: full MatchAll scan vs " +
-			"signature-pruned MatchTop, recall@K asserted exactly 1.0",
+			"signature-pruned MatchTop, recall@K asserted exactly 1.0. " +
+			"index = 1 probe vs 2000 on the family corpus: token inverted index " +
+			"(MatchIndexed) vs pruned scan vs full scan, recall@10 averaged over " +
+			"one probe per family and asserted >= 0.98, indexed required to beat " +
+			"pruned on wall clock",
 	}
 	fmt.Println("cupidbench: sequential vs parallel pipeline sweep")
 	fmt.Printf("  GOMAXPROCS=%d NumCPU=%d workers=%d\n", report.GoMaxProcs, report.NumCPU, report.Workers)
@@ -419,6 +574,24 @@ func runBench(outPath string, withSelfCheck bool) error {
 	}
 	if prune.PrunedNsPerOp >= prune.FullNsPerOp {
 		return fmt.Errorf("prune workload regression: pruned ranking must beat the full scan on time (got %d vs %d ns/op)", prune.PrunedNsPerOp, prune.FullNsPerOp)
+	}
+
+	fmt.Printf("cupidbench: indexed retrieval workload (1 probe vs K=%d, top-%d)\n", indexK, indexTopK)
+	idx, err := runIndexed(cfg)
+	if err != nil {
+		return err
+	}
+	report.Index = idx
+	fmt.Printf("  full scan (MatchAll):        %-13d ns/op\n", idx.FullNsPerOp)
+	fmt.Printf("  pruned (MatchTop, %4d):     %-13d ns/op  recall@%d %.3f\n", idx.PrunedCandidates, idx.PrunedNsPerOp, idx.TopK, idx.PrunedRecallAtK)
+	fmt.Printf("  indexed (MatchIndexed, %3d): %-13d ns/op  recall@%d %.3f  scored %d/%d\n",
+		idx.IndexedCandidates, idx.IndexedNsPerOp, idx.TopK, idx.RecallAtK, idx.CandidatesScored, idx.K)
+	fmt.Printf("  speedup vs pruned: %.2fx  vs full: %.2fx\n", idx.SpeedupVsPruned, idx.SpeedupVsFull)
+	if idx.RecallAtK < 0.98 {
+		return fmt.Errorf("index workload recall regression: recall@%d = %.3f vs the exact scan, want >= 0.98", idx.TopK, idx.RecallAtK)
+	}
+	if idx.IndexedNsPerOp >= idx.PrunedNsPerOp {
+		return fmt.Errorf("index workload regression: indexed retrieval must beat the pruned scan on time (got %d vs %d ns/op)", idx.IndexedNsPerOp, idx.PrunedNsPerOp)
 	}
 
 	data, err := json.MarshalIndent(report, "", "  ")

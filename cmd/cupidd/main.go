@@ -12,8 +12,16 @@
 // data directory (atomic write+rename, fsync'd synchronously per mutation
 // by default, or batched with -snapshot-interval), and a restart restores
 // the newest consistent snapshot — serving bit-identical match rankings.
-// Batch matching prunes candidates by cheap per-schema signatures before
-// running the full tree match; -exact restores the exhaustive scan.
+// The sharded token inverted index behind batch matching is never
+// persisted; recovery rebuilds it deterministically while re-registering
+// the snapshot's documents.
+//
+// Batch matching retrieves candidates from the inverted index by default
+// (-index, on unless disabled): only repository schemas sharing at least
+// one normalized token with the source are touched, re-ranked by exact
+// signature affinity, and just the top candidates pay the full tree
+// match. -index=false falls back to the linear signature-pruned scan;
+// -exact overrides both with the exhaustive full scan.
 //
 // Usage:
 //
@@ -29,7 +37,11 @@
 //	-data DIR              persist the repository under DIR (default: in-memory only)
 //	-snapshot-interval DUR batch snapshots at most once per DUR; 0 = fsync
 //	                       a snapshot synchronously on every mutation
-//	-exact                 exhaustive /match/batch scans (disable pruning)
+//	-index                 serve /match/batch from the token inverted index
+//	                       (default true; =false falls back to the linear
+//	                       signature-pruned scan)
+//	-exact                 exhaustive /match/batch scans (disable indexed
+//	                       retrieval and pruning)
 //
 // Endpoints (request and response bodies are JSON; docs/API.md is the full
 // reference, kept honest by a doc-conformance test):
@@ -74,9 +86,15 @@ type server struct {
 	// repository is in-memory only. When non-nil, reg is persist's embedded
 	// in-memory registry — reads go through reg, mutations through persist.
 	persist *cupid.PersistentRegistry
-	// exact disables signature-based candidate pruning in /match/batch.
-	exact bool
-	prune cupid.PruneOptions
+	// exact disables candidate generation entirely in /match/batch
+	// (exhaustive scans); useIndex picks the inverted-index candidate path
+	// over the linear signature-pruned scan when exact is off.
+	exact    bool
+	useIndex bool
+	prune    cupid.PruneOptions
+	// indexOpt sizes the indexed path's candidate budget (same Limit
+	// policy as prune, tighter default fraction).
+	indexOpt cupid.PruneOptions
 }
 
 func newServer(cfg cupid.Config) (*server, error) {
@@ -84,7 +102,7 @@ func newServer(cfg cupid.Config) (*server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &server{reg: reg, prune: cupid.DefaultPruneOptions()}, nil
+	return &server{reg: reg, useIndex: true, prune: cupid.DefaultPruneOptions(), indexOpt: cupid.DefaultIndexOptions()}, nil
 }
 
 // newPersistentServer builds a server on a durable registry rooted at dir.
@@ -100,7 +118,7 @@ func newPersistentServer(cfg cupid.Config, dir string, interval time.Duration) (
 	for _, w := range warns {
 		log.Printf("cupidd: recovery: %s", w)
 	}
-	return &server{reg: p.Registry, persist: p, prune: cupid.DefaultPruneOptions()}, nil
+	return &server{reg: p.Registry, persist: p, useIndex: true, prune: cupid.DefaultPruneOptions(), indexOpt: cupid.DefaultIndexOptions()}, nil
 }
 
 // close flushes and detaches the persistence layer, if any.
@@ -361,21 +379,35 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	// Rank the repository, drop the source's trivial self-match, and only
 	// then truncate — otherwise a registered source would eat one of the
-	// caller's topK slots with itself. The default path prunes candidates
-	// by signature affinity (MatchTop) with one extra slot to absorb the
-	// self-match; -exact scans every entry (MatchAll). With topK <= 0 the
-	// exact scan ranks the whole repository, the pruned one its candidate
-	// set.
+	// caller's topK slots with itself. The default path retrieves
+	// candidates from the token inverted index (MatchIndexed) with one
+	// extra slot to absorb the self-match; -index=false falls back to the
+	// linear signature-pruned scan (MatchTop), -exact scans every entry
+	// (MatchAll). With topK <= 0 the exact scan ranks the whole
+	// repository, the other paths their candidate set.
+	//
+	// candidatesScored reports how many entries' cheap signatures were
+	// scored during candidate generation: the index's accumulator
+	// survivors on the indexed path, the repository size on the scans
+	// (which score — or fully match — everything).
 	var ranked []cupid.RankedMatch
 	var err2 error
-	if s.exact {
+	var candidatesScored int
+	want := req.TopK
+	if want > 0 && srcName != "" {
+		want++
+	}
+	switch {
+	case s.exact:
 		ranked, err2 = s.reg.MatchAll(src, 0)
-	} else {
-		want := req.TopK
-		if want > 0 && srcName != "" {
-			want++
-		}
+		candidatesScored = len(ranked)
+	case s.useIndex:
+		var st cupid.RetrievalStats
+		ranked, st, err2 = s.reg.MatchIndexed(src, want, s.indexOpt)
+		candidatesScored = st.CandidatesScored
+	default:
 		ranked, err2 = s.reg.MatchTop(src, want, s.prune)
+		candidatesScored = s.reg.Len()
 	}
 	if err2 != nil {
 		writeError(w, err2)
@@ -401,8 +433,9 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"source":  sourceName(src, srcName),
-		"results": results,
+		"source":            sourceName(src, srcName),
+		"candidates_scored": candidatesScored,
+		"results":           results,
 	})
 }
 
@@ -456,6 +489,7 @@ type options struct {
 	minAccept        float64
 	dataDir          string
 	snapshotInterval time.Duration
+	useIndex         bool
 	exact            bool
 }
 
@@ -471,7 +505,8 @@ func newFlagSet() (*flag.FlagSet, *options) {
 	fs.Float64Var(&opt.minAccept, "min", 0.5, "acceptance threshold thaccept")
 	fs.StringVar(&opt.dataDir, "data", "", "persist the schema repository under this directory (default: in-memory only)")
 	fs.DurationVar(&opt.snapshotInterval, "snapshot-interval", 0, "batch repository snapshots at most once per interval; 0 snapshots synchronously on every mutation")
-	fs.BoolVar(&opt.exact, "exact", false, "exhaustive /match/batch scans: disable signature-based candidate pruning")
+	fs.BoolVar(&opt.useIndex, "index", true, "serve /match/batch candidates from the sharded token inverted index; =false falls back to the linear signature-pruned scan")
+	fs.BoolVar(&opt.exact, "exact", false, "exhaustive /match/batch scans: disable indexed retrieval and candidate pruning")
 	return fs, opt
 }
 
@@ -512,6 +547,7 @@ func newServerFromOptions(opt *options) (*server, error) {
 		return nil, err
 	}
 	s.exact = opt.exact
+	s.useIndex = opt.useIndex
 	return s, nil
 }
 

@@ -331,3 +331,90 @@ func TestServerConcurrentClients(t *testing.T) {
 		}
 	}
 }
+
+// TestServerBatchRetrievalModes drives /match/batch under all three
+// retrieval modes — indexed (default), linear signature-pruned
+// (-index=false), exhaustive (-exact) — and asserts they agree on the
+// top result and always report candidates_scored. The candidate floors
+// are lowered below the repository size so the indexed and pruned paths
+// genuinely engage instead of falling back to the exact scan.
+func TestServerBatchRetrievalModes(t *testing.T) {
+	tightOpt := cupid.PruneOptions{Fraction: 0.5, MinCandidates: 2}
+	servers := map[string]*server{}
+	for _, mode := range []string{"indexed", "pruned", "exact"} {
+		s, err := newServer(cupid.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.prune = tightOpt
+		s.indexOpt = tightOpt
+		switch mode {
+		case "pruned":
+			s.useIndex = false
+		case "exact":
+			s.exact = true
+		}
+		servers[mode] = s
+	}
+
+	// orders + its true match, padded with unrelated domains so the
+	// candidate budget (floor 2, ½ of 6 = 3) is a real subset of the
+	// repository.
+	schemas := []struct{ name, ddl string }{
+		{"orders", ordersDDL},
+		{"purchases", purchasesDDL},
+		// No *ID columns and no PRIMARY KEY constraints: both leave tokens
+		// ("id", "primary", "key", the identity concept) in every
+		// signature, and any shared token would make a filler an
+		// accumulator survivor.
+		{"telemetry", "CREATE TABLE Telemetry (Sensor INT, Voltage INT, Reading INT);"},
+		{"payroll", "CREATE TABLE Payroll (Employee INT, Salary DECIMAL(10,2), Grade INT);"},
+		{"astro", "CREATE TABLE Observations (Star INT, Magnitude INT, Redshift INT);"},
+		{"library", "CREATE TABLE Books (Shelf INT, Edition INT, Catalog INT);"},
+	}
+	type batchResp struct {
+		Source           string        `json:"source"`
+		CandidatesScored int           `json:"candidates_scored"`
+		Results          []batchResult `json:"results"`
+	}
+	got := map[string]batchResp{}
+	for _, mode := range []string{"exact", "indexed", "pruned"} {
+		s := servers[mode]
+		ts := httptest.NewServer(s.routes())
+		for _, sc := range schemas {
+			register(t, ts, sc.name, "sql", sc.ddl)
+		}
+		var resp batchResp
+		if code := call(t, ts, http.MethodPost, "/match/batch", map[string]any{
+			"source": map[string]string{"name": "orders"},
+			"topK":   1,
+		}, &resp); code != http.StatusOK {
+			t.Fatalf("%s: batch status %d", mode, code)
+		}
+		ts.Close()
+		got[mode] = resp
+	}
+	if n := got["exact"].CandidatesScored; n != len(schemas) {
+		t.Errorf("exact: candidates_scored = %d, want the whole repository (%d)", n, len(schemas))
+	}
+	// The indexed path must have engaged: only token-sharers are scored,
+	// and the unrelated domains share nothing with orders.
+	if n := got["indexed"].CandidatesScored; n <= 0 || n >= len(schemas) {
+		t.Errorf("indexed: candidates_scored = %d, want in (0,%d) — the index did not engage", n, len(schemas))
+	}
+	for mode, resp := range got {
+		if resp.CandidatesScored <= 0 {
+			t.Errorf("%s: candidates_scored = %d, want > 0", mode, resp.CandidatesScored)
+		}
+		if len(resp.Results) != 1 || len(got["exact"].Results) != 1 {
+			t.Fatalf("%s: results = %+v (exact %+v), want exactly one entry each", mode, resp.Results, got["exact"].Results)
+		}
+		if resp.Results[0].Name != "purchases" {
+			t.Errorf("%s: results = %+v, want the single entry purchases", mode, resp.Results)
+		}
+		if resp.Results[0].Score != got["exact"].Results[0].Score {
+			t.Errorf("%s: score %v differs from exact %v", mode,
+				resp.Results[0].Score, got["exact"].Results[0].Score)
+		}
+	}
+}

@@ -60,7 +60,11 @@
 // incoming schema: MatchAll scans exhaustively, MatchTop prunes
 // candidates first by cheap per-schema signatures (size + normalized
 // token overlap, see Prepared.Signature) so only the top fraction pays
-// the full tree match. PersistentRegistry makes the repository durable —
+// the full tree match, and MatchIndexed generates candidates sublinearly
+// from a sharded token inverted index maintained incrementally on every
+// mutation — only entries sharing a normalized token with the query are
+// touched (RetrievalStats reports how many). PersistentRegistry makes the
+// repository durable —
 // every mutation journals the schema's source document into a versioned
 // JSON-lines snapshot store (atomic write+rename, fsync'd; synchronous
 // or interval-batched) and a restart restores the newest consistent
@@ -72,9 +76,11 @@
 // The cupidbench command's bench experiment (-exp bench) measures the
 // sequential-vs-parallel pipeline on synthetic schemas of growing size,
 // the 1-vs-K batch repository workload (naive Match calls vs the
-// prepared-schema registry), and the 1-vs-200 pruned-retrieval workload
+// prepared-schema registry), the 1-vs-200 pruned-retrieval workload
 // (exhaustive MatchAll vs signature-pruned MatchTop, recall@K asserted
-// exactly 1.0); it self-checks with go vet, gofmt, doc presence and the
+// exactly 1.0), and the 1-vs-2000 indexed-retrieval workload (inverted
+// index vs pruned scan vs full scan, recall@10 asserted >= 0.98 and the
+// indexed path required to beat the pruned one); it self-checks with go vet, gofmt, doc presence and the
 // -race determinism tests, and writes the trajectory to BENCH_cupid.json
 // as the perf baseline for future changes.
 package cupid
@@ -296,6 +302,17 @@ type PruneOptions = registry.PruneOptions
 // DefaultPruneOptions keeps the top quarter of the repository, never fewer
 // than 16 candidates.
 func DefaultPruneOptions() PruneOptions { return registry.DefaultPruneOptions() }
+
+// DefaultIndexOptions sizes SchemaRegistry.MatchIndexed's candidate
+// budget: an eighth of the repository, never fewer than 16 candidates
+// (the indexed path's candidates all share tokens with the query, so it
+// affords a tighter fraction than pruning at equal recall).
+func DefaultIndexOptions() PruneOptions { return registry.DefaultIndexOptions() }
+
+// RetrievalStats reports what a SchemaRegistry.MatchIndexed call did: how
+// many entries the inverted index scored and how many reached the full
+// tree match.
+type RetrievalStats = registry.RetrievalStats
 
 // PersistentRegistry is a SchemaRegistry whose contents survive restarts:
 // every mutation journals the schema's source document into a versioned

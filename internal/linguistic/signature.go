@@ -57,11 +57,42 @@ func signatureKey(t Token) string {
 // token sets are the ones Analyze already computed and cached, so the
 // derivation is a linear sweep, not a re-normalization.
 func (m *Matcher) SignatureTokens(si *SchemaInfo) []string {
+	toks, _ := m.WeightedSignatureTokens(si)
+	return toks
+}
+
+// SignatureTokenWeight is the stable weight of one signature token: a
+// deterministic function of the token alone (its type), independent of
+// corpus statistics or registration order — so equal schemas always carry
+// equal weights, which the inverted index's incremental maintenance
+// relies on (an entry removed and re-added must restore identical
+// postings). Content stems and thesaurus concepts carry full weight (they
+// are the linguistic phase's core evidence); numeric tokens weigh least
+// (Street1/Street2-style suffixes discriminate poorly); anything else
+// sits in between.
+func SignatureTokenWeight(t Token) float64 {
+	switch t.Type {
+	case TokenContent, TokenConcept:
+		return 1.0
+	case TokenNumber:
+		return 0.25
+	default:
+		return 0.5
+	}
+}
+
+// WeightedSignatureTokens is SignatureTokens plus each token's stable
+// weight (SignatureTokenWeight), parallel slices. The pair feeds
+// model.NewWeightedSignature; sorting and deduplication (keeping the
+// largest weight of a duplicated key) happen there.
+func (m *Matcher) WeightedSignatureTokens(si *SchemaInfo) ([]string, []float64) {
 	var out []string
+	var weights []float64
 	add := func(ts TokenSet) {
 		for _, t := range ts.Tokens {
 			if t.Type != TokenCommon {
 				out = append(out, signatureKey(t))
+				weights = append(weights, SignatureTokenWeight(t))
 			}
 		}
 	}
@@ -73,5 +104,5 @@ func (m *Matcher) SignatureTokens(si *SchemaInfo) []string {
 			add(*ts)
 		}
 	}
-	return out
+	return out, weights
 }

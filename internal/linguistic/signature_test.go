@@ -76,6 +76,43 @@ func TestSignatureTokensCoverNamesAndDescriptions(t *testing.T) {
 	}
 }
 
+func TestWeightedSignatureTokensStableAndTyped(t *testing.T) {
+	s := model.New("Orders")
+	s.AddChild(s.Root(), "Street1", model.KindColumn) // splits into content + number
+	m := NewMatcher(thesaurus.Base())
+
+	toks, weights := m.WeightedSignatureTokens(m.Analyze(s))
+	if len(toks) != len(weights) {
+		t.Fatalf("parallel slices differ: %d tokens, %d weights", len(toks), len(weights))
+	}
+	byKey := map[string]float64{}
+	for i, k := range toks {
+		byKey[k] = weights[i]
+	}
+	if w := byKey[thesaurus.Stem("street")]; w != SignatureTokenWeight(Token{Type: TokenContent}) {
+		t.Errorf("content token weight = %v, want full weight (%v); toks %v", w,
+			SignatureTokenWeight(Token{Type: TokenContent}), toks)
+	}
+	numKey := TokenNumber.String() + ":1"
+	if w, ok := byKey[numKey]; ok && w >= byKey[thesaurus.Stem("street")] {
+		t.Errorf("numeric token %q weight %v should be below a content stem's", numKey, w)
+	}
+
+	// Stability: two analyses of the same schema produce identical bags.
+	toks2, weights2 := m.WeightedSignatureTokens(m.Analyze(s))
+	sig1 := model.NewWeightedSignature(1, 1, toks, weights)
+	sig2 := model.NewWeightedSignature(1, 1, toks2, weights2)
+	if len(sig1.Tokens) != len(sig2.Tokens) {
+		t.Fatalf("re-analysis changed the bag: %v vs %v", sig1.Tokens, sig2.Tokens)
+	}
+	for i := range sig1.Tokens {
+		if sig1.Tokens[i] != sig2.Tokens[i] || sig1.Weights[i] != sig2.Weights[i] {
+			t.Errorf("token %d differs: (%s,%v) vs (%s,%v)", i,
+				sig1.Tokens[i], sig1.Weights[i], sig2.Tokens[i], sig2.Weights[i])
+		}
+	}
+}
+
 func TestSignatureTokensAffinityRanksRelatedSchemas(t *testing.T) {
 	build := func(name string, cols ...string) *model.Schema {
 		s := model.New(name)
