@@ -2,8 +2,9 @@ package main
 
 // The bench experiment: a sequential-vs-parallel perf trajectory for the
 // whole Match pipeline plus the repository workloads (1-vs-K prepared
-// batch, 1-vs-200 pruned retrieval, 1-vs-2000 indexed retrieval), written
-// to BENCH_cupid.json so future PRs have a baseline to compare against,
+// batch, 1-vs-200 pruned retrieval, 1-vs-2000 indexed retrieval, and the
+// write-heavy snapshot-vs-WAL registration workload), written to
+// BENCH_cupid.json so future PRs have a baseline to compare against,
 // plus a self-check that keeps `go vet`, the -race determinism tests,
 // gofmt and the doc-presence gate green before any number is trusted.
 
@@ -14,8 +15,11 @@ import (
 	"os/exec"
 	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	cupid "repro"
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/model"
@@ -105,6 +109,32 @@ type IndexPoint struct {
 	PrunedRecallAtK float64 `json:"pruned_recall_at_k"`
 }
 
+// WritePoint measures the write-heavy repository workload: sustained
+// schema registrations into a durable registry, snapshot-per-mutation
+// (the pre-WAL write path: every acknowledged mutation rewrites and
+// fsyncs a full corpus image, O(corpus) per request) versus the
+// write-ahead journal with group commit (one checksummed record append,
+// concurrent writers batched into shared fsyncs, O(record) per request).
+// Measured at 1 and at 8 concurrent writers over a pre-seeded corpus; the
+// bench fails unless the WAL beats snapshotting on registrations/sec at 8
+// writers. Post-crash ranking fidelity is not measured here — the
+// crash-injection suites in internal/registry and cmd/cupidd assert it.
+type WritePoint struct {
+	// SeedCorpus is the repository size before the timed window (the
+	// snapshot path pays a rewrite of at least this much per mutation).
+	SeedCorpus int `json:"seed_corpus"`
+	// WindowMS is the timed window per mode/writer-count cell.
+	WindowMS int64 `json:"window_ms"`
+	// Registrations/sec per cell.
+	SnapshotRegsPerSec1W float64 `json:"snapshot_regs_per_sec_1w"`
+	SnapshotRegsPerSec8W float64 `json:"snapshot_regs_per_sec_8w"`
+	WALRegsPerSec1W      float64 `json:"wal_regs_per_sec_1w"`
+	WALRegsPerSec8W      float64 `json:"wal_regs_per_sec_8w"`
+	// SpeedupAt8W is WAL over snapshot throughput at 8 concurrent writers
+	// (the gated cell).
+	SpeedupAt8W float64 `json:"speedup_at_8w"`
+}
+
 // BenchReport is the file format of BENCH_cupid.json.
 type BenchReport struct {
 	GeneratedUnix int64        `json:"generated_unix"`
@@ -125,6 +155,9 @@ type BenchReport struct {
 	// inverted index must beat the pruned scan on time with recall@10 >=
 	// 0.98 against the exact scan.
 	Index *IndexPoint `json:"index,omitempty"`
+	// Write is the write-heavy workload: WAL group commit must beat
+	// snapshot-per-mutation on registrations/sec at 8 concurrent writers.
+	Write *WritePoint `json:"write,omitempty"`
 }
 
 // benchSpecs is the sweep measured by -exp bench: the eval scalability
@@ -170,7 +203,7 @@ func selfCheck() error {
 	// Doc-presence gate: the entry-point documentation (README, the
 	// architecture and API references) is part of the contract ./check.sh
 	// enforces; benchmarks are only recorded from a tree that carries it.
-	for _, f := range []string{"README.md", "docs/ARCHITECTURE.md", "docs/API.md"} {
+	for _, f := range []string{"README.md", "docs/ARCHITECTURE.md", "docs/API.md", "docs/PERSISTENCE.md"} {
 		if _, err := os.Stat(f); err != nil {
 			return fmt.Errorf("bench self-check: required documentation missing: %s", f)
 		}
@@ -490,6 +523,107 @@ func runIndexed(cfg core.Config) (*IndexPoint, error) {
 	}, nil
 }
 
+// Write-heavy workload shape: writeSeed schemas registered before the
+// timed window (so the snapshot path's O(corpus) rewrite has a real
+// corpus), then writeWindow of sustained registrations per cell.
+const (
+	writeSeed    = 200
+	writeWindow  = 300 * time.Millisecond
+	writeWriters = 8
+)
+
+// writeDDL synthesizes a small, distinct DDL document per registration —
+// the write path's cost should be dominated by durability, not parsing.
+func writeDDL(i int) string {
+	return fmt.Sprintf("CREATE TABLE Reg%d (ID INT PRIMARY KEY, Label%d VARCHAR(32), Amount DECIMAL(10,2), Created DATE);", i, i%7)
+}
+
+// measureWrites opens a durable registry in the given mode under a fresh
+// temp dir, seeds it, and counts how many registrations the given number
+// of concurrent writers complete in the timed window.
+func measureWrites(cfg core.Config, wal bool, writers int) (regsPerSec float64, err error) {
+	dir, err := os.MkdirTemp("", "cupidbench-write-*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(dir)
+	m, err := core.NewMatcher(cfg)
+	if err != nil {
+		return 0, err
+	}
+	opts := registry.PersistOptions{} // snapshot-per-mutation, fsync'd
+	if wal {
+		opts = registry.DefaultPersistOptions()
+	}
+	p, _, err := registry.OpenPersistentOptions(dir, m, opts, cupid.ParseSchema)
+	if err != nil {
+		return 0, err
+	}
+	defer p.Close()
+	for i := 0; i < writeSeed; i++ {
+		if _, _, err := p.RegisterSource(fmt.Sprintf("seed%d", i), "sql", []byte(writeDDL(i))); err != nil {
+			return 0, err
+		}
+	}
+
+	var (
+		ops    atomic.Int64
+		nextID atomic.Int64
+		wg     sync.WaitGroup
+		errMu  sync.Mutex
+		runErr error
+	)
+	deadline := time.Now().Add(writeWindow)
+	start := time.Now()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				i := int(nextID.Add(1)) + writeSeed
+				if _, _, err := p.RegisterSource(fmt.Sprintf("reg%d", i), "sql", []byte(writeDDL(i))); err != nil {
+					errMu.Lock()
+					if runErr == nil {
+						runErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+				ops.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if runErr != nil {
+		return 0, runErr
+	}
+	if err := p.Close(); err != nil {
+		return 0, err
+	}
+	return float64(ops.Load()) / elapsed.Seconds(), nil
+}
+
+// runWriteHeavy measures the four cells of the write workload.
+func runWriteHeavy(cfg core.Config) (*WritePoint, error) {
+	pt := &WritePoint{SeedCorpus: writeSeed, WindowMS: writeWindow.Milliseconds()}
+	var err error
+	if pt.SnapshotRegsPerSec1W, err = measureWrites(cfg, false, 1); err != nil {
+		return nil, err
+	}
+	if pt.SnapshotRegsPerSec8W, err = measureWrites(cfg, false, writeWriters); err != nil {
+		return nil, err
+	}
+	if pt.WALRegsPerSec1W, err = measureWrites(cfg, true, 1); err != nil {
+		return nil, err
+	}
+	if pt.WALRegsPerSec8W, err = measureWrites(cfg, true, writeWriters); err != nil {
+		return nil, err
+	}
+	pt.SpeedupAt8W = pt.WALRegsPerSec8W / pt.SnapshotRegsPerSec8W
+	return pt, nil
+}
+
 // runBench executes the sweep and writes the JSON report.
 func runBench(outPath string, withSelfCheck bool) error {
 	if withSelfCheck {
@@ -512,7 +646,10 @@ func runBench(outPath string, withSelfCheck bool) error {
 			"index = 1 probe vs 2000 on the family corpus: token inverted index " +
 			"(MatchIndexed) vs pruned scan vs full scan, recall@10 averaged over " +
 			"one probe per family and asserted >= 0.98, indexed required to beat " +
-			"pruned on wall clock",
+			"pruned on wall clock. " +
+			"write = sustained registrations into a durable registry over a " +
+			"pre-seeded corpus: snapshot-per-mutation vs WAL group commit at 1 " +
+			"and 8 concurrent writers; the WAL must win on regs/sec at 8 writers",
 	}
 	fmt.Println("cupidbench: sequential vs parallel pipeline sweep")
 	fmt.Printf("  GOMAXPROCS=%d NumCPU=%d workers=%d\n", report.GoMaxProcs, report.NumCPU, report.Workers)
@@ -592,6 +729,22 @@ func runBench(outPath string, withSelfCheck bool) error {
 	}
 	if idx.IndexedNsPerOp >= idx.PrunedNsPerOp {
 		return fmt.Errorf("index workload regression: indexed retrieval must beat the pruned scan on time (got %d vs %d ns/op)", idx.IndexedNsPerOp, idx.PrunedNsPerOp)
+	}
+
+	fmt.Printf("cupidbench: write-heavy workload (seed corpus %d, %v per cell)\n", writeSeed, writeWindow)
+	wr, err := runWriteHeavy(cfg)
+	if err != nil {
+		return err
+	}
+	report.Write = wr
+	fmt.Printf("  snapshot-per-mutation:  %8.0f regs/sec (1 writer)  %8.0f regs/sec (%d writers)\n",
+		wr.SnapshotRegsPerSec1W, wr.SnapshotRegsPerSec8W, writeWriters)
+	fmt.Printf("  WAL group commit:       %8.0f regs/sec (1 writer)  %8.0f regs/sec (%d writers)\n",
+		wr.WALRegsPerSec1W, wr.WALRegsPerSec8W, writeWriters)
+	fmt.Printf("  speedup at %d writers: %.2fx\n", writeWriters, wr.SpeedupAt8W)
+	if wr.WALRegsPerSec8W <= wr.SnapshotRegsPerSec8W {
+		return fmt.Errorf("write workload regression: WAL group commit must beat snapshot-per-mutation on registrations/sec at %d writers (got %.0f vs %.0f)",
+			writeWriters, wr.WALRegsPerSec8W, wr.SnapshotRegsPerSec8W)
 	}
 
 	data, err := json.MarshalIndent(report, "", "  ")

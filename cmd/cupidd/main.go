@@ -7,14 +7,21 @@
 // the prepared artifact, and batch matching fans one-vs-all out over the
 // worker pool.
 //
-// With -data the repository is durable: every registered schema's source
-// document is journaled to a versioned JSON-lines snapshot store under the
-// data directory (atomic write+rename, fsync'd synchronously per mutation
-// by default, or batched with -snapshot-interval), and a restart restores
-// the newest consistent snapshot — serving bit-identical match rankings.
-// The sharded token inverted index behind batch matching is never
-// persisted; recovery rebuilds it deterministically while re-registering
-// the snapshot's documents.
+// With -data the repository is durable: every mutation's source document
+// is journaled through an append-only write-ahead log (-wal, on by
+// default) — each Register/Replace/Remove appends one checksummed record,
+// a group-commit loop batches concurrent writers into a single fsync
+// (linger tunable via -wal-group-commit), and a background compactor
+// folds the journal into a fresh snapshot generation once it passes
+// -compact-threshold bytes. An acknowledged mutation is on disk, and
+// write cost is O(record) instead of O(corpus). A restart recovers the
+// newest consistent snapshot plus the ordered journal tail (torn tails
+// truncated) and serves bit-identical match rankings; docs/PERSISTENCE.md
+// is the full durability contract. -wal=false falls back to the legacy
+// snapshot-per-mutation path (batched with -snapshot-interval, which
+// implies the legacy mode when set). The sharded token inverted index
+// behind batch matching is never persisted; recovery rebuilds it
+// deterministically while re-registering the recovered documents.
 //
 // Batch matching retrieves candidates from the inverted index by default
 // (-index, on unless disabled): only repository schemas sharing at least
@@ -35,8 +42,17 @@
 //	-one-to-one            generate 1:1 mappings instead of the naive 1:n
 //	-min FLOAT             acceptance threshold thaccept (default 0.5)
 //	-data DIR              persist the repository under DIR (default: in-memory only)
-//	-snapshot-interval DUR batch snapshots at most once per DUR; 0 = fsync
-//	                       a snapshot synchronously on every mutation
+//	-wal                   journal mutations to a write-ahead log with group
+//	                       commit and background compaction (default true;
+//	                       =false falls back to legacy full snapshots)
+//	-wal-group-commit DUR  linger after a write batch opens, letting more
+//	                       concurrent writers join the same fsync (default 0:
+//	                       batch only what queued during the previous fsync)
+//	-compact-threshold N   fold the journal into a new snapshot generation
+//	                       once it exceeds N bytes (default 1 MiB)
+//	-snapshot-interval DUR legacy snapshot batching (implies -wal=false):
+//	                       snapshot at most once per DUR; 0 = fsync a full
+//	                       snapshot synchronously on every mutation
 //	-index                 serve /match/batch from the token inverted index
 //	                       (default true; =false falls back to the linear
 //	                       signature-pruned scan)
@@ -105,13 +121,14 @@ func newServer(cfg cupid.Config) (*server, error) {
 	return &server{reg: reg, useIndex: true, prune: cupid.DefaultPruneOptions(), indexOpt: cupid.DefaultIndexOptions()}, nil
 }
 
-// newPersistentServer builds a server on a durable registry rooted at dir.
-func newPersistentServer(cfg cupid.Config, dir string, interval time.Duration) (*server, error) {
+// newPersistentServer builds a server on a durable registry rooted at dir
+// in the durability mode popt selects (WAL or legacy snapshots).
+func newPersistentServer(cfg cupid.Config, dir string, popt cupid.PersistOptions) (*server, error) {
 	m, err := cupid.NewMatcher(cfg)
 	if err != nil {
 		return nil, err
 	}
-	p, warns, err := cupid.OpenPersistentRegistry(dir, m, interval)
+	p, warns, err := cupid.OpenPersistentRegistryOptions(dir, m, popt)
 	if err != nil {
 		return nil, err
 	}
@@ -480,17 +497,25 @@ func (s *server) routes() http.Handler {
 	return mux
 }
 
-// options holds every command-line flag value.
+// options holds every command-line flag value. The zero value runs the
+// legacy synchronous-snapshot persistence (tests construct it directly);
+// the flag defaults declared in newFlagSet select the WAL.
 type options struct {
-	addr             string
-	thesaurusPath    string
-	noThesaurus      bool
-	oneToOne         bool
-	minAccept        float64
-	dataDir          string
-	snapshotInterval time.Duration
-	useIndex         bool
-	exact            bool
+	addr                string
+	thesaurusPath       string
+	noThesaurus         bool
+	oneToOne            bool
+	minAccept           float64
+	dataDir             string
+	wal                 bool
+	walSet              bool // -wal passed explicitly (run() records it)
+	walGroupCommit      time.Duration
+	walGroupCommitSet   bool // -wal-group-commit passed explicitly
+	compactThreshold    int64
+	compactThresholdSet bool // -compact-threshold passed explicitly
+	snapshotInterval    time.Duration
+	useIndex            bool
+	exact               bool
 }
 
 // newFlagSet declares the flags; split out so the doc-conformance test can
@@ -504,10 +529,52 @@ func newFlagSet() (*flag.FlagSet, *options) {
 	fs.BoolVar(&opt.oneToOne, "one-to-one", false, "generate 1:1 mappings")
 	fs.Float64Var(&opt.minAccept, "min", 0.5, "acceptance threshold thaccept")
 	fs.StringVar(&opt.dataDir, "data", "", "persist the schema repository under this directory (default: in-memory only)")
-	fs.DurationVar(&opt.snapshotInterval, "snapshot-interval", 0, "batch repository snapshots at most once per interval; 0 snapshots synchronously on every mutation")
+	fs.BoolVar(&opt.wal, "wal", true, "journal mutations to a write-ahead log with group commit and background compaction; =false falls back to legacy full snapshots per mutation")
+	fs.DurationVar(&opt.walGroupCommit, "wal-group-commit", 0, "linger this long after a write batch opens so more concurrent writers join the same fsync; 0 batches only what queued during the previous fsync")
+	fs.Int64Var(&opt.compactThreshold, "compact-threshold", cupid.DefaultPersistOptions().CompactBytes, "fold the write-ahead journal into a new snapshot generation once it exceeds this many bytes")
+	fs.DurationVar(&opt.snapshotInterval, "snapshot-interval", 0, "legacy snapshot batching (setting it implies -wal=false): snapshot at most once per interval; 0 snapshots synchronously on every mutation")
 	fs.BoolVar(&opt.useIndex, "index", true, "serve /match/batch candidates from the sharded token inverted index; =false falls back to the linear signature-pruned scan")
 	fs.BoolVar(&opt.exact, "exact", false, "exhaustive /match/batch scans: disable indexed retrieval and candidate pruning")
 	return fs, opt
+}
+
+// persistOptions derives the durability mode from the flags.
+// -snapshot-interval is the legacy alias: setting it selects the legacy
+// snapshot path (as it always did) unless -wal was passed explicitly too,
+// which is a contradiction worth refusing rather than guessing about.
+func (opt *options) persistOptions() (cupid.PersistOptions, error) {
+	if opt.snapshotInterval < 0 {
+		return cupid.PersistOptions{}, fmt.Errorf("negative -snapshot-interval %v", opt.snapshotInterval)
+	}
+	if opt.walGroupCommit < 0 {
+		return cupid.PersistOptions{}, fmt.Errorf("negative -wal-group-commit %v", opt.walGroupCommit)
+	}
+	if opt.compactThreshold < 0 {
+		return cupid.PersistOptions{}, fmt.Errorf("negative -compact-threshold %d", opt.compactThreshold)
+	}
+	if opt.snapshotInterval > 0 || !opt.wal {
+		if opt.snapshotInterval > 0 && opt.wal && opt.walSet {
+			return cupid.PersistOptions{}, fmt.Errorf("-wal and -snapshot-interval are mutually exclusive (the journal makes every acknowledged mutation durable; there is nothing to batch into interval snapshots)")
+		}
+		// The WAL tuning flags have no effect on the legacy snapshot
+		// path; passing them alongside it is a contradiction worth
+		// refusing rather than silently ignoring. The explicit-set flags
+		// catch even a value equal to the default; the value checks catch
+		// programmatic construction.
+		if opt.walGroupCommitSet || opt.walGroupCommit != 0 {
+			return cupid.PersistOptions{}, fmt.Errorf("-wal-group-commit is only meaningful with -wal")
+		}
+		if opt.compactThresholdSet || (opt.compactThreshold != 0 && opt.compactThreshold != cupid.DefaultPersistOptions().CompactBytes) {
+			return cupid.PersistOptions{}, fmt.Errorf("-compact-threshold is only meaningful with -wal")
+		}
+		return cupid.PersistOptions{SnapshotInterval: opt.snapshotInterval}, nil
+	}
+	popt := cupid.DefaultPersistOptions()
+	popt.GroupCommitWindow = opt.walGroupCommit
+	if opt.compactThreshold > 0 {
+		popt.CompactBytes = opt.compactThreshold
+	}
+	return popt, nil
 }
 
 // newServerFromOptions assembles the configured server.
@@ -536,10 +603,11 @@ func newServerFromOptions(opt *options) (*server, error) {
 	var s *server
 	var err error
 	if opt.dataDir != "" {
-		if opt.snapshotInterval < 0 {
-			return nil, fmt.Errorf("negative -snapshot-interval %v", opt.snapshotInterval)
+		popt, perr := opt.persistOptions()
+		if perr != nil {
+			return nil, perr
 		}
-		s, err = newPersistentServer(cfg, opt.dataDir, opt.snapshotInterval)
+		s, err = newPersistentServer(cfg, opt.dataDir, popt)
 	} else {
 		s, err = newServer(cfg)
 	}
@@ -556,12 +624,26 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "wal":
+			opt.walSet = true
+		case "wal-group-commit":
+			opt.walGroupCommitSet = true
+		case "compact-threshold":
+			opt.compactThresholdSet = true
+		}
+	})
 	s, err := newServerFromOptions(opt)
 	if err != nil {
 		return err
 	}
 	if s.persist != nil {
-		log.Printf("cupidd: repository persisted under %s (%d schemas restored)", opt.dataDir, s.reg.Len())
+		mode := "write-ahead journal"
+		if popt, _ := opt.persistOptions(); !popt.WAL {
+			mode = "legacy snapshots"
+		}
+		log.Printf("cupidd: repository persisted under %s via %s (%d schemas restored)", opt.dataDir, mode, s.reg.Len())
 	}
 	srv := &http.Server{
 		Addr:              opt.addr,

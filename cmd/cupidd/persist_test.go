@@ -5,7 +5,9 @@ package main
 // and a torn snapshot falls back to the last consistent one.
 
 import (
+	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -15,13 +17,26 @@ import (
 	"time"
 
 	cupid "repro"
+	"repro/internal/registry"
 )
 
 // newPersistentTestServer builds a server persisting under dir; the close
 // function flushes the snapshot (call it before "restarting").
 func newPersistentTestServer(t *testing.T, dir string, interval time.Duration) (*httptest.Server, func()) {
 	t.Helper()
-	s, err := newServerFromOptions(&options{dataDir: dir, snapshotInterval: interval, minAccept: 0.5})
+	return newOptionsTestServer(t, &options{dataDir: dir, snapshotInterval: interval, minAccept: 0.5})
+}
+
+// newWALTestServer builds a server persisting under dir through the
+// write-ahead journal (the -wal default path).
+func newWALTestServer(t *testing.T, dir string) (*httptest.Server, func()) {
+	t.Helper()
+	return newOptionsTestServer(t, &options{dataDir: dir, wal: true, minAccept: 0.5})
+}
+
+func newOptionsTestServer(t *testing.T, opt *options) (*httptest.Server, func()) {
+	t.Helper()
+	s, err := newServerFromOptions(opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,6 +166,192 @@ func TestServerBatchedSnapshotFlushedOnClose(t *testing.T) {
 	call(t, ts2, http.MethodGet, "/schemas", nil, &list)
 	if len(list.Schemas) != 1 {
 		t.Fatalf("batched-mode restart restored %d schemas, want 1", len(list.Schemas))
+	}
+}
+
+// rawBatch captures the verbatim /match/batch response bytes for the
+// byte-identical crash-recovery assertions.
+func rawBatch(t *testing.T, ts *httptest.Server, body any) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(body); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Post(ts.URL+"/match/batch", "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: status %d: %s", resp.StatusCode, b)
+	}
+	return b
+}
+
+func TestServerWALRestartServesIdenticalRankings(t *testing.T) {
+	dir := t.TempDir()
+	ts1, close1 := newWALTestServer(t, dir)
+	register(t, ts1, "orders", "sql", ordersDDL)
+	register(t, ts1, "purchases", "sql", purchasesDDL)
+	register(t, ts1, "inventory", "json", inventoryJSON)
+	req := map[string]any{"source": map[string]string{"name": "orders"}, "topK": 5}
+	before := rawBatch(t, ts1, req)
+	close1()
+
+	// No compaction threshold was crossed: the journal alone must carry
+	// the repository across the restart, byte-for-byte.
+	if snaps, _ := filepath.Glob(filepath.Join(dir, "snapshot-*.jsonl")); len(snaps) != 0 {
+		t.Fatalf("unexpected snapshots before any compaction: %v", snaps)
+	}
+	ts2, _ := newWALTestServer(t, dir)
+	after := rawBatch(t, ts2, req)
+	if !bytes.Equal(before, after) {
+		t.Errorf("batch rankings not byte-identical across WAL restart:\nbefore: %s\nafter:  %s", before, after)
+	}
+}
+
+// TestServerWALCrashInjectionBitIdenticalBatch truncates the journal at
+// every record boundary and asserts the recovered server's /match/batch
+// response is byte-identical to a server that only ever saw that prefix
+// of registrations — the server-level face of the registry crash suite.
+func TestServerWALCrashInjectionBitIdenticalBatch(t *testing.T) {
+	docs := []struct{ name, format, content string }{
+		{"orders", "sql", ordersDDL},
+		{"purchases", "sql", purchasesDDL},
+		{"inventory", "json", inventoryJSON},
+	}
+	probe := map[string]any{
+		"source": map[string]string{"format": "sql", "content": ordersDDL},
+		"topK":   3,
+	}
+
+	// Expected responses per prefix, from servers that never crashed.
+	expected := make([][]byte, len(docs)+1)
+	for k := 0; k <= len(docs); k++ {
+		dir := t.TempDir()
+		ts, closeTS := newWALTestServer(t, dir)
+		for _, d := range docs[:k] {
+			register(t, ts, d.name, d.format, d.content)
+		}
+		expected[k] = rawBatch(t, ts, probe)
+		closeTS()
+	}
+
+	// The crashed directory: all registrations journaled, then torn at
+	// each boundary.
+	master := t.TempDir()
+	ts, closeTS := newWALTestServer(t, master)
+	for _, d := range docs {
+		register(t, ts, d.name, d.format, d.content)
+	}
+	closeTS()
+	wals, err := filepath.Glob(filepath.Join(master, "wal-*.log"))
+	if err != nil || len(wals) != 1 {
+		t.Fatalf("want one journal, got %v (err %v)", wals, err)
+	}
+	bounds, err := registry.WALRecordBoundaries(wals[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bounds) != len(docs)+1 {
+		t.Fatalf("%d boundaries for %d registrations", len(bounds), len(docs))
+	}
+	journal, err := os.ReadFile(wals[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for k := 0; k <= len(docs); k++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, filepath.Base(wals[0])), journal[:bounds[k]], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		tsK, closeK := newWALTestServer(t, dir)
+		got := rawBatch(t, tsK, probe)
+		if !bytes.Equal(got, expected[k]) {
+			t.Errorf("prefix %d: recovered /match/batch differs from never-crashed server:\ngot:  %s\nwant: %s", k, got, expected[k])
+		}
+		closeK()
+	}
+}
+
+// TestServerWALCompactionAcrossRestart forces compaction through the
+// server options and checks a restart serves the folded state.
+func TestServerWALCompactionAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	ts1, close1 := newOptionsTestServer(t, &options{dataDir: dir, wal: true, compactThreshold: 1, minAccept: 0.5})
+	register(t, ts1, "orders", "sql", ordersDDL)
+	register(t, ts1, "purchases", "sql", purchasesDDL)
+	register(t, ts1, "inventory", "json", inventoryJSON)
+	req := map[string]any{"source": map[string]string{"name": "orders"}, "topK": 5}
+	before := rawBatch(t, ts1, req)
+	close1()
+
+	if snaps, _ := filepath.Glob(filepath.Join(dir, "snapshot-*.jsonl")); len(snaps) == 0 {
+		t.Fatal("compaction threshold 1 wrote no snapshot generation")
+	}
+	ts2, _ := newWALTestServer(t, dir)
+	var list struct {
+		Schemas []schemaInfo `json:"schemas"`
+	}
+	if code := call(t, ts2, http.MethodGet, "/schemas", nil, &list); code != http.StatusOK || len(list.Schemas) != 3 {
+		t.Fatalf("restart after compaction: status %d, %d schemas", code, len(list.Schemas))
+	}
+	if after := rawBatch(t, ts2, req); !bytes.Equal(before, after) {
+		t.Error("compacted restart serves different rankings")
+	}
+}
+
+// TestPersistOptionsFlagSemantics pins the -wal / -snapshot-interval
+// interplay: the interval is a legacy alias that implies the snapshot
+// path, and explicitly combining it with -wal is refused.
+func TestPersistOptionsFlagSemantics(t *testing.T) {
+	cases := []struct {
+		name    string
+		opt     options
+		wantWAL bool
+		wantErr bool
+	}{
+		{"default flags", options{wal: true}, true, false},
+		{"interval alias", options{wal: true, snapshotInterval: time.Second}, false, false},
+		{"explicit contradiction", options{wal: true, walSet: true, snapshotInterval: time.Second}, false, true},
+		{"legacy sync", options{}, false, false},
+		{"negative interval", options{snapshotInterval: -time.Second}, false, true},
+		{"negative linger", options{wal: true, walGroupCommit: -time.Second}, false, true},
+		{"negative threshold", options{wal: true, compactThreshold: -1}, false, true},
+		{"linger without wal", options{walGroupCommit: time.Millisecond}, false, true},
+		{"threshold without wal", options{compactThreshold: 4096, snapshotInterval: time.Second}, false, true},
+		{"explicit default threshold without wal", options{compactThresholdSet: true, compactThreshold: 1 << 20, snapshotInterval: time.Second}, false, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			popt, err := tc.opt.persistOptions()
+			if tc.wantErr {
+				if err == nil {
+					t.Fatal("want an error")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if popt.WAL != tc.wantWAL {
+				t.Errorf("WAL=%v, want %v", popt.WAL, tc.wantWAL)
+			}
+		})
+	}
+	// The documented default flag set selects the WAL.
+	fs, opt := newFlagSet()
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	popt, err := opt.persistOptions()
+	if err != nil || !popt.WAL {
+		t.Errorf("default flags: popt=%+v err=%v, want WAL mode", popt, err)
 	}
 }
 

@@ -315,26 +315,45 @@ func DefaultIndexOptions() PruneOptions { return registry.DefaultIndexOptions() 
 type RetrievalStats = registry.RetrievalStats
 
 // PersistentRegistry is a SchemaRegistry whose contents survive restarts:
-// every mutation journals the schema's source document into a versioned
-// JSON-lines snapshot store under a data directory (atomic write+rename,
-// fsync'd; synchronous per mutation or batched on an interval), and
-// opening the directory restores the newest consistent snapshot — after a
-// torn write, the previous one. Matching is served from memory exactly
-// like the plain registry. The cupidd server runs on one when started
-// with -data.
+// each mutation's source document is made durable either through the
+// write-ahead journal (checksummed appends, group-commit fsync batching,
+// background compaction into snapshot generations — the default) or the
+// legacy full-snapshot modes, and opening the data directory recovers the
+// newest consistent snapshot plus the ordered journal tail. Matching is
+// served from memory exactly like the plain registry. The cupidd server
+// runs on one when started with -data; docs/PERSISTENCE.md specifies the
+// durability contract.
 type PersistentRegistry = registry.Persistent
+
+// PersistOptions selects and tunes a PersistentRegistry's durability
+// mode: the write-ahead journal (WAL, group-commit window, compaction
+// thresholds) or the legacy snapshot modes (SnapshotInterval).
+type PersistOptions = registry.PersistOptions
+
+// DefaultPersistOptions is WAL mode with the default compaction
+// thresholds — the configuration cupidd runs unless flagged otherwise.
+func DefaultPersistOptions() PersistOptions { return registry.DefaultPersistOptions() }
 
 // SchemaSignature is the cheap per-schema summary (size + normalized token
 // bag) candidate pruning compares; derive one with Prepared.Signature.
 type SchemaSignature = model.Signature
 
 // OpenPersistentRegistry opens (creating if needed) the data directory,
-// restores the newest consistent snapshot, and returns the durable
-// registry. interval 0 snapshots synchronously on every mutation;
+// recovers the repository, and returns the durable registry in the legacy
+// snapshot mode: interval 0 snapshots synchronously on every mutation,
 // interval > 0 batches snapshots in the background (Close flushes).
-// Warnings report snapshots that had to be skipped during recovery.
+// OpenPersistentRegistryOptions selects the WAL instead. Warnings report
+// everything recovery had to skip or repair.
 func OpenPersistentRegistry(dir string, m *Matcher, interval time.Duration) (p *PersistentRegistry, warnings []string, err error) {
 	return registry.OpenPersistent(dir, m, interval, ParseSchema)
+}
+
+// OpenPersistentRegistryOptions opens the data directory in the mode opts
+// selects — use DefaultPersistOptions for the write-ahead journal — and
+// recovers the repository (newest consistent snapshot + ordered journal
+// tail replay). A directory written by either mode opens under the other.
+func OpenPersistentRegistryOptions(dir string, m *Matcher, opts PersistOptions) (p *PersistentRegistry, warnings []string, err error) {
+	return registry.OpenPersistentOptions(dir, m, opts, ParseSchema)
 }
 
 // SchemaFingerprint returns the stable content hash of a schema — the

@@ -1,0 +1,10 @@
+//go:build !unix
+
+package registry
+
+import "os"
+
+// lockDataDir is a no-op on platforms without flock semantics: the
+// single-writer requirement on a data directory (see lock_unix.go) is
+// then the operator's responsibility.
+func lockDataDir(dir string) (*os.File, error) { return nil, nil }

@@ -1,0 +1,27 @@
+//go:build unix
+
+package registry
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockDataDir takes an exclusive advisory flock on a lock file inside the
+// data directory, refusing to open a directory another live process holds
+// — two writers would corrupt each other's journal (one recovery
+// truncating a file the other is appending to). The lock dies with the
+// process, so a crash never leaves a stale lock behind.
+func lockDataDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, ".lock"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("registry: opening data dir lock: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("registry: data directory %s is locked by another process: %w", dir, err)
+	}
+	return f, nil
+}

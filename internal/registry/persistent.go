@@ -3,6 +3,7 @@ package registry
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -10,65 +11,183 @@ import (
 )
 
 // Persistent is a Registry whose contents survive restarts. It embeds the
-// in-memory Registry — matching (MatchAll, MatchTop, Get, List) is served
-// straight from memory at the same cost — and journals every mutation's
-// source document to a Store snapshot.
+// in-memory Registry — matching (MatchAll, MatchTop, MatchIndexed, Get,
+// List) is served straight from memory at the same cost — and makes every
+// mutation's source document durable through one of two write paths:
 //
-// Two durability modes, chosen by the snapshot interval:
+//   - WAL mode (PersistOptions.WAL, the default the cupidd server runs):
+//     each Register/Replace/Remove appends one checksummed,
+//     length-prefixed record to an append-only journal. A group-commit
+//     loop batches concurrent writers into a single fsync — write cost is
+//     O(record), not O(corpus) — and a background compactor folds the
+//     journal tail into a fresh snapshot generation once it passes a
+//     size/record threshold. An acknowledged mutation is on disk.
+//   - Snapshot mode (legacy): every mutation rewrites and fsyncs a full
+//     snapshot before returning (interval 0), or mutations mark the
+//     repository dirty and a background writer snapshots at most once per
+//     SnapshotInterval, flushing on Close. A crash can lose at most the
+//     last interval's mutations.
 //
-//   - interval == 0 (synchronous): every Register/Remove writes and fsyncs
-//     a full snapshot before returning. A mutation that was acknowledged is
-//     on disk.
-//   - interval > 0 (batched): mutations mark the repository dirty and a
-//     background writer snapshots at most once per interval; Close (and
-//     Flush) write any pending state. A crash can lose at most the last
-//     interval's mutations — the store still guarantees the surviving
-//     snapshot is a consistent point-in-time image, never a torn one.
+// Both modes recover identically (Store.Recover): newest consistent
+// snapshot + ordered journal tail replay, so a data directory written by
+// either mode opens under the other. docs/PERSISTENCE.md specifies the
+// on-disk formats, fsync points and crash matrix.
 //
 // Mutations are serialized by an internal lock so the persisted document
 // set can never disagree with the in-memory registry; reads and matching
-// never take that lock.
+// never take that lock. In WAL mode the lock covers only the in-memory
+// commit and the journal enqueue — the fsync wait happens outside it,
+// which is what lets concurrent writers share one disk barrier. After
+// Close every mutation fails; reads keep serving the in-memory state.
 type Persistent struct {
 	*Registry
-	store    *Store
-	interval time.Duration
+	store *Store
+	opts  PersistOptions
 
-	mu    sync.Mutex // serializes mutations + snapshot state
-	docs  map[string]Doc
-	dirty bool
+	mu      sync.Mutex // serializes mutations + snapshot/journal state
+	docs    map[string]Doc
+	dirty   bool
+	closed  bool
+	pending []walReq // WAL mode: records awaiting the next group commit
+	// unjournaled marks names whose latest in-memory mutation has not
+	// been confirmed durable yet (the record is in flight or its commit
+	// failed). An idempotent re-registration (or a Remove of an absent
+	// name) consults it and re-journals instead of acknowledging —
+	// otherwise a client retrying a failed mutation would get success
+	// while nothing ever reached the journal. A confirmed commit clears
+	// its own marker only (generation-matched, so a stale waiter can
+	// never erase a newer in-flight mutation's marker), which keeps the
+	// common idempotent re-register of durable content a free no-op.
+	unjournaled map[string]pendingMark
+	// markGen stamps each mutation's marker; bumped under mu.
+	markGen uint64
 
-	wg   sync.WaitGroup
-	stop chan struct{}
+	kick       chan struct{} // signals the committer that pending is non-empty
+	stop       chan struct{}
+	wg         sync.WaitGroup // committer (WAL) / interval writer (snapshot)
+	compacting atomic.Bool    // one background compaction at a time
+	compactWG  sync.WaitGroup
+
+	wal *walFile // owned by the committer once it starts
+
+	closeOnce sync.Once
+	closeErr  error
 
 	errMu   sync.Mutex
-	saveErr error // first background snapshot failure, surfaced on Close
+	saveErr error // first background persistence failure, surfaced on Close
 }
 
-// OpenPersistent opens the data directory, restores the newest consistent
-// snapshot into a fresh registry around the given matcher, and returns the
-// durable registry. Warnings describe snapshots that had to be skipped
-// (e.g. a torn write recovered from). A nil parse restricts persisted
-// documents to the native "json" format.
+// walReq is one writer waiting for its record to become durable: the
+// group-commit loop appends rec and delivers the fsync outcome on done.
+type walReq struct {
+	rec  walRecord
+	done chan error
+}
+
+// pendingMark is one name's unconfirmed mutation: which generation of
+// mutation it is (monotonic across all names) and what kind. The
+// invariant, maintained under p.mu: a put marker exists only while
+// p.docs holds the name, a del marker only while it does not.
+type pendingMark struct {
+	gen uint64
+	op  string // walOpPut or walOpDel
+}
+
+// PersistOptions selects and tunes the durability mode; the zero value is
+// legacy synchronous snapshot mode and DefaultPersistOptions is the WAL.
+type PersistOptions struct {
+	// WAL selects the write-ahead-journal mode. When false the legacy
+	// snapshot modes apply, chosen by SnapshotInterval.
+	WAL bool
+	// SnapshotInterval batches legacy-mode snapshots: 0 snapshots
+	// synchronously on every mutation, > 0 at most once per interval.
+	// Ignored in WAL mode.
+	SnapshotInterval time.Duration
+	// GroupCommitWindow is how long the WAL committer lingers after the
+	// first writer of a batch arrives, letting concurrent writers join the
+	// same fsync. 0 still group-commits: everything queued while the
+	// previous fsync was in flight shares the next one.
+	GroupCommitWindow time.Duration
+	// CompactBytes triggers background compaction: once the live journal
+	// reaches this many bytes, its tail is folded into a new snapshot
+	// generation. Zero takes the default (1 MiB).
+	CompactBytes int64
+	// CompactRecords is the record-count compaction trigger, reached
+	// first on corpora of tiny documents. Zero takes the default (4096).
+	CompactRecords int
+}
+
+// DefaultCompactBytes and DefaultCompactRecords are the compaction
+// thresholds used when PersistOptions leaves them zero.
+const (
+	DefaultCompactBytes   = 1 << 20
+	DefaultCompactRecords = 4096
+)
+
+// DefaultPersistOptions is WAL mode with the default compaction
+// thresholds and no extra group-commit linger — the configuration cupidd
+// runs unless flagged otherwise.
+func DefaultPersistOptions() PersistOptions {
+	return PersistOptions{WAL: true, CompactBytes: DefaultCompactBytes, CompactRecords: DefaultCompactRecords}
+}
+
+// normalized fills zero thresholds and clamps negative durations.
+func (o PersistOptions) normalized() PersistOptions {
+	if o.CompactBytes <= 0 {
+		o.CompactBytes = DefaultCompactBytes
+	}
+	if o.CompactRecords <= 0 {
+		o.CompactRecords = DefaultCompactRecords
+	}
+	if o.SnapshotInterval < 0 {
+		o.SnapshotInterval = 0
+	}
+	if o.GroupCommitWindow < 0 {
+		o.GroupCommitWindow = 0
+	}
+	return o
+}
+
+// OpenPersistent opens the data directory in legacy snapshot mode — kept
+// for callers of the pre-WAL API. See OpenPersistentOptions.
 func OpenPersistent(dir string, m *core.Matcher, interval time.Duration, parse ParseFunc) (p *Persistent, warnings []string, err error) {
+	return OpenPersistentOptions(dir, m, PersistOptions{SnapshotInterval: interval}, parse)
+}
+
+// OpenPersistentOptions opens the data directory, recovers the repository
+// (newest consistent snapshot + ordered journal tail replay) into a fresh
+// registry around the given matcher, and returns the durable registry in
+// the requested mode. Warnings describe everything recovery skipped,
+// truncated or deleted (e.g. a torn journal tail). A nil parse restricts
+// persisted documents to the native "json" format.
+//
+// A legacy data directory (snapshots only) is a valid generation under
+// WAL mode: the newest snapshot becomes the journal's base generation and
+// a fresh wal-<seq>.log is created beside it on the first mutation.
+func OpenPersistentOptions(dir string, m *core.Matcher, opts PersistOptions, parse ParseFunc) (p *Persistent, warnings []string, err error) {
 	st, err := OpenStore(dir, parse)
 	if err != nil {
 		return nil, nil, err
 	}
-	loaded, warnings, err := st.Load()
+	rec, err := st.Recover()
 	if err != nil {
-		return nil, warnings, err
+		st.Close()
+		return nil, nil, err
 	}
 	p = &Persistent{
-		Registry: NewWithMatcher(m),
-		store:    st,
-		interval: interval,
-		docs:     make(map[string]Doc, len(loaded)),
-		stop:     make(chan struct{}),
+		Registry:    NewWithMatcher(m),
+		store:       st,
+		opts:        opts.normalized(),
+		docs:        make(map[string]Doc, len(rec.Docs)),
+		unjournaled: make(map[string]pendingMark),
+		kick:        make(chan struct{}, 1),
+		stop:        make(chan struct{}),
 	}
-	for _, l := range loaded {
+	for _, l := range rec.Docs {
 		e, _, err := p.Registry.Register(l.Doc.Name, l.Schema)
 		if err != nil {
-			return nil, warnings, fmt.Errorf("registry: restoring %q: %w", l.Doc.Name, err)
+			st.Close()
+			return nil, rec.Warnings, fmt.Errorf("registry: restoring %q: %w", l.Doc.Name, err)
 		}
 		// Keep the original document; refresh the fingerprint to the one
 		// the restored entry actually carries (identical for source-doc
@@ -77,17 +196,27 @@ func OpenPersistent(dir string, m *core.Matcher, interval time.Duration, parse P
 		d.Fingerprint = e.Fingerprint
 		p.docs[e.Name] = d
 	}
-	if interval > 0 {
+	switch {
+	case p.opts.WAL:
+		w, err := st.openWAL(rec.WALBase, rec.WALRecords)
+		if err != nil {
+			st.Close()
+			return nil, rec.Warnings, err
+		}
+		p.wal = w
+		p.wg.Add(1)
+		go p.committer()
+	case p.opts.SnapshotInterval > 0:
 		p.wg.Add(1)
 		go p.writer()
 	}
-	return p, warnings, nil
+	return p, rec.Warnings, nil
 }
 
-// writer is the batched-mode background snapshotter.
+// writer is the legacy batched-mode background snapshotter.
 func (p *Persistent) writer() {
 	defer p.wg.Done()
-	t := time.NewTicker(p.interval)
+	t := time.NewTicker(p.opts.SnapshotInterval)
 	defer t.Stop()
 	for {
 		select {
@@ -101,6 +230,131 @@ func (p *Persistent) writer() {
 	}
 }
 
+// committer is the WAL group-commit loop: the journal's only writer. Each
+// round it takes every record queued so far (optionally lingering
+// GroupCommitWindow to let more concurrent writers join), appends them as
+// one write + one fsync, acknowledges every waiter with the outcome, and
+// triggers compaction when the journal has outgrown its threshold.
+func (p *Persistent) committer() {
+	defer p.wg.Done()
+	for {
+		stopping := false
+		select {
+		case <-p.kick:
+		case <-p.stop:
+			stopping = true
+		}
+		if !stopping && p.opts.GroupCommitWindow > 0 {
+			t := time.NewTimer(p.opts.GroupCommitWindow)
+			select {
+			case <-t.C:
+			case <-p.stop:
+				t.Stop()
+			}
+		}
+		p.commitPending()
+		if stopping {
+			// Close set closed (rejecting new enqueues) before closing
+			// stop, so the drain above was complete: every acknowledged
+			// waiter has its outcome and the journal is quiescent.
+			return
+		}
+	}
+}
+
+// commitPending performs one group commit: swap out the queue, append
+// the batch in one write + fsync, deliver the shared outcome to every
+// batched writer. Records are encoded one by one so a record that cannot
+// be encoded (e.g. beyond the record size limit) fails only its own
+// writer — the rest of the batch still commits.
+func (p *Persistent) commitPending() {
+	p.mu.Lock()
+	batch := p.pending
+	p.pending = nil
+	p.mu.Unlock()
+	if len(batch) == 0 {
+		return
+	}
+	buf := make([]byte, 0, 256*len(batch))
+	good := batch[:0]
+	for _, r := range batch {
+		next, err := appendWALRecord(buf, r.rec)
+		if err != nil {
+			r.done <- err
+			continue
+		}
+		buf = next
+		good = append(good, r)
+	}
+	if len(good) == 0 {
+		return
+	}
+	err := p.wal.appendEncoded(buf, len(good))
+	if err != nil {
+		p.noteErr(err)
+	}
+	for _, r := range good {
+		r.done <- err
+	}
+	if err == nil {
+		p.maybeCompact()
+	}
+}
+
+// maybeCompact rotates the journal and folds its tail into a new snapshot
+// generation once a threshold is passed. The rotation (cheap: create the
+// next journal, swap the committer's handle) happens inline so record
+// order is never split across an ambiguous boundary; the expensive part —
+// writing the snapshot — runs in a background goroutine, so writers keep
+// committing into the fresh journal meanwhile. Runs on the committer
+// goroutine only.
+//
+// Crash-ordering: the new journal exists before the snapshot that
+// supersedes the old one, so recovery always finds either (old snapshot +
+// both journal tails) or (new snapshot + new tail) — never a gap. See
+// docs/PERSISTENCE.md's crash matrix.
+func (p *Persistent) maybeCompact() {
+	if p.wal.size < p.opts.CompactBytes && p.wal.records < p.opts.CompactRecords {
+		return
+	}
+	if !p.compacting.CompareAndSwap(false, true) {
+		return // previous compaction still writing its snapshot
+	}
+	newBase := p.wal.base + 1
+	nw, err := p.store.openWAL(newBase, 0)
+	if err != nil {
+		p.noteErr(fmt.Errorf("registry: rotating journal: %w", err))
+		p.compacting.Store(false)
+		return
+	}
+	old := p.wal
+	p.wal = nw
+	old.Close()
+	// The document set to fold: copied under the mutation lock *after* the
+	// rotation, so it covers every record in the old journal (their
+	// in-memory commits happened before their enqueue, which happened
+	// before the committer appended them, which happened before now).
+	// Records already queued for the new journal may also be included —
+	// replay is last-writer-wins, so re-applying them is a no-op.
+	p.mu.Lock()
+	docs := make([]Doc, 0, len(p.docs))
+	for _, d := range p.docs {
+		docs = append(docs, d)
+	}
+	p.mu.Unlock()
+	p.compactWG.Add(1)
+	go func() {
+		defer p.compactWG.Done()
+		defer p.compacting.Store(false)
+		// SaveAt also prunes snapshots beyond the retained window and the
+		// journals they supersede; the old journal is deleted only once a
+		// newer retained snapshot covers it.
+		if err := p.store.SaveAt(newBase, docs); err != nil {
+			p.noteErr(fmt.Errorf("registry: compaction: %w", err))
+		}
+	}()
+}
+
 func (p *Persistent) noteErr(err error) {
 	p.errMu.Lock()
 	if p.saveErr == nil {
@@ -109,8 +363,9 @@ func (p *Persistent) noteErr(err error) {
 	p.errMu.Unlock()
 }
 
-// Err returns the first background snapshot failure, if any (batched mode
-// only; synchronous mode returns failures from the mutation itself).
+// Err returns the first background persistence failure, if any: a
+// batched-mode snapshot write, a WAL compaction, or a group-commit append
+// (which every batched writer also received synchronously).
 func (p *Persistent) Err() error {
 	p.errMu.Lock()
 	defer p.errMu.Unlock()
@@ -130,19 +385,35 @@ func (p *Persistent) snapshotLocked() error {
 	return nil
 }
 
-// noteMutationLocked persists per the durability mode; callers hold p.mu.
-// The dirty flag is raised before a synchronous snapshot attempt (and
-// cleared only by a successful one), so a failed write leaves the
-// repository marked un-persisted and a later mutation, Flush or Close
-// retries it — otherwise a transient disk error would strand acknowledged
-// in-memory state ahead of disk forever.
+// noteMutationLocked persists per the legacy durability mode; callers
+// hold p.mu. The dirty flag is raised before a synchronous snapshot
+// attempt (and cleared only by a successful one), so a failed write
+// leaves the repository marked un-persisted and a later mutation, Flush
+// or Close retries it — otherwise a transient disk error would strand
+// acknowledged in-memory state ahead of disk forever.
 func (p *Persistent) noteMutationLocked() error {
 	p.dirty = true
-	if p.interval == 0 {
+	if p.opts.SnapshotInterval == 0 {
 		return p.snapshotLocked()
 	}
 	return nil
 }
+
+// enqueueLocked queues one journal record for the next group commit and
+// wakes the committer; callers hold p.mu and wait on the returned channel
+// for the fsync outcome after releasing it.
+func (p *Persistent) enqueueLocked(rec walRecord) chan error {
+	done := make(chan error, 1)
+	p.pending = append(p.pending, walReq{rec: rec, done: done})
+	select {
+	case p.kick <- struct{}{}:
+	default:
+	}
+	return done
+}
+
+// errClosed is returned by mutations after Close.
+func errClosed() error { return fmt.Errorf("registry: persistent registry is closed") }
 
 // RegisterSource parses a source document and registers the schema under
 // the given name (the schema's own name when empty), persisting the
@@ -173,50 +444,152 @@ func (p *Persistent) Register(name string, s *model.Schema) (*Entry, bool, error
 
 func (p *Persistent) register(name string, s *model.Schema, doc func(*Entry) (Doc, error)) (*Entry, bool, error) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, false, errClosed()
+	}
 	e, created, err := p.Registry.Register(name, s)
 	if err != nil {
+		p.mu.Unlock()
 		return nil, false, err
 	}
 	if !created {
-		if _, ok := p.docs[e.Name]; ok {
-			// Idempotent re-registration: nothing new to persist — unless an
-			// earlier synchronous snapshot failed, in which case this is the
-			// retry that must land the state on disk before acknowledging.
-			if p.dirty && p.interval == 0 {
-				return e, false, p.snapshotLocked()
+		if cur, ok := p.docs[e.Name]; ok {
+			if p.opts.WAL {
+				// Idempotent re-registration: free when the content is
+				// confirmed durable. A pending marker means the original
+				// commit failed or is still in flight, and an
+				// acknowledgment re-promises durability — so this is the
+				// retry that must land a fresh record first (replay
+				// dedups duplicates last-writer-wins).
+				if _, pending := p.unjournaled[e.Name]; !pending {
+					p.mu.Unlock()
+					return e, false, nil
+				}
+				return e, false, p.journalPutLocked(cur, "re-registered")
 			}
+			// Legacy: nothing new to persist — unless an earlier
+			// synchronous snapshot failed, in which case this is the retry
+			// that must land the state on disk before acknowledging.
+			if p.dirty && p.opts.SnapshotInterval == 0 {
+				err := p.snapshotLocked()
+				p.mu.Unlock()
+				return e, false, err
+			}
+			p.mu.Unlock()
 			return e, false, nil
 		}
 	}
 	d, err := doc(e)
 	if err != nil {
+		p.mu.Unlock()
 		return e, created, err
 	}
 	p.docs[e.Name] = d
-	if err := p.noteMutationLocked(); err != nil {
-		return e, created, fmt.Errorf("registry: registered %q but persisting failed: %w", e.Name, err)
+	if !p.opts.WAL {
+		err := p.noteMutationLocked()
+		p.mu.Unlock()
+		if err != nil {
+			return e, created, fmt.Errorf("registry: registered %q but persisting failed: %w", e.Name, err)
+		}
+		return e, created, nil
 	}
-	return e, created, nil
+	return e, created, p.journalPutLocked(d, "registered")
+}
+
+// markLocked stamps a fresh unconfirmed-mutation marker for name;
+// callers hold p.mu.
+func (p *Persistent) markLocked(name, op string) pendingMark {
+	p.markGen++
+	mark := pendingMark{gen: p.markGen, op: op}
+	p.unjournaled[name] = mark
+	return mark
+}
+
+// clearMark removes name's marker if — and only if — it is still this
+// exact mutation's: a later mutation of the name overwrote the marker
+// with a higher generation, and a stale waiter confirming an older
+// record must not erase the newer mutation's durability debt.
+func (p *Persistent) clearMark(name string, mark pendingMark) {
+	p.mu.Lock()
+	if cur, ok := p.unjournaled[name]; ok && cur.gen == mark.gen {
+		delete(p.unjournaled, name)
+	}
+	p.mu.Unlock()
+}
+
+// journalPutLocked commits one put record: marker raised, record
+// enqueued, lock released, fsync outcome awaited. The caller holds p.mu
+// on entry; it is released on every path. The in-memory commit and the
+// enqueue share the critical section (so journal order always equals
+// commit order), but the fsync wait happens outside it — concurrent
+// writers batch into one group commit. A failed commit leaves the marker
+// standing, so the mutation stays flagged as undurable until a retry
+// confirms a fresh record.
+func (p *Persistent) journalPutLocked(d Doc, verb string) error {
+	mark := p.markLocked(d.Name, walOpPut)
+	done := p.enqueueLocked(putRecord(d))
+	p.mu.Unlock()
+	if err := <-done; err != nil {
+		return fmt.Errorf("registry: %s %q but journaling failed: %w", verb, d.Name, err)
+	}
+	p.clearMark(d.Name, mark)
+	return nil
 }
 
 // Remove deletes the entry and persists the removal, reporting whether the
 // entry existed.
 func (p *Persistent) Remove(name string) (bool, error) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	if !p.Registry.Remove(name) {
-		return false, nil
+	if p.closed {
+		p.mu.Unlock()
+		return false, errClosed()
 	}
-	delete(p.docs, name)
-	if err := p.noteMutationLocked(); err != nil {
-		return true, fmt.Errorf("registry: removed %q but persisting failed: %w", name, err)
+	existed := p.Registry.Remove(name)
+	if existed {
+		delete(p.docs, name)
 	}
-	return true, nil
+	if !p.opts.WAL {
+		if !existed {
+			p.mu.Unlock()
+			return false, nil
+		}
+		err := p.noteMutationLocked()
+		p.mu.Unlock()
+		if err != nil {
+			return true, fmt.Errorf("registry: removed %q but persisting failed: %w", name, err)
+		}
+		return true, nil
+	}
+	// WAL mode: journal the deletion if the entry existed now, or if an
+	// earlier removal of this name is not yet confirmed durable — a
+	// retried Remove must land the del record before "already gone" can
+	// be an acknowledgment. The marker is stamped pessimistically before
+	// the commit (superseding any unconfirmed put of the name) and
+	// cleared only generation-matched on a confirmed one, so a concurrent
+	// Remove racing an in-flight del also waits for real durability.
+	if !existed {
+		if cur, ok := p.unjournaled[name]; !ok || cur.op != walOpDel {
+			p.mu.Unlock()
+			return false, nil
+		}
+	}
+	mark := p.markLocked(name, walOpDel)
+	done := p.enqueueLocked(delRecord(name))
+	p.mu.Unlock()
+	if err := <-done; err != nil {
+		return existed, fmt.Errorf("registry: removed %q but journaling failed: %w", name, err)
+	}
+	p.clearMark(name, mark)
+	return existed, nil
 }
 
-// Flush snapshots now if there are unpersisted mutations.
+// Flush snapshots now if there are unpersisted legacy-mode mutations. In
+// WAL mode it is a no-op: every acknowledged mutation is already durable.
 func (p *Persistent) Flush() error {
+	if p.opts.WAL {
+		return nil
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if !p.dirty {
@@ -225,19 +598,43 @@ func (p *Persistent) Flush() error {
 	return p.snapshotLocked()
 }
 
-// Close stops the background writer (batched mode), flushes pending state,
-// and surfaces any earlier background snapshot failure. The registry
-// remains usable in memory after Close, but nothing persists anymore.
+// Close makes the registry stop persisting and reports the first
+// persistence failure, if any. It is idempotent and safe to call
+// concurrently: every call returns the same outcome, after the shutdown
+// fully completed. The sequence drains, in order: new mutations are
+// rejected, the background loop (group-commit committer or interval
+// writer) finishes its in-flight work and exits, any in-flight compaction
+// completes, pending legacy-mode state is flushed, and the data directory
+// lock is released (another process may open it). The registry remains
+// readable in memory after Close; mutations fail.
 func (p *Persistent) Close() error {
-	select {
-	case <-p.stop:
-		// already closed
-	default:
+	p.closeOnce.Do(func() {
+		p.mu.Lock()
+		p.closed = true
+		p.mu.Unlock()
 		close(p.stop)
-	}
-	p.wg.Wait()
-	if err := p.Flush(); err != nil {
-		return err
-	}
-	return p.Err()
+		p.wg.Wait()
+		p.compactWG.Wait()
+		if p.opts.WAL {
+			if err := p.wal.Close(); err != nil && !p.wal.failed {
+				p.noteErr(fmt.Errorf("registry: closing journal: %w", err))
+			}
+		} else {
+			// The writer goroutine (if any) has exited: this flush cannot
+			// race an interval snapshot, and a failed interval write is
+			// retried here rather than lost.
+			p.mu.Lock()
+			if p.dirty {
+				if err := p.snapshotLocked(); err != nil {
+					p.noteErr(err)
+				}
+			}
+			p.mu.Unlock()
+		}
+		if err := p.store.Close(); err != nil {
+			p.noteErr(fmt.Errorf("registry: releasing data dir lock: %w", err))
+		}
+		p.closeErr = p.Err()
+	})
+	return p.closeErr
 }

@@ -29,13 +29,18 @@
 //     top candidate fraction. Still exact over its candidate set, and the
 //     baseline the indexed path is benchmarked against. MatchAll remains
 //     the exact full scan.
-//   - Persistence (Persistent, Store): a snapshot-based durability layer
-//     that journals every registered schema's source document to a
-//     versioned JSON-lines snapshot under a data directory (atomic
-//     write+rename, fsync) and restores the repository on open, falling
-//     back to the last consistent snapshot after a torn write. The
-//     inverted index is never persisted: recovery re-registers every
-//     document, rebuilding it deterministically.
+//   - Persistence (Persistent, Store, the write-ahead journal in
+//     wal.go): each mutation's source document is made durable by
+//     appending one checksummed record to an append-only journal, with a
+//     group-commit loop batching concurrent writers into shared fsyncs
+//     and a background compactor folding the journal tail into versioned
+//     JSON-lines snapshot generations (atomic write+rename, fsync).
+//     Recovery is newest-consistent-snapshot + ordered tail replay with
+//     torn-tail truncation; the legacy snapshot-per-mutation and
+//     interval-batched modes remain available. docs/PERSISTENCE.md is
+//     the byte-level contract. The inverted index is never persisted:
+//     recovery re-registers every document, rebuilding it
+//     deterministically.
 //
 // The repository itself is sharded: entries live in N name-keyed map
 // shards (FNV-1a on the name) with per-shard locks, and the index shards
@@ -134,8 +139,8 @@ func (r *Registry) Matcher() *core.Matcher { return r.matcher }
 // current entry of that name returns the existing entry without
 // re-preparing and reports created=false; new names and changed content
 // store a fresh entry and report created=true. The created flag is
-// decided under the registry lock, so concurrent registrations agree on
-// which call actually created the entry.
+// decided under the name's shard lock, so concurrent registrations agree
+// on which call actually created the entry.
 func (r *Registry) Register(name string, s *model.Schema) (e *Entry, created bool, err error) {
 	if s == nil {
 		return nil, false, fmt.Errorf("registry: nil schema")

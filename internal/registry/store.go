@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -14,9 +15,12 @@ import (
 	"repro/internal/model"
 )
 
-// Store is the registry's durability layer: a versioned JSON-lines
-// snapshot store under one data directory. Each snapshot is a complete,
-// self-validating image of the repository:
+// Store is the registry's durability layer: versioned JSON-lines snapshot
+// generations plus an append-only write-ahead journal, all under one data
+// directory. docs/PERSISTENCE.md is the byte-level specification (layout,
+// record formats, fsync points, crash matrix), kept honest by a
+// conformance test. Each snapshot is a complete, self-validating image of
+// the repository:
 //
 //	{"magic":"cupid-registry","version":1,"seq":3,"count":2}   header
 //	{"name":"orders","fingerprint":"…","format":"sql","content":"…"}
@@ -25,11 +29,13 @@ import (
 //
 // Snapshots are written to a temp file, fsync'd, and atomically renamed to
 // snapshot-<seq>.jsonl (the directory is fsync'd too), so a crash mid-write
-// never clobbers the previous image. Load walks snapshots newest-first and
-// returns the first consistent one — header and footer intact, every record
-// decodable, every schema parseable — which makes recovery after a torn or
-// corrupted snapshot automatic. The two most recent snapshots are retained;
-// older ones are pruned on each Save.
+// never clobbers the previous image. A journal file wal-<base>.log (see
+// wal.go) holds the checksummed, length-prefixed mutation records appended
+// after snapshot <base>; Recover restores the newest consistent snapshot,
+// replays the ordered journal tail on top of it, and truncates a torn
+// tail back to the last whole record. The two most recent snapshot
+// generations are retained; older ones — and journals every retained
+// generation supersedes — are pruned on each save.
 //
 // Records persist the schema's original source document (format + raw
 // content), not a re-serialization: re-parsing the same bytes is
@@ -39,9 +45,14 @@ import (
 // first round-trip may normalize the fingerprint (refint reconstruction
 // reorders element creation); their match behaviour is preserved, and the
 // normalized form is stable from then on.
+// A store holds an exclusive advisory lock on its data directory for its
+// whole lifetime (see lockDataDir): a second process opening the same
+// directory is refused instead of corrupting the first one's journal.
+// Close releases it.
 type Store struct {
 	dir   string
 	parse ParseFunc
+	lock  *os.File
 	seq   uint64 // sequence of the most recent snapshot written or seen
 }
 
@@ -53,10 +64,14 @@ type ParseFunc func(name, format string, data []byte) (*model.Schema, error)
 // Doc is one persisted repository entry: the registration key plus the
 // source document it was parsed from.
 type Doc struct {
-	Name        string `json:"name"`
+	// Name is the repository key the schema is registered under.
+	Name string `json:"name"`
+	// Fingerprint is the schema's content hash (model.Fingerprint).
 	Fingerprint string `json:"fingerprint"`
-	Format      string `json:"format"`
-	Content     string `json:"content"`
+	// Format names the source document format (sql, xsd, dtd, json).
+	Format string `json:"format"`
+	// Content is the original source document, byte for byte.
+	Content string `json:"content"`
 }
 
 const (
@@ -67,6 +82,14 @@ const (
 	// snapshotsKept is how many consistent generations stay on disk: the
 	// current one plus one fallback for torn-write recovery.
 	snapshotsKept = 2
+)
+
+// Sentinel failure kinds loadNewest dispatches on: a version mismatch
+// hard-fails the open, a document parse failure skips the generation
+// without deleting it; everything else is structural crash damage.
+var (
+	errSnapshotVersion  = errors.New("unsupported snapshot version")
+	errSnapshotDocParse = errors.New("re-parsing")
 )
 
 type snapshotHeader struct {
@@ -98,7 +121,11 @@ func OpenStore(dir string, parse ParseFunc) (*Store, error) {
 			return model.ReadJSON(bytes.NewReader(data))
 		}
 	}
-	st := &Store{dir: dir, parse: parse}
+	lock, err := lockDataDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	st := &Store{dir: dir, parse: parse, lock: lock}
 	for _, seq := range st.sequences() {
 		if seq > st.seq {
 			st.seq = seq
@@ -109,6 +136,17 @@ func OpenStore(dir string, parse ParseFunc) (*Store, error) {
 
 // Dir returns the store's data directory.
 func (st *Store) Dir() string { return st.dir }
+
+// Close releases the data directory lock; the store must not be used
+// afterwards.
+func (st *Store) Close() error {
+	if st.lock == nil {
+		return nil
+	}
+	err := st.lock.Close()
+	st.lock = nil
+	return err
+}
 
 // sequences lists the snapshot sequence numbers present on disk,
 // ascending. Unparseable names are ignored.
@@ -137,17 +175,29 @@ func (st *Store) path(seq uint64) string {
 	return filepath.Join(st.dir, fmt.Sprintf("%s%d%s", snapshotPrefix, seq, snapshotSuffix))
 }
 
-// Save writes the given docs as the next snapshot generation: temp file,
-// fsync, atomic rename, directory fsync, then pruning of generations older
-// than the retained window. Docs are written sorted by name so equal
-// repository states produce byte-identical snapshots.
+// Save writes the given docs as the next snapshot generation. It is the
+// legacy (snapshot-mode) entry point; the WAL compactor uses SaveAt to
+// pin the generation number to the journal base it folds in.
 func (st *Store) Save(docs []Doc) error {
+	return st.SaveAt(st.seq+1, docs)
+}
+
+// SaveAt writes the given docs as snapshot generation seq: temp file,
+// fsync, atomic rename, directory fsync, then pruning of snapshot
+// generations older than the retained window and of journal files every
+// retained generation supersedes. Docs are written sorted by name so
+// equal repository states produce byte-identical snapshots. seq must be
+// newer than every snapshot already seen.
+func (st *Store) SaveAt(seq uint64, docs []Doc) error {
+	if seq <= st.seq {
+		return fmt.Errorf("registry: snapshot generation %d is not newer than %d", seq, st.seq)
+	}
 	sorted := append([]Doc(nil), docs...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
 
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
-	if err := enc.Encode(snapshotHeader{Magic: snapshotMagic, Version: snapshotVersion, Seq: st.seq + 1, Count: len(sorted)}); err != nil {
+	if err := enc.Encode(snapshotHeader{Magic: snapshotMagic, Version: snapshotVersion, Seq: seq, Count: len(sorted)}); err != nil {
 		return fmt.Errorf("registry: encoding snapshot header: %w", err)
 	}
 	for _, d := range sorted {
@@ -176,20 +226,27 @@ func (st *Store) Save(docs []Doc) error {
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("registry: closing snapshot: %w", err)
 	}
-	next := st.seq + 1
-	if err := os.Rename(tmpName, st.path(next)); err != nil {
+	if err := os.Rename(tmpName, st.path(seq)); err != nil {
 		return fmt.Errorf("registry: publishing snapshot: %w", err)
 	}
-	if d, err := os.Open(st.dir); err == nil {
-		d.Sync()
-		d.Close()
-	}
-	st.seq = next
+	syncDir(st.dir)
+	st.seq = seq
 
-	// Prune generations beyond the retained window; failures are cosmetic.
+	// Prune snapshot generations beyond the retained window, and journal
+	// files whose base predates the oldest retained generation (their
+	// records are folded into every snapshot that could still be chosen).
+	// Failures are cosmetic.
 	seqs := st.sequences()
 	for i := 0; i+snapshotsKept < len(seqs); i++ {
 		os.Remove(st.path(seqs[i]))
+	}
+	if kept := st.sequences(); len(kept) > 0 {
+		oldest := kept[0]
+		for _, base := range st.walSequences() {
+			if base < oldest {
+				os.Remove(st.walPath(base))
+			}
+		}
 	}
 	return nil
 }
@@ -197,26 +254,192 @@ func (st *Store) Save(docs []Doc) error {
 // Loaded is one restored repository entry: the persisted document plus the
 // schema parsed back from it.
 type Loaded struct {
-	Doc    Doc
+	// Doc is the persisted document as read back from disk.
+	Doc Doc
+	// Schema is the schema re-parsed from Doc's content.
 	Schema *model.Schema
 }
 
-// Load restores the newest consistent snapshot, or (nil, nil) when the
-// directory holds no usable snapshot (a fresh store). Inconsistent
-// snapshots — torn writes, corrupted records, unparseable schemas — are
-// skipped with their reason recorded in the returned warnings, falling
-// back to the previous generation.
-func (st *Store) Load() (docs []Loaded, warnings []string, err error) {
+// loadNewest walks snapshots newest-first and returns the first
+// consistent one — header, every record, footer, every document
+// re-parseable — together with its sequence number and the sequence
+// numbers of every newer generation that is *structurally* broken (torn
+// writes, garbage, undecodable records: known crash damage recovery
+// should clean up so retention pruning never evicts a good fallback in
+// their favor). Two failure kinds are treated differently:
+//
+//   - an unsupported snapshot version is a hard error — the file was
+//     written by a different build (e.g. before a binary downgrade) and
+//     neither deleting it nor silently serving an older generation is
+//     safe;
+//   - a document that fails to re-parse marks the snapshot skipped (the
+//     schema set may simply exceed this store's parse function) but
+//     never deleted — the bytes are intact and a correctly configured
+//     reopen can still read them.
+//
+// It ignores the write-ahead journal; Recover is the only recovery entry
+// point (snapshot + ordered tail replay).
+func (st *Store) loadNewest() (docs []Loaded, seq uint64, warnings []string, bad []uint64, err error) {
 	seqs := st.sequences()
 	for i := len(seqs) - 1; i >= 0; i-- {
-		loaded, err := st.loadSnapshot(seqs[i])
-		if err != nil {
-			warnings = append(warnings, fmt.Sprintf("snapshot %d unusable: %v", seqs[i], err))
+		loaded, lerr := st.loadSnapshot(seqs[i])
+		switch {
+		case lerr == nil:
+			return loaded, seqs[i], warnings, bad, nil
+		case errors.Is(lerr, errSnapshotVersion):
+			return nil, 0, warnings, bad, fmt.Errorf("registry: snapshot %d: %w; refusing to open rather than discard it", seqs[i], lerr)
+		case errors.Is(lerr, errSnapshotDocParse):
+			warnings = append(warnings, fmt.Sprintf("snapshot %d skipped (kept on disk): %v", seqs[i], lerr))
+		default:
+			warnings = append(warnings, fmt.Sprintf("snapshot %d unusable: %v", seqs[i], lerr))
+			bad = append(bad, seqs[i])
+		}
+	}
+	return nil, 0, warnings, bad, nil
+}
+
+// Recovery is the outcome of a Store.Recover call: the repository state a
+// restart serves, plus where the write-ahead journal left off so the
+// group-commit loop can keep appending.
+type Recovery struct {
+	// Docs is the restored repository, sorted by name: the newest
+	// consistent snapshot with the ordered journal tail replayed on top.
+	Docs []Loaded
+	// Warnings records everything recovery had to skip, truncate or
+	// delete: torn snapshots, torn journal tails, stale files.
+	Warnings []string
+	// SnapshotSeq is the chosen snapshot generation (0 when the directory
+	// held no usable snapshot).
+	SnapshotSeq uint64
+	// WALBase is the journal base generation appends should continue on;
+	// openWAL(WALBase, WALRecords) resumes exactly where recovery left
+	// off, creating the file if none survived.
+	WALBase uint64
+	// WALRecords is the number of valid records already in that journal.
+	WALRecords int
+	// WALBytes is that journal's valid size in bytes (the file is
+	// truncated to this length when a torn tail was cut).
+	WALBytes int64
+}
+
+// Recover restores the repository: newest consistent snapshot + ordered
+// journal tail replay. Its cleanup makes the on-disk state match the
+// state it returns —
+//
+//   - snapshots newer than the chosen one (necessarily torn) are deleted,
+//     so retention pruning can never evict the good fallback in favor of
+//     a known-bad file;
+//   - journal files whose base predates the chosen snapshot are deleted
+//     (each of their records is already folded into it);
+//   - the journal tail is truncated back to the last whole, checksummed
+//     record, and journals beyond a mid-sequence tear are deleted — replay
+//     always lands on a consistent, contiguous prefix of the acknowledged
+//     mutation order;
+//   - leftover snapshot temp files (a crash mid-compaction, before the
+//     atomic rename) are removed.
+//
+// Replay applies put/del records in append order (last writer wins) and
+// re-parses each surviving document, so the recovered repository serves
+// bit-identical rankings (asserted by the crash-injection suite).
+func (st *Store) Recover() (*Recovery, error) {
+	docs, snapSeq, warnings, bad, err := st.loadNewest()
+	if err != nil {
+		return nil, err
+	}
+	for _, seq := range bad {
+		if rmErr := os.Remove(st.path(seq)); rmErr == nil {
+			warnings = append(warnings, fmt.Sprintf("deleted unusable snapshot %d", seq))
+		}
+	}
+	if tmps, _ := filepath.Glob(filepath.Join(st.dir, ".snapshot-*.tmp")); len(tmps) > 0 {
+		for _, tmp := range tmps {
+			os.Remove(tmp)
+		}
+		warnings = append(warnings, fmt.Sprintf("removed %d leftover snapshot temp file(s)", len(tmps)))
+	}
+	st.seq = snapSeq
+	for _, s := range st.sequences() {
+		if s > st.seq {
+			st.seq = s
+		}
+	}
+
+	state := make(map[string]Doc, len(docs))
+	// parsed carries the schemas loadSnapshot already validated; a journal
+	// put invalidates its name (the replayed document must be re-parsed).
+	parsed := make(map[string]*model.Schema, len(docs))
+	for _, l := range docs {
+		state[l.Doc.Name] = l.Doc
+		parsed[l.Doc.Name] = l.Schema
+	}
+
+	rec := &Recovery{SnapshotSeq: snapSeq, WALBase: snapSeq}
+	bases := st.walSequences()
+	torn := false
+	for _, base := range bases {
+		if base < snapSeq {
+			// Superseded: every record is folded into the chosen snapshot.
+			if rmErr := os.Remove(st.walPath(base)); rmErr == nil {
+				warnings = append(warnings, fmt.Sprintf("deleted stale journal wal-%d (superseded by snapshot %d)", base, snapSeq))
+			}
 			continue
 		}
-		return loaded, warnings, nil
+		if torn {
+			// A tear in an earlier journal ends the consistent prefix; a
+			// later journal's records must not leapfrog the gap.
+			os.Remove(st.walPath(base))
+			warnings = append(warnings, fmt.Sprintf("deleted journal wal-%d beyond a torn predecessor", base))
+			continue
+		}
+		recs, validEnd, corruption, serr := scanWAL(st.walPath(base))
+		if serr != nil {
+			return nil, fmt.Errorf("registry: scanning journal wal-%d: %w", base, serr)
+		}
+		for _, r := range recs {
+			switch r.Op {
+			case walOpPut:
+				state[r.Name] = r.doc()
+				delete(parsed, r.Name)
+			case walOpDel:
+				delete(state, r.Name)
+				delete(parsed, r.Name)
+			}
+		}
+		if corruption != "" {
+			torn = true
+			if err := os.Truncate(st.walPath(base), validEnd); err != nil {
+				return nil, fmt.Errorf("registry: truncating torn journal tail: %w", err)
+			}
+			warnings = append(warnings, fmt.Sprintf("journal wal-%d: torn tail truncated to %d whole record(s) (%s)", base, len(recs), corruption))
+		}
+		rec.WALBase = base
+		rec.WALRecords = len(recs)
+		rec.WALBytes = validEnd
 	}
-	return nil, warnings, nil
+
+	// Parse the surviving state. A document that fails to re-parse is a
+	// defect the checksums cannot catch (it was journaled as-is); recovery
+	// surfaces it as an error rather than silently dropping an
+	// acknowledged registration.
+	names := make([]string, 0, len(state))
+	for name := range state {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	rec.Docs = make([]Loaded, 0, len(names))
+	for _, name := range names {
+		d := state[name]
+		s, ok := parsed[name]
+		if !ok {
+			var perr error
+			if s, perr = st.parse(d.Name, d.Format, []byte(d.Content)); perr != nil {
+				return nil, fmt.Errorf("registry: re-parsing %q during recovery: %w", name, perr)
+			}
+		}
+		rec.Docs = append(rec.Docs, Loaded{Doc: d, Schema: s})
+	}
+	rec.Warnings = warnings
+	return rec, nil
 }
 
 // loadSnapshot reads and fully validates one snapshot generation.
@@ -240,7 +463,7 @@ func (st *Store) loadSnapshot(seq uint64) ([]Loaded, error) {
 		return nil, fmt.Errorf("bad magic %q", hdr.Magic)
 	}
 	if hdr.Version != snapshotVersion {
-		return nil, fmt.Errorf("unsupported snapshot version %d", hdr.Version)
+		return nil, fmt.Errorf("%w %d (this build reads %d)", errSnapshotVersion, hdr.Version, snapshotVersion)
 	}
 	out := make([]Loaded, 0, hdr.Count)
 	for i := 0; i < hdr.Count; i++ {
@@ -253,7 +476,7 @@ func (st *Store) loadSnapshot(seq uint64) ([]Loaded, error) {
 		}
 		s, err := st.parse(d.Name, d.Format, []byte(d.Content))
 		if err != nil {
-			return nil, fmt.Errorf("re-parsing %q: %w", d.Name, err)
+			return nil, fmt.Errorf("%w %q: %v", errSnapshotDocParse, d.Name, err)
 		}
 		out = append(out, Loaded{Doc: d, Schema: s})
 	}

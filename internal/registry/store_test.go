@@ -340,6 +340,71 @@ func TestSyncSnapshotFailureIsRetried(t *testing.T) {
 	}
 }
 
+// TestRecoverRefusesNewerSnapshotVersion: a snapshot written by a newer
+// format version hard-fails the open (mirroring the journal policy) —
+// deleting it or silently serving an older generation would destroy or
+// hide committed data after a binary downgrade.
+func TestRecoverRefusesNewerSnapshotVersion(t *testing.T) {
+	dir := t.TempDir()
+	future := "{\"magic\":\"cupid-registry\",\"version\":2,\"seq\":5,\"count\":0}\n{\"eof\":true,\"count\":0}\n"
+	path := filepath.Join(dir, snapshotPrefix+"5"+snapshotSuffix)
+	if err := os.WriteFile(path, []byte(future), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := OpenStore(dir, storeParse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, err := st.Recover(); err == nil {
+		t.Fatal("recovery over a newer snapshot version did not refuse")
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Errorf("refused snapshot was deleted: %v", err)
+	}
+}
+
+// TestRecoverKeepsSnapshotItCannotParse: a snapshot whose documents this
+// store's parse function cannot handle is skipped with a warning but
+// never deleted — a correctly configured reopen must still be able to
+// read it.
+func TestRecoverKeepsSnapshotItCannotParse(t *testing.T) {
+	dir := t.TempDir()
+	p := newPersistent(t, dir, 0)
+	if _, _, err := p.RegisterSource("orders", "sql", []byte(storeDDL)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// nil parse restricts the store to native JSON: the sql document is
+	// unreadable here, but its snapshot must survive untouched.
+	st, err := OpenStore(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := st.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Docs) != 0 {
+		t.Fatalf("json-only store parsed %d docs from a sql snapshot", len(rec.Docs))
+	}
+	if len(rec.Warnings) == 0 {
+		t.Error("skipping an unparseable snapshot produced no warning")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p2 := newPersistent(t, dir, 0)
+	defer p2.Close()
+	if _, ok := p2.Get("orders"); !ok {
+		t.Error("snapshot was damaged by the json-only open; reopen with the right parser lost the entry")
+	}
+}
+
 func TestStoreSnapshotRetention(t *testing.T) {
 	dir := t.TempDir()
 	p := newPersistent(t, dir, 0)
