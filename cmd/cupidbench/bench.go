@@ -158,6 +158,12 @@ type BenchReport struct {
 	// Write is the write-heavy workload: WAL group commit must beat
 	// snapshot-per-mutation on registrations/sec at 8 concurrent writers.
 	Write *WritePoint `json:"write,omitempty"`
+	// Overload is the serving-layer saturation sweep (-exp overload):
+	// closed-loop mixed traffic at 1x/2x/4x capacity through the
+	// admission-controlled frontend, plus the match cache's warm-vs-cold
+	// cell. Gated: goodput at 2x >= 0.8x capacity, the 2x p99 bounded by
+	// queue-wait + 5x the 1x p99, cache-warm >= 10x cold.
+	Overload *OverloadPoint `json:"overload,omitempty"`
 }
 
 // benchSpecs is the sweep measured by -exp bench: the eval scalability

@@ -23,7 +23,13 @@
 //	           schema registry) + the 1-vs-200 pruned-retrieval workload
 //	           (exhaustive MatchAll vs signature-pruned MatchTop, recall@K
 //	           asserted 1.0) -> BENCH_cupid.json
-//	all        everything (default; excludes tune and bench)
+//	overload   serving-layer saturation harness: closed-loop mixed
+//	           register/match traffic at 1x/2x/4x capacity through the
+//	           admission-controlled frontend (goodput, shed, degraded,
+//	           p50/p99 per cell), cache warm-vs-cold speedup, and
+//	           cached/uncached/degraded ranking-identity checks
+//	           -> merged into BENCH_cupid.json
+//	all        everything (default; excludes tune, bench and overload)
 //
 // With -csv, the scale and ablation experiments additionally emit CSV to
 // stdout (the raw series behind the figures).
@@ -34,6 +40,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/eval"
@@ -49,7 +56,7 @@ func indent(s, prefix string) string {
 	return strings.Join(lines, "\n") + "\n"
 }
 
-func run(exp string, csvOut bool, benchOut string, benchSelfCheck bool) error {
+func run(exp string, csvOut bool, benchOut string, benchSelfCheck bool, overloadWindow time.Duration) error {
 	all := exp == "all"
 	if all || exp == "table1" {
 		fmt.Println(eval.Table1())
@@ -136,22 +143,28 @@ func run(exp string, csvOut bool, benchOut string, benchSelfCheck bool) error {
 			return err
 		}
 	}
+	if exp == "overload" { // not part of "all": seconds of timed load cells
+		if err := runOverload(benchOut, overloadWindow); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, table2, table3, rdbstar, thesaurus, lingonly, university, scale, ablation, tune, bench, all")
+	exp := flag.String("exp", "all", "experiment: table1, table2, table3, rdbstar, thesaurus, lingonly, university, scale, ablation, tune, bench, overload, all")
 	csvOut := flag.Bool("csv", false, "also emit CSV for scale/ablation")
-	benchOut := flag.String("benchout", "BENCH_cupid.json", "output path for the -exp bench report")
+	benchOut := flag.String("benchout", "BENCH_cupid.json", "output path for the -exp bench/overload report")
 	benchSelfCheck := flag.Bool("selfcheck", true, "run go vet + race determinism tests before -exp bench")
+	overloadWindow := flag.Duration("overload-window", time.Second, "timed window per -exp overload load cell")
 	flag.Parse()
 	switch *exp {
-	case "all", "table1", "table2", "table3", "rdbstar", "thesaurus", "lingonly", "university", "scale", "ablation", "tune", "bench":
+	case "all", "table1", "table2", "table3", "rdbstar", "thesaurus", "lingonly", "university", "scale", "ablation", "tune", "bench", "overload":
 	default:
 		fmt.Fprintf(os.Stderr, "cupidbench: unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
-	if err := run(*exp, *csvOut, *benchOut, *benchSelfCheck); err != nil {
+	if err := run(*exp, *csvOut, *benchOut, *benchSelfCheck, *overloadWindow); err != nil {
 		fmt.Fprintln(os.Stderr, "cupidbench:", err)
 		os.Exit(1)
 	}

@@ -30,6 +30,21 @@
 // match. -index=false falls back to the linear signature-pruned scan;
 // -exact overrides both with the exhaustive full scan.
 //
+// The server is overload-resilient (docs/ARCHITECTURE.md has the serving
+// layer diagram). Match traffic and mutations are admitted through
+// separate bounded pools (-concurrency, -write-concurrency, -queue-depth)
+// so a batch-match storm cannot starve registrations; a request that
+// would queue past -queue-wait is rejected immediately with 429 and a
+// Retry-After hint instead of accumulating unbounded latency. Every match
+// runs under -match-deadline, threaded as a context through the
+// candidate-scoring loops, so an abandoned client stops consuming CPU
+// mid-ranking. Repeated matches are served from a fingerprint-keyed LRU
+// cache (-cache) with singleflight coalescing, invalidated on every
+// register/replace/remove before the mutation is acknowledged. Under
+// saturation the candidate budget is halved and the reply is flagged
+// "degraded". Request bodies are capped at -max-body bytes (413 beyond).
+// All errors — including 404 and 405 — are JSON {"error": ...} objects.
+//
 // Usage:
 //
 //	cupidd [flags]
@@ -58,6 +73,18 @@
 //	                       signature-pruned scan)
 //	-exact                 exhaustive /match/batch scans (disable indexed
 //	                       retrieval and pruning)
+//	-concurrency N         concurrent match requests admitted (default 0:
+//	                       one per match worker)
+//	-write-concurrency N   concurrent mutations admitted (default 2)
+//	-queue-depth N         admission queue bound per pool (default 0:
+//	                       8x the pool's concurrency)
+//	-queue-wait DUR        queueing latency target: reject with 429 after
+//	                       waiting this long for a slot (default 1s)
+//	-match-deadline DUR    end-to-end deadline per match request
+//	                       (default 30s; 0 = none)
+//	-cache N               match cache capacity in entries (default 1024;
+//	                       0 disables caching)
+//	-max-body N            request body cap in bytes (default 4 MiB)
 //
 // Endpoints (request and response bodies are JSON; docs/API.md is the full
 // reference, kept honest by a doc-conformance test):
@@ -72,9 +99,12 @@
 //	POST   /match/batch      rank the repository against one source schema:
 //	                         {source, topK?}; returns top-K scored results
 //	GET    /healthz          liveness probe
+//	GET    /readyz           readiness probe: 503 while draining or while
+//	                         journal compaction is catching up
 //
-// The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
-// requests and flushing any pending snapshot before exiting.
+// The server shuts down gracefully on SIGINT/SIGTERM: new requests are
+// rejected with 503 (Retry-After: 1) while in-flight ones drain, then the
+// journal is flushed and closed cleanly before exiting.
 package main
 
 import (
@@ -83,25 +113,34 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	cupid "repro"
+	"repro/internal/serve"
 )
 
-// server bundles the registry with the HTTP handlers.
+// server bundles the registry, the serving layer and the HTTP handlers.
 type server struct {
 	reg *cupid.SchemaRegistry
 	// persist is the durable registry when -data is set; nil means the
 	// repository is in-memory only. When non-nil, reg is persist's embedded
 	// in-memory registry — reads go through reg, mutations through persist.
 	persist *cupid.PersistentRegistry
+	// front admits requests (separate read and write pools), caches match
+	// results with singleflight coalescing, threads the match deadline and
+	// degrades candidate budgets under saturation. Mutating handlers must
+	// call front.Invalidate after committing, before acknowledging.
+	front *serve.Frontend
+	// maxBody caps request bodies (http.MaxBytesReader; 413 beyond).
+	maxBody int64
 	// exact disables candidate generation entirely in /match/batch
 	// (exhaustive scans); useIndex picks the inverted-index candidate path
 	// over the linear signature-pruned scan when exact is off.
@@ -118,7 +157,10 @@ func newServer(cfg cupid.Config) (*server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &server{reg: reg, useIndex: true, prune: cupid.DefaultPruneOptions(), indexOpt: cupid.DefaultIndexOptions()}, nil
+	s := &server{reg: reg, useIndex: true, prune: cupid.DefaultPruneOptions(), indexOpt: cupid.DefaultIndexOptions()}
+	_, opt := newFlagSet() // flag defaults double as the serving defaults
+	s.initServing(opt)
+	return s, nil
 }
 
 // newPersistentServer builds a server on a durable registry rooted at dir
@@ -135,7 +177,22 @@ func newPersistentServer(cfg cupid.Config, dir string, popt cupid.PersistOptions
 	for _, w := range warns {
 		log.Printf("cupidd: recovery: %s", w)
 	}
-	return &server{reg: p.Registry, persist: p, useIndex: true, prune: cupid.DefaultPruneOptions(), indexOpt: cupid.DefaultIndexOptions()}, nil
+	s := &server{reg: p.Registry, persist: p, useIndex: true, prune: cupid.DefaultPruneOptions(), indexOpt: cupid.DefaultIndexOptions()}
+	_, opt := newFlagSet()
+	s.initServing(opt)
+	return s, nil
+}
+
+// initServing (re)builds the serving layer from flag values; called with
+// the defaults by the constructors and again by newServerFromOptions once
+// the real flags are parsed. A zero maxBody (tests construct the zero
+// options value directly) gets the flag's default cap.
+func (s *server) initServing(opt *options) {
+	s.front = serve.NewFrontend(s.reg, opt.serveOptions())
+	s.maxBody = opt.maxBody
+	if s.maxBody <= 0 {
+		s.maxBody = 4 << 20
+	}
 }
 
 // close flushes and detaches the persistence layer, if any.
@@ -172,16 +229,41 @@ func infoOf(e *cupid.RegistryEntry) schemaInfo {
 	}
 }
 
-// httpError carries a status code out of a handler helper.
+// httpError carries a status code (and an optional Retry-After hint for
+// overload rejections) out of a handler helper.
 type httpError struct {
-	code int
-	msg  string
+	code       int
+	msg        string
+	retryAfter time.Duration
 }
 
 func (e *httpError) Error() string { return e.msg }
 
 func errf(code int, format string, args ...any) error {
 	return &httpError{code: code, msg: fmt.Sprintf(format, args...)}
+}
+
+// serveErr maps serving-layer admission and lifecycle errors onto the
+// HTTP overload contract: 429 + Retry-After for shed load, 503 +
+// Retry-After for draining and for a blown match deadline. Anything else
+// passes through.
+func (s *server) serveErr(err error) error {
+	hint := s.front.ReadPool().MaxWait()
+	if hint < time.Second {
+		hint = time.Second
+	}
+	switch {
+	case errors.Is(err, serve.ErrQueueFull), errors.Is(err, serve.ErrQueueWait):
+		return &httpError{code: http.StatusTooManyRequests, msg: "server overloaded: " + err.Error(), retryAfter: hint}
+	case errors.Is(err, serve.ErrDraining):
+		return &httpError{code: http.StatusServiceUnavailable, msg: "server is shutting down", retryAfter: time.Second}
+	case errors.Is(err, context.DeadlineExceeded):
+		return &httpError{code: http.StatusServiceUnavailable, msg: "match deadline exceeded under load; retry", retryAfter: time.Second}
+	case errors.Is(err, context.Canceled):
+		// The client is gone; the status is for the access log only.
+		return errf(http.StatusServiceUnavailable, "request canceled by client")
+	}
+	return err
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -199,16 +281,28 @@ func writeError(w http.ResponseWriter, err error) {
 	var he *httpError
 	if errors.As(err, &he) {
 		code = he.code
+		if he.retryAfter > 0 {
+			secs := int((he.retryAfter + time.Second - 1) / time.Second)
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+		}
 	}
 	writeJSON(w, code, map[string]string{"error": err.Error()})
 }
 
 // decodeBody decodes a JSON request body, rejecting unknown fields so
-// client typos surface as errors instead of silent defaults.
-func decodeBody(r *http.Request, v any) error {
-	dec := json.NewDecoder(io.LimitReader(r.Body, 16<<20))
+// client typos surface as errors instead of silent defaults, and capping
+// the body at -max-body bytes (413, and the connection closed, beyond —
+// http.MaxBytesReader stops a mis-sized upload from being read to the
+// end just to be refused).
+func (s *server) decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return errf(http.StatusRequestEntityTooLarge, "request body exceeds %d bytes (-max-body)", mbe.Limit)
+		}
 		return errf(http.StatusBadRequest, "decoding request body: %v", err)
 	}
 	return nil
@@ -248,14 +342,19 @@ func (s *server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		Format  string `json:"format"`
 		Content string `json:"content"`
 	}
-	if err := decodeBody(r, &req); err != nil {
+	if err := s.decodeBody(w, r, &req); err != nil {
 		writeError(w, err)
 		return
 	}
+	release, err := s.front.AcquireWrite(r.Context())
+	if err != nil {
+		writeError(w, s.serveErr(err))
+		return
+	}
+	defer release()
 	var (
 		e       *cupid.RegistryEntry
 		created bool
-		err     error
 	)
 	if s.persist != nil {
 		// The durable path parses and persists the source document
@@ -265,6 +364,9 @@ func (s *server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		// could not be guaranteed.
 		e, created, err = s.persist.RegisterSource(req.Name, req.Format, []byte(req.Content))
 		if err != nil && e != nil {
+			// The mutation is in memory even though durability failed, so
+			// cached rankings are stale either way.
+			s.front.Invalidate()
 			writeError(w, errf(http.StatusInternalServerError, "%v", err))
 			return
 		}
@@ -279,6 +381,10 @@ func (s *server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errf(http.StatusBadRequest, "%v", err))
 		return
 	}
+	// Invalidate after the mutation committed, before acknowledging it:
+	// once the client sees this response, no cached ranking can predate
+	// the registration.
+	s.front.Invalidate()
 	code := http.StatusCreated
 	if !created {
 		code = http.StatusOK // idempotent re-registration
@@ -297,10 +403,13 @@ func (s *server) handleList(w http.ResponseWriter, _ *http.Request) {
 
 func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	var (
-		ok  bool
-		err error
-	)
+	release, err := s.front.AcquireWrite(r.Context())
+	if err != nil {
+		writeError(w, s.serveErr(err))
+		return
+	}
+	defer release()
+	var ok bool
 	if s.persist != nil {
 		ok, err = s.persist.Remove(name)
 	} else {
@@ -310,6 +419,7 @@ func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errf(http.StatusNotFound, "schema %q is not registered", name))
 		return
 	}
+	s.front.Invalidate() // committed (even if journaling failed below): drop cached rankings
 	if err != nil {
 		writeError(w, errf(http.StatusInternalServerError, "%v", err))
 		return
@@ -345,7 +455,7 @@ func (s *server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		Source schemaRef `json:"source"`
 		Target schemaRef `json:"target"`
 	}
-	if err := decodeBody(r, &req); err != nil {
+	if err := s.decodeBody(w, r, &req); err != nil {
 		writeError(w, err)
 		return
 	}
@@ -359,14 +469,15 @@ func (s *server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	res, err := s.reg.Matcher().MatchPrepared(src, dst)
+	res, cached, err := s.front.MatchPair(r.Context(), src, dst)
 	if err != nil {
-		writeError(w, err)
+		writeError(w, s.serveErr(err))
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"sourceSchema": res.SourceTree.Schema.Name,
 		"targetSchema": res.TargetTree.Schema.Name,
+		"cached":       cached,
 		"leaves":       pairsOf(res.Mapping.Leaves),
 		"nonLeaves":    pairsOf(res.Mapping.NonLeaves),
 	})
@@ -385,7 +496,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		Source schemaRef `json:"source"`
 		TopK   int       `json:"topK,omitempty"`
 	}
-	if err := decodeBody(r, &req); err != nil {
+	if err := s.decodeBody(w, r, &req); err != nil {
 		writeError(w, err)
 		return
 	}
@@ -403,35 +514,34 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// (MatchAll). With topK <= 0 the exact scan ranks the whole
 	// repository, the other paths their candidate set.
 	//
-	// candidatesScored reports how many entries' cheap signatures were
-	// scored during candidate generation: the index's accumulator
-	// survivors on the indexed path, the repository size on the scans
-	// (which score — or fully match — everything).
-	var ranked []cupid.RankedMatch
-	var err2 error
-	var candidatesScored int
+	// The call goes through the serving frontend: admission (429/503 when
+	// shed), the match deadline, the singleflight cache ("cached" in the
+	// reply), and saturation-driven budget shrinking ("degraded", with
+	// "candidate_budget" reporting the budget that actually produced the
+	// ranking). candidates_scored keeps its meaning: signatures scored
+	// during candidate generation — the index's accumulator survivors on
+	// the indexed path, the repository size on the scans.
 	want := req.TopK
 	if want > 0 && srcName != "" {
 		want++
 	}
-	switch {
-	case s.exact:
-		ranked, err2 = s.reg.MatchAll(src, 0)
-		candidatesScored = len(ranked)
-	case s.useIndex:
-		var st cupid.RetrievalStats
-		ranked, st, err2 = s.reg.MatchIndexed(src, want, s.indexOpt)
-		candidatesScored = st.CandidatesScored
-	default:
-		ranked, err2 = s.reg.MatchTop(src, want, s.prune)
-		candidatesScored = s.reg.Len()
+	spec := serve.MatchSpec{
+		Exact:    s.exact,
+		UseIndex: s.useIndex,
+		TopK:     want,
+		Prune:    s.prune,
+		Index:    s.indexOpt,
 	}
-	if err2 != nil {
-		writeError(w, err2)
+	if s.exact {
+		spec.TopK = 0 // exhaustive mode ranks the whole repository
+	}
+	res, err := s.front.MatchBatch(r.Context(), src, spec)
+	if err != nil {
+		writeError(w, s.serveErr(err))
 		return
 	}
-	results := make([]batchResult, 0, len(ranked))
-	for _, rk := range ranked {
+	results := make([]batchResult, 0, len(res.Ranked))
+	for _, rk := range res.Ranked {
 		// A registered source trivially matches itself; skip that entry.
 		// The fingerprint check keeps the entry in the ranking if a
 		// concurrent re-registration replaced the name with different
@@ -451,7 +561,10 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"source":            sourceName(src, srcName),
-		"candidates_scored": candidatesScored,
+		"candidates_scored": res.Stats.CandidatesScored,
+		"candidate_budget":  res.Stats.CandidateBudget,
+		"cached":            res.Cached,
+		"degraded":          res.Stats.Degraded,
 		"results":           results,
 	})
 }
@@ -484,17 +597,78 @@ func (s *server) routeTable() []route {
 		{http.MethodGet, "/healthz", func(w http.ResponseWriter, _ *http.Request) {
 			writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 		}},
+		{http.MethodGet, "/readyz", s.handleReady},
+	}
+}
+
+// handleReady is the readiness probe, distinct from /healthz liveness:
+// 503 while draining for shutdown and while journal compaction is
+// rewriting snapshot generations (a crash mid-compaction recovers, but
+// routing fresh traffic at a node paying compaction I/O is the thing
+// readiness gates exist to avoid). WAL recovery itself happens before the
+// listener opens, so "connection refused" covers the recovering state.
+func (s *server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	switch {
+	case s.front.Draining():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "reason": "draining"})
+	case s.persist != nil && s.persist.Compacting():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "reason": "compacting"})
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{"ready": true})
 	}
 }
 
 // routes builds the HTTP handler; split out so tests can drive the server
-// through httptest without binding a socket.
+// through httptest without binding a socket. Dispatch is per-pattern with
+// an explicit method map so that 405 (with an Allow header) and 404 keep
+// the JSON error contract instead of net/http's plain-text defaults, and
+// the whole tree sits behind the drain guard.
 func (s *server) routes() http.Handler {
-	mux := http.NewServeMux()
+	byPattern := map[string]map[string]http.HandlerFunc{}
+	var patterns []string
 	for _, rt := range s.routeTable() {
-		mux.HandleFunc(rt.method+" "+rt.pattern, rt.handler)
+		if byPattern[rt.pattern] == nil {
+			byPattern[rt.pattern] = map[string]http.HandlerFunc{}
+			patterns = append(patterns, rt.pattern)
+		}
+		byPattern[rt.pattern][rt.method] = rt.handler
 	}
-	return mux
+	mux := http.NewServeMux()
+	for _, pattern := range patterns {
+		methods := byPattern[pattern]
+		allowed := make([]string, 0, len(methods))
+		for m := range methods {
+			allowed = append(allowed, m)
+		}
+		sort.Strings(allowed)
+		allow := strings.Join(allowed, ", ")
+		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+			if h, ok := methods[r.Method]; ok {
+				h(w, r)
+				return
+			}
+			w.Header().Set("Allow", allow)
+			writeError(w, errf(http.StatusMethodNotAllowed, "method %s is not allowed for %s (allowed: %s)", r.Method, r.URL.Path, allow))
+		})
+	}
+	// Everything not matched above: JSON 404 instead of the mux default.
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, errf(http.StatusNotFound, "no such endpoint: %s", r.URL.Path))
+	})
+	return s.drainGuard(mux)
+}
+
+// drainGuard rejects new requests with 503 + Retry-After once shutdown
+// has begun, while in-flight requests drain. The probes stay reachable:
+// /healthz keeps reporting live, /readyz reports the not-ready reason.
+func (s *server) drainGuard(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.front.Draining() && r.URL.Path != "/healthz" && r.URL.Path != "/readyz" {
+			writeError(w, &httpError{code: http.StatusServiceUnavailable, msg: "server is shutting down", retryAfter: time.Second})
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 // options holds every command-line flag value. The zero value runs the
@@ -516,6 +690,23 @@ type options struct {
 	snapshotInterval    time.Duration
 	useIndex            bool
 	exact               bool
+	concurrency         int
+	writeConcurrency    int
+	queueDepth          int
+	queueWait           time.Duration
+	matchDeadline       time.Duration
+	cacheCap            int
+	maxBody             int64
+}
+
+// serveOptions derives the serving-layer configuration from the flags.
+func (opt *options) serveOptions() serve.Options {
+	return serve.Options{
+		Read:          serve.PoolOptions{Slots: opt.concurrency, Queue: opt.queueDepth, MaxWait: opt.queueWait},
+		Write:         serve.PoolOptions{Slots: opt.writeConcurrency, Queue: opt.queueDepth, MaxWait: opt.queueWait},
+		CacheCapacity: opt.cacheCap,
+		MatchDeadline: opt.matchDeadline,
+	}
 }
 
 // newFlagSet declares the flags; split out so the doc-conformance test can
@@ -535,6 +726,13 @@ func newFlagSet() (*flag.FlagSet, *options) {
 	fs.DurationVar(&opt.snapshotInterval, "snapshot-interval", 0, "legacy snapshot batching (setting it implies -wal=false): snapshot at most once per interval; 0 snapshots synchronously on every mutation")
 	fs.BoolVar(&opt.useIndex, "index", true, "serve /match/batch candidates from the sharded token inverted index; =false falls back to the linear signature-pruned scan")
 	fs.BoolVar(&opt.exact, "exact", false, "exhaustive /match/batch scans: disable indexed retrieval and candidate pruning")
+	fs.IntVar(&opt.concurrency, "concurrency", 0, "concurrent match requests admitted; 0 sizes the pool to the match worker count")
+	fs.IntVar(&opt.writeConcurrency, "write-concurrency", 2, "concurrent register/delete mutations admitted (a separate pool, so match storms cannot starve registrations)")
+	fs.IntVar(&opt.queueDepth, "queue-depth", 0, "bounded admission queue per pool; arrivals beyond it are rejected with 429 immediately; 0 means 8x the pool's concurrency")
+	fs.DurationVar(&opt.queueWait, "queue-wait", time.Second, "queueing latency target: a request that waits longer for a slot is rejected with 429 and a Retry-After hint")
+	fs.DurationVar(&opt.matchDeadline, "match-deadline", 30*time.Second, "end-to-end deadline per match request, threaded through the candidate-scoring loops; 0 disables")
+	fs.IntVar(&opt.cacheCap, "cache", 1024, "match cache capacity in entries (fingerprint-keyed LRU with singleflight coalescing, invalidated on every mutation); 0 disables")
+	fs.Int64Var(&opt.maxBody, "max-body", 4<<20, "request body cap in bytes; larger bodies are rejected with 413")
 	return fs, opt
 }
 
@@ -599,6 +797,15 @@ func newServerFromOptions(opt *options) (*server, error) {
 		cfg.Mapping.Cardinality = cupid.OneToOne
 	}
 	cfg.Mapping.ThAccept = opt.minAccept
+	if opt.concurrency < 0 || opt.writeConcurrency < 0 || opt.queueDepth < 0 {
+		return nil, fmt.Errorf("-concurrency, -write-concurrency and -queue-depth must be >= 0")
+	}
+	if opt.queueWait < 0 || opt.matchDeadline < 0 || opt.maxBody < 0 {
+		return nil, fmt.Errorf("-queue-wait, -match-deadline and -max-body must be >= 0")
+	}
+	if opt.cacheCap < 0 {
+		return nil, fmt.Errorf("-cache must be >= 0 (0 disables caching)")
+	}
 
 	var s *server
 	var err error
@@ -616,6 +823,7 @@ func newServerFromOptions(opt *options) (*server, error) {
 	}
 	s.exact = opt.exact
 	s.useIndex = opt.useIndex
+	s.initServing(opt)
 	return s, nil
 }
 
@@ -672,7 +880,10 @@ func run(args []string) error {
 		return err
 	case <-ctx.Done():
 		stop()
-		log.Print("cupidd: shutting down")
+		log.Print("cupidd: shutting down: draining in-flight requests, rejecting new ones with 503")
+		// New requests (including queued admissions) are refused from here
+		// on; Shutdown then waits for the in-flight ones.
+		s.front.BeginDrain()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {

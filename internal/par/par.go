@@ -17,6 +17,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -53,12 +54,40 @@ const seqThreshold = 4
 // must be safe to call concurrently for distinct indexes; For returns only
 // after every iteration completed.
 func For(n int, fn func(i int)) {
+	forCancel(n, nil, fn)
+}
+
+// ForCtx is For with cooperative cancellation: every worker checks the
+// context before each iteration and stops handing out work once it is
+// done, so an abandoned caller (client disconnect, deadline) stops
+// consuming CPU after at most one in-flight fn per worker. It returns
+// ctx.Err() when the loop was cut short — iterations may then have been
+// skipped, so the caller must discard partial results — and nil when
+// every iteration ran. The serving layer threads request contexts through
+// the registry's candidate-scoring loops with this.
+func ForCtx(ctx context.Context, n int, fn func(i int)) error {
+	if ctx == nil || ctx.Done() == nil {
+		// Background-like contexts can never be canceled; skip the
+		// per-iteration Err() calls entirely.
+		forCancel(n, nil, fn)
+		return nil
+	}
+	forCancel(n, ctx.Err, fn)
+	return ctx.Err()
+}
+
+// forCancel is the shared loop body: canceled (nil = never) is consulted
+// before each iteration.
+func forCancel(n int, canceled func() error, fn func(i int)) {
 	w := Workers()
 	if w > n {
 		w = n
 	}
 	if w <= 1 || n < seqThreshold {
 		for i := 0; i < n; i++ {
+			if canceled != nil && canceled() != nil {
+				return
+			}
 			fn(i)
 		}
 		return
@@ -85,6 +114,9 @@ func For(n int, fn func(i int)) {
 					end = n
 				}
 				for i := start; i < end; i++ {
+					if canceled != nil && canceled() != nil {
+						return
+					}
 					fn(i)
 				}
 			}

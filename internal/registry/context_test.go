@@ -1,0 +1,199 @@
+package registry
+
+// Request-lifecycle coverage: the context-threaded match paths must stop
+// consuming CPU when the caller abandons them, must report ctx.Err()
+// instead of partial rankings, and must stay bit-identical to their
+// context-free forms when never canceled.
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/par"
+	"repro/internal/workloads"
+)
+
+// corpusRegistry builds a registry over n family-corpus schemas.
+func corpusRegistry(t *testing.T, n int) *Registry {
+	t.Helper()
+	r, err := New(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := workloads.FamilyCorpus(workloads.FamilyCorpusSpec{PerFamily: n / workloads.NumFamilies(), Seed: 5})
+	for _, s := range corpus {
+		if _, _, err := r.Register(s.Name, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+func TestMatchContextCanceledReturnsError(t *testing.T) {
+	r := corpusRegistry(t, 40)
+	probe, err := r.Matcher().Prepare(workloads.FamilyProbe(1, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if _, err := r.MatchAllContext(ctx, probe, 5); err != context.Canceled {
+		t.Errorf("MatchAllContext on canceled ctx = %v, want context.Canceled", err)
+	}
+	if _, err := r.MatchTopContext(ctx, probe, 5, PruneOptions{Fraction: 0.25, MinCandidates: 4}); err != context.Canceled {
+		t.Errorf("MatchTopContext on canceled ctx = %v, want context.Canceled", err)
+	}
+	if _, _, err := r.MatchIndexedContext(ctx, probe, 5, PruneOptions{Fraction: 0.25, MinCandidates: 4}); err != context.Canceled {
+		t.Errorf("MatchIndexedContext on canceled ctx = %v, want context.Canceled", err)
+	}
+}
+
+// countdownCtx is a context whose Err() flips to context.Canceled after
+// a fixed number of Err() calls. Because the match loops consult Err()
+// exactly once per candidate (plus once for the return value), it turns
+// "cancel mid-scoring" into a deterministic event — no timers, no racing
+// the scheduler — and its call counter records how many checks the loop
+// made after cancellation.
+type countdownCtx struct {
+	context.Context
+	calls atomic.Int64
+	fuse  int64
+	done  chan struct{}
+}
+
+func newCountdownCtx(fuse int64) *countdownCtx {
+	return &countdownCtx{Context: context.Background(), fuse: fuse, done: make(chan struct{})}
+}
+
+// Done returns a non-nil (never-closed) channel so ForCtx takes its
+// cancellation path rather than the background fast path.
+func (c *countdownCtx) Done() <-chan struct{} { return c.done }
+
+func (c *countdownCtx) Err() error {
+	if c.calls.Add(1) > c.fuse {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestMatchContextCancellationIsPrompt cancels a 1-vs-N ranking
+// mid-scoring — deterministically, after exactly fuse candidate checks —
+// and asserts the sweep stops there instead of scoring the rest of the
+// corpus.
+func TestMatchContextCancellationIsPrompt(t *testing.T) {
+	prev := par.SetMaxWorkers(1) // sequential: one Err() check per candidate, in order
+	defer par.SetMaxWorkers(prev)
+	r := corpusRegistry(t, 100)
+	if r.Len() < 20 {
+		t.Fatalf("corpus too small for a mid-loop cancellation: %d entries", r.Len())
+	}
+	probe, err := r.Matcher().Prepare(workloads.FamilyProbe(2, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const fuse = 5 // scored candidates before Err() starts reporting Canceled
+	ctx := newCountdownCtx(fuse)
+	ranked, err := r.MatchAllContext(ctx, probe, 5)
+	if err != context.Canceled {
+		t.Fatalf("canceled MatchAllContext = %v, want context.Canceled", err)
+	}
+	if ranked != nil {
+		t.Errorf("canceled MatchAllContext returned a partial ranking (%d entries), want nil", len(ranked))
+	}
+	// The loop checks Err() once per candidate; after the first Canceled it
+	// must stop immediately. ForCtx consults Err() once more for its return
+	// value, so a prompt stop is fuse+2 calls; scoring the whole corpus
+	// would be > r.Len() calls.
+	if calls := ctx.calls.Load(); calls > fuse+2 {
+		t.Errorf("loop kept checking after cancellation: %d Err() calls, want <= %d (corpus %d)", calls, fuse+2, r.Len())
+	}
+}
+
+// TestMatchContextIdenticalToContextFree asserts the ctx-threaded paths
+// return bit-identical rankings to the context-free ones when never
+// canceled.
+func TestMatchContextIdenticalToContextFree(t *testing.T) {
+	r := corpusRegistry(t, 60)
+	probe, err := r.Matcher().Prepare(workloads.FamilyProbe(3, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := PruneOptions{Fraction: 0.25, MinCandidates: 4}
+	ctx := context.Background()
+
+	type pathPair struct {
+		name     string
+		plain    func() ([]Ranked, error)
+		threaded func() ([]Ranked, error)
+	}
+	paths := []pathPair{
+		{"MatchAll",
+			func() ([]Ranked, error) { return r.MatchAll(probe, 10) },
+			func() ([]Ranked, error) { return r.MatchAllContext(ctx, probe, 10) }},
+		{"MatchTop",
+			func() ([]Ranked, error) { return r.MatchTop(probe, 10, opt) },
+			func() ([]Ranked, error) { return r.MatchTopContext(ctx, probe, 10, opt) }},
+		{"MatchIndexed",
+			func() ([]Ranked, error) { ranked, _, err := r.MatchIndexed(probe, 10, opt); return ranked, err },
+			func() ([]Ranked, error) {
+				ranked, _, err := r.MatchIndexedContext(ctx, probe, 10, opt)
+				return ranked, err
+			}},
+	}
+	for _, p := range paths {
+		a, err := p.plain()
+		if err != nil {
+			t.Fatalf("%s: %v", p.name, err)
+		}
+		b, err := p.threaded()
+		if err != nil {
+			t.Fatalf("%s (ctx): %v", p.name, err)
+		}
+		if fmt.Sprint(rankingKey(a)) != fmt.Sprint(rankingKey(b)) {
+			t.Errorf("%s: ctx-threaded ranking differs from context-free:\n%v\nvs\n%v", p.name, rankingKey(a), rankingKey(b))
+		}
+	}
+}
+
+func rankingKey(ranked []Ranked) []string {
+	out := make([]string, len(ranked))
+	for i, rk := range ranked {
+		out[i] = fmt.Sprintf("%s:%.17g", rk.Entry.Name, rk.Score)
+	}
+	return out
+}
+
+// TestRetrievalStatsReportsBudget asserts every MatchIndexed outcome
+// carries the candidate budget it ran under — the field the serving layer
+// relies on to make degraded rankings self-describing.
+func TestRetrievalStatsReportsBudget(t *testing.T) {
+	r := corpusRegistry(t, 60)
+	probe, err := r.Matcher().Prepare(workloads.FamilyProbe(0, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := PruneOptions{Fraction: 0.125, MinCandidates: 4}
+	_, st, err := r.MatchIndexed(probe, 5, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := opt.Limit(r.Len(), 5); st.CandidateBudget != want {
+		t.Errorf("CandidateBudget = %d, want Limit(%d, 5) = %d", st.CandidateBudget, r.Len(), want)
+	}
+	if st.Degraded {
+		t.Error("MatchIndexed set Degraded itself; only the serving layer may")
+	}
+	// The exact-scan fallback reports its (over-)budget too.
+	_, st, err = r.MatchIndexed(probe, 5, PruneOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CandidateBudget < r.Len() {
+		t.Errorf("fallback CandidateBudget = %d, want >= corpus %d", st.CandidateBudget, r.Len())
+	}
+}

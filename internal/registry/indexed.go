@@ -1,6 +1,8 @@
 package registry
 
 import (
+	"context"
+
 	"repro/internal/core"
 )
 
@@ -18,10 +20,21 @@ type RetrievalStats struct {
 	// CandidatesMatched is the number of entries that reached the full
 	// tree match.
 	CandidatesMatched int
+	// CandidateBudget is the candidate limit the call ran under
+	// (PruneOptions.Limit for the repository size and topK at hand) — the
+	// number the serving layer shrinks when it degrades under load, so a
+	// response always carries the budget that actually produced it.
+	CandidateBudget int
 	// Indexed reports whether the inverted index generated the candidates
 	// (false when the repository was small enough, or the query signature
 	// token-less, so the call fell back to an exact scan).
 	Indexed bool
+	// Degraded reports that the caller deliberately shrank the candidate
+	// budget below its configured policy to shed load. MatchIndexed never
+	// sets it — the serving layer (internal/serve) does when it substitutes
+	// degraded PruneOptions, so clients can tell a load-shed ranking from a
+	// full-budget one.
+	Degraded bool
 }
 
 // MatchIndexed is the inverted-index form of MatchTop: instead of scoring
@@ -51,13 +64,22 @@ type RetrievalStats struct {
 // 1-vs-2000 corpus) and callers that need the full-scan guarantee use
 // MatchAll.
 func (r *Registry) MatchIndexed(src *core.Prepared, topK int, opt PruneOptions) ([]Ranked, RetrievalStats, error) {
+	return r.MatchIndexedContext(context.Background(), src, topK, opt)
+}
+
+// MatchIndexedContext is MatchIndexed with a request lifecycle: the
+// candidate tree-match loop (the expensive part — each iteration is a
+// full TreeMatch) checks ctx cooperatively before every candidate, so an
+// abandoned caller stops consuming CPU mid-ranking. It returns ctx.Err()
+// when cut short.
+func (r *Registry) MatchIndexedContext(ctx context.Context, src *core.Prepared, topK int, opt PruneOptions) ([]Ranked, RetrievalStats, error) {
 	n := r.Len()
 	limit := opt.Limit(n, topK)
 	srcSig := src.Signature()
 	if limit >= n || len(srcSig.Tokens) == 0 {
 		entries := r.List()
-		ranked, err := r.rank(entries, src, topK)
-		return ranked, RetrievalStats{CandidatesScored: len(entries), CandidatesMatched: len(entries)}, err
+		ranked, err := r.rank(ctx, entries, src, topK)
+		return ranked, RetrievalStats{CandidatesScored: len(entries), CandidatesMatched: len(entries), CandidateBudget: limit}, err
 	}
 	cands, st := r.idx.TopK(srcSig, limit)
 	entries := make([]*Entry, 0, len(cands))
@@ -68,6 +90,6 @@ func (r *Registry) MatchIndexed(src *core.Prepared, topK int, opt PruneOptions) 
 			entries = append(entries, e)
 		}
 	}
-	ranked, err := r.rank(entries, src, topK)
-	return ranked, RetrievalStats{CandidatesScored: st.Scored, CandidatesMatched: len(entries), Indexed: true}, err
+	ranked, err := r.rank(ctx, entries, src, topK)
+	return ranked, RetrievalStats{CandidatesScored: st.Scored, CandidatesMatched: len(entries), CandidateBudget: limit, Indexed: true}, err
 }

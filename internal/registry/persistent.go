@@ -363,6 +363,12 @@ func (p *Persistent) noteErr(err error) {
 	p.errMu.Unlock()
 }
 
+// Compacting reports whether a background journal compaction is
+// currently folding the journal tail into a new snapshot generation. The
+// server's readiness probe consults it: a replica still writing its
+// compaction snapshot is serving but not yet a clean handoff point.
+func (p *Persistent) Compacting() bool { return p.compacting.Load() }
+
 // Err returns the first background persistence failure, if any: a
 // batched-mode snapshot write, a WAL compaction, or a group-commit append
 // (which every batched writer also received synchronously).

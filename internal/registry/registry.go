@@ -50,6 +50,7 @@
 package registry
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -273,23 +274,34 @@ func Score(res *core.Result) float64 {
 // the ranking is deterministic for a given snapshot regardless of worker
 // count.
 func (r *Registry) MatchAll(src *core.Prepared, topK int) ([]Ranked, error) {
-	return r.rank(r.List(), src, topK)
+	return r.MatchAllContext(context.Background(), src, topK)
+}
+
+// MatchAllContext is MatchAll with a request lifecycle: the per-entry
+// tree-match fan-out checks ctx cooperatively before every candidate, so
+// an abandoned caller (client disconnect, deadline) stops consuming CPU
+// mid-sweep. It returns ctx.Err() when cut short.
+func (r *Registry) MatchAllContext(ctx context.Context, src *core.Prepared, topK int) ([]Ranked, error) {
+	return r.rank(ctx, r.List(), src, topK)
 }
 
 // rank runs the full tree match of src against every given entry (fanned
-// over the worker pool) and returns the descending-score ranking, ties
-// broken by name, truncated to topK (<= 0 keeps all).
-func (r *Registry) rank(entries []*Entry, src *core.Prepared, topK int) ([]Ranked, error) {
+// over the worker pool, canceled cooperatively per candidate via ctx) and
+// returns the descending-score ranking, ties broken by name, truncated to
+// topK (<= 0 keeps all).
+func (r *Registry) rank(ctx context.Context, entries []*Entry, src *core.Prepared, topK int) ([]Ranked, error) {
 	out := make([]Ranked, len(entries))
 	errs := make([]error, len(entries))
-	par.For(len(entries), func(i int) {
+	if err := par.ForCtx(ctx, len(entries), func(i int) {
 		res, err := r.matcher.MatchPrepared(src, entries[i].Prepared)
 		if err != nil {
 			errs[i] = fmt.Errorf("registry: matching against %q: %w", entries[i].Name, err)
 			return
 		}
 		out[i] = Ranked{Entry: entries[i], Result: res, Score: Score(res)}
-	})
+	}); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -402,16 +414,26 @@ func (o PruneOptions) Limit(n, topK int) int {
 // inverted index without touching non-overlapping entries, sized by the
 // same PruneOptions.Limit policy.
 func (r *Registry) MatchTop(src *core.Prepared, topK int, opt PruneOptions) ([]Ranked, error) {
+	return r.MatchTopContext(context.Background(), src, topK, opt)
+}
+
+// MatchTopContext is MatchTop with a request lifecycle: both the affinity
+// sweep and the candidate tree-match loop check ctx cooperatively, so an
+// abandoned caller stops consuming CPU. It returns ctx.Err() when cut
+// short.
+func (r *Registry) MatchTopContext(ctx context.Context, src *core.Prepared, topK int, opt PruneOptions) ([]Ranked, error) {
 	entries := r.List()
 	limit := opt.Limit(len(entries), topK)
 	if limit >= len(entries) {
-		return r.rank(entries, src, topK)
+		return r.rank(ctx, entries, src, topK)
 	}
 	affs := make([]float64, len(entries))
 	srcSig := src.Signature()
-	par.For(len(entries), func(i int) {
+	if err := par.ForCtx(ctx, len(entries), func(i int) {
 		affs[i] = srcSig.Affinity(entries[i].Prepared.Signature())
-	})
+	}); err != nil {
+		return nil, err
+	}
 	order := make([]int, len(entries))
 	for i := range order {
 		order[i] = i
@@ -426,7 +448,7 @@ func (r *Registry) MatchTop(src *core.Prepared, topK int, opt PruneOptions) ([]R
 	for i := range cands {
 		cands[i] = entries[order[i]]
 	}
-	return r.rank(cands, src, topK)
+	return r.rank(ctx, cands, src, topK)
 }
 
 // MatchAllSchema prepares the schema with the registry's matcher and runs

@@ -1,0 +1,293 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/registry"
+)
+
+// Options configures a Frontend. The zero value is usable: pools sized
+// per PoolOptions defaults, cache disabled, no deadline, degradation at
+// the default saturation threshold.
+type Options struct {
+	// Read sizes the admission pool for match traffic; Write the (smaller,
+	// separate) pool for register/delete traffic, so a batch-match storm
+	// cannot starve registrations.
+	Read, Write PoolOptions
+	// CacheCapacity is the match cache's entry budget; <= 0 disables it.
+	CacheCapacity int
+	// MatchDeadline bounds each match request end to end (queue wait plus
+	// scoring); 0 means no deadline.
+	MatchDeadline time.Duration
+	// DegradeAt is the read-pool saturation (see Pool.Saturation) at or
+	// above which match requests shrink their candidate budgets to shed
+	// load. 0 means the default (2.0: every slot busy plus a backlog one
+	// slot-set deep); negative disables degradation.
+	DegradeAt float64
+}
+
+// defaultDegradeAt triggers degradation once the read pool holds a full
+// slot-set of running work AND at least as much again waiting.
+const defaultDegradeAt = 2.0
+
+// Frontend is the serving layer in front of a registry: it admits match
+// work through the read pool, register/delete work through the write
+// pool, serves repeated matches from the singleflight cache, threads
+// deadlines into the registry's context-aware match paths, and shrinks
+// candidate budgets when saturated (reported via RetrievalStats.Degraded
+// so a load-shed ranking is self-describing).
+type Frontend struct {
+	reg      *registry.Registry
+	read     *Pool
+	write    *Pool
+	cache    *Cache
+	deadline time.Duration
+	degrade  float64
+
+	draining atomic.Bool
+	degraded atomic.Uint64
+}
+
+// NewFrontend builds a Frontend over reg.
+func NewFrontend(reg *registry.Registry, opt Options) *Frontend {
+	if opt.Write.Slots <= 0 {
+		// Writes are journal-bound, not CPU-bound; a small dedicated pool
+		// keeps them admissible under read storms without letting a write
+		// storm oversubscribe the group committer.
+		opt.Write.Slots = 2
+	}
+	deg := opt.DegradeAt
+	if deg == 0 {
+		deg = defaultDegradeAt
+	}
+	return &Frontend{
+		reg:      reg,
+		read:     NewPool(opt.Read),
+		write:    NewPool(opt.Write),
+		cache:    NewCache(opt.CacheCapacity),
+		deadline: opt.MatchDeadline,
+		degrade:  deg,
+	}
+}
+
+// Registry returns the backing registry.
+func (f *Frontend) Registry() *registry.Registry { return f.reg }
+
+// ReadPool returns the match-traffic admission pool.
+func (f *Frontend) ReadPool() *Pool { return f.read }
+
+// WritePool returns the register/delete admission pool.
+func (f *Frontend) WritePool() *Pool { return f.write }
+
+// AcquireWrite admits a mutation (register/delete) through the write
+// pool. The caller must Invalidate after the mutation commits and before
+// acknowledging it.
+func (f *Frontend) AcquireWrite(ctx context.Context) (func(), error) {
+	if f.draining.Load() {
+		return nil, ErrDraining
+	}
+	return f.write.Acquire(ctx)
+}
+
+// Invalidate discards the match cache; call after every committed
+// register/replace/remove, before acking the client.
+func (f *Frontend) Invalidate() { f.cache.Invalidate() }
+
+// BeginDrain stops admitting new work (ErrDraining); in-flight requests
+// run to completion.
+func (f *Frontend) BeginDrain() { f.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (f *Frontend) Draining() bool { return f.draining.Load() }
+
+// MatchSpec selects a retrieval mode for MatchBatch, mirroring cupidd's
+// flags: Exact scans everything, UseIndex retrieves candidates from the
+// token inverted index under the Index budget, otherwise the linear
+// signature-pruned scan runs under the Prune budget. TopK is the ranking
+// length requested from the registry (0 = rank everything retrieved).
+type MatchSpec struct {
+	Exact    bool
+	UseIndex bool
+	TopK     int
+	Prune    registry.PruneOptions
+	Index    registry.PruneOptions
+}
+
+// Result is a MatchBatch outcome. Stats always carries CandidatesScored,
+// CandidateBudget and Degraded regardless of mode (synthesized for the
+// scan modes, the registry's own stats for the indexed mode). Cached
+// reports the ranking came from the cache or a coalesced flight rather
+// than a fresh computation. Ranked is shared when Cached — treat it as
+// immutable.
+type Result struct {
+	Ranked []registry.Ranked
+	Stats  registry.RetrievalStats
+	Cached bool
+}
+
+// MatchBatch ranks the repository against src under spec, going through
+// deadline, cache, admission and (when saturated) degradation. Cache hits
+// and coalesced joins bypass admission entirely — repeated-query storms
+// are absorbed before the pool. Errors: ErrQueueFull/ErrQueueWait (shed),
+// ErrDraining (shutdown), ctx errors (caller gave up or deadline hit),
+// or a registry error.
+func (f *Frontend) MatchBatch(ctx context.Context, src *core.Prepared, spec MatchSpec) (Result, error) {
+	if f.draining.Load() {
+		return Result{}, ErrDraining
+	}
+	ctx, cancel := f.withDeadline(ctx)
+	defer cancel()
+	key := batchKey(src, spec)
+	v, shared, err := f.cache.Do(ctx, key, func(ctx context.Context) (any, bool, error) {
+		res, err := f.matchBatchAdmitted(ctx, src, spec)
+		if err != nil {
+			return nil, false, err
+		}
+		// Degraded rankings ran under a shrunken budget; caching one would
+		// serve it to un-saturated callers that are owed the full budget.
+		return res, !res.Stats.Degraded, nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	res := v.(Result)
+	res.Cached = shared
+	return res, nil
+}
+
+// matchBatchAdmitted is the uncached path: acquire a read slot, decide
+// degradation from the pool's saturation, run the spec'd retrieval.
+func (f *Frontend) matchBatchAdmitted(ctx context.Context, src *core.Prepared, spec MatchSpec) (Result, error) {
+	release, err := f.read.Acquire(ctx)
+	if err != nil {
+		return Result{}, err
+	}
+	defer release()
+
+	degraded := false
+	if !spec.Exact && f.degrade > 0 && f.read.Saturation() >= f.degrade {
+		degraded = true
+		spec.Prune = shrinkBudget(spec.Prune)
+		spec.Index = shrinkBudget(spec.Index)
+		f.degraded.Add(1)
+	}
+	switch {
+	case spec.Exact:
+		ranked, err := f.reg.MatchAllContext(ctx, src, spec.TopK)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Ranked: ranked, Stats: registry.RetrievalStats{
+			CandidatesScored:  len(ranked),
+			CandidatesMatched: len(ranked),
+			CandidateBudget:   f.reg.Len(),
+		}}, nil
+	case spec.UseIndex:
+		ranked, st, err := f.reg.MatchIndexedContext(ctx, src, spec.TopK, spec.Index)
+		if err != nil {
+			return Result{}, err
+		}
+		st.Degraded = degraded
+		return Result{Ranked: ranked, Stats: st}, nil
+	default:
+		ranked, err := f.reg.MatchTopContext(ctx, src, spec.TopK, spec.Prune)
+		if err != nil {
+			return Result{}, err
+		}
+		n := f.reg.Len()
+		limit := spec.Prune.Limit(n, spec.TopK)
+		return Result{Ranked: ranked, Stats: registry.RetrievalStats{
+			CandidatesScored:  n,
+			CandidatesMatched: limit,
+			CandidateBudget:   limit,
+			Degraded:          degraded,
+		}}, nil
+	}
+}
+
+// MatchPair runs a single source-vs-target tree match through deadline,
+// cache and admission. The key is the fingerprint pair, so the cached
+// value is content-addressed and can never be stale; it still rides the
+// same cache (and is therefore dropped on Invalidate — a freshness
+// non-issue, only a warm-up cost). The bool reports a cache hit or
+// coalesced join. The returned Result is shared when cached — immutable.
+func (f *Frontend) MatchPair(ctx context.Context, src, dst *core.Prepared) (*core.Result, bool, error) {
+	if f.draining.Load() {
+		return nil, false, ErrDraining
+	}
+	ctx, cancel := f.withDeadline(ctx)
+	defer cancel()
+	key := "pair|" + src.Fingerprint() + "|" + dst.Fingerprint()
+	v, shared, err := f.cache.Do(ctx, key, func(ctx context.Context) (any, bool, error) {
+		release, err := f.read.Acquire(ctx)
+		if err != nil {
+			return nil, false, err
+		}
+		defer release()
+		res, err := f.reg.Matcher().MatchPrepared(src, dst)
+		return res, err == nil, err
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return v.(*core.Result), shared, nil
+}
+
+func (f *Frontend) withDeadline(ctx context.Context) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if f.deadline <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, f.deadline)
+}
+
+// batchKey is the cache identity of a batch match: the source schema's
+// content hash plus every spec knob that can change the ranking. Registry
+// content is deliberately absent — the epoch mechanism invalidates on
+// mutation instead.
+func batchKey(src *core.Prepared, spec MatchSpec) string {
+	return fmt.Sprintf("batch|%s|%d|%t|%t|%g|%d|%g|%d",
+		src.Fingerprint(), spec.TopK, spec.Exact, spec.UseIndex,
+		spec.Prune.Fraction, spec.Prune.MinCandidates,
+		spec.Index.Fraction, spec.Index.MinCandidates)
+}
+
+// shrinkBudget halves a candidate budget for degraded operation. A
+// full-scan config (Fraction outside (0,1] means "everything") is left
+// alone — there is no budget to shrink.
+func shrinkBudget(o registry.PruneOptions) registry.PruneOptions {
+	if o.Fraction <= 0 || o.Fraction > 1 {
+		return o
+	}
+	o.Fraction /= 2
+	if o.MinCandidates > 1 {
+		o.MinCandidates /= 2
+	}
+	return o
+}
+
+// FrontendStats snapshots the serving layer for /healthz-style reporting.
+type FrontendStats struct {
+	Read            PoolStats  `json:"read"`
+	Write           PoolStats  `json:"write"`
+	Cache           CacheStats `json:"cache"`
+	DegradedMatches uint64     `json:"degradedMatches"`
+	Draining        bool       `json:"draining"`
+}
+
+// Stats snapshots the frontend's pools, cache and degradation counter.
+func (f *Frontend) Stats() FrontendStats {
+	return FrontendStats{
+		Read:            f.read.Stats(),
+		Write:           f.write.Stats(),
+		Cache:           f.cache.Stats(),
+		DegradedMatches: f.degraded.Load(),
+		Draining:        f.draining.Load(),
+	}
+}

@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/par"
+)
+
+func TestPoolDefaults(t *testing.T) {
+	p := NewPool(PoolOptions{})
+	if got, want := p.Slots(), par.Workers(); got != want {
+		t.Errorf("default Slots = %d, want par.Workers() = %d", got, want)
+	}
+	st := p.Stats()
+	if st.Queue != 8*p.Slots() {
+		t.Errorf("default Queue = %d, want %d", st.Queue, 8*p.Slots())
+	}
+	if p.MaxWait() != 100*time.Millisecond {
+		t.Errorf("default MaxWait = %v, want 100ms", p.MaxWait())
+	}
+}
+
+func TestPoolBoundsConcurrencyAndQueue(t *testing.T) {
+	p := NewPool(PoolOptions{Slots: 2, Queue: 2, MaxWait: time.Minute})
+	// Occupy both slots.
+	rel1, err := p.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2, err := p.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.InFlight(); got != 2 {
+		t.Fatalf("InFlight = %d, want 2", got)
+	}
+	// Fill the queue with two blocked waiters.
+	var wg sync.WaitGroup
+	acquired := make(chan func(), 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rel, err := p.Acquire(context.Background())
+			if err != nil {
+				t.Errorf("queued Acquire = %v", err)
+				return
+			}
+			acquired <- rel
+		}()
+	}
+	waitFor(t, func() bool { return p.Queued() == 2 })
+	if sat := p.Saturation(); sat != 2.0 {
+		t.Errorf("Saturation = %g, want 2.0 (2 in flight + 2 queued over 2 slots)", sat)
+	}
+	// A third arrival finds the queue full and fails fast.
+	if _, err := p.Acquire(context.Background()); !errors.Is(err, ErrQueueFull) {
+		t.Errorf("Acquire over full queue = %v, want ErrQueueFull", err)
+	}
+	// Releases hand the slots to the waiters.
+	rel1()
+	rel2()
+	wg.Wait()
+	(<-acquired)()
+	(<-acquired)()
+	if got := p.InFlight(); got != 0 {
+		t.Errorf("InFlight after all releases = %d, want 0", got)
+	}
+	st := p.Stats()
+	if st.Admitted != 4 || st.RejectedFull != 1 {
+		t.Errorf("stats = admitted %d / rejectedFull %d, want 4 / 1", st.Admitted, st.RejectedFull)
+	}
+}
+
+func TestPoolQueueWaitRejects(t *testing.T) {
+	p := NewPool(PoolOptions{Slots: 1, Queue: 4, MaxWait: 5 * time.Millisecond})
+	rel, err := p.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	if _, err := p.Acquire(context.Background()); !errors.Is(err, ErrQueueWait) {
+		t.Errorf("Acquire past MaxWait = %v, want ErrQueueWait", err)
+	}
+	if got := p.Queued(); got != 0 {
+		t.Errorf("Queued after wait rejection = %d, want 0", got)
+	}
+	if st := p.Stats(); st.RejectedWait != 1 {
+		t.Errorf("RejectedWait = %d, want 1", st.RejectedWait)
+	}
+}
+
+func TestPoolCancelWhileQueued(t *testing.T) {
+	p := NewPool(PoolOptions{Slots: 1, Queue: 4, MaxWait: time.Minute})
+	rel, err := p.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := p.Acquire(ctx)
+		errc <- err
+	}()
+	waitFor(t, func() bool { return p.Queued() == 1 })
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled queued Acquire = %v, want context.Canceled", err)
+	}
+	if got := p.Queued(); got != 0 {
+		t.Errorf("Queued after cancellation = %d, want 0", got)
+	}
+	if st := p.Stats(); st.Canceled != 1 {
+		t.Errorf("Canceled = %d, want 1", st.Canceled)
+	}
+}
+
+func TestPoolReleaseIdempotent(t *testing.T) {
+	p := NewPool(PoolOptions{Slots: 1, Queue: 1, MaxWait: time.Minute})
+	rel, err := p.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+	rel() // second call must not free a phantom slot
+	if got := p.InFlight(); got != 0 {
+		t.Fatalf("InFlight = %d, want 0", got)
+	}
+	rel2, err := p.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("re-Acquire after double release = %v", err)
+	}
+	defer rel2()
+	// The single slot must still be exclusive.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.Acquire(ctx); err == nil {
+		t.Error("second Acquire succeeded while the only slot was held — double release created a phantom slot")
+	}
+}
+
+// waitFor polls cond until it holds, failing the test after a generous
+// bound. Used instead of sleeps so slow CI machines don't flake.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 10s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
