@@ -74,10 +74,12 @@ echo "check: go test ./..."
 go test ./... || fail test "go test failed (see above)"
 
 if [ "${CHECK_SKIP_BENCH:-}" = "1" ]; then
-    echo "check: bench gate skipped (CHECK_SKIP_BENCH=1)"
+    echo "check: bench gates skipped (CHECK_SKIP_BENCH=1)"
 else
     echo "check: cupidbench -exp bench (CHECK_SKIP_BENCH=1 to skip)"
     go run ./cmd/cupidbench -exp bench || fail bench "bench gates failed (recall or speedup regression; see above)"
+    echo "check: cupidbench -exp planner (CHECK_SKIP_BENCH=1 to skip)"
+    go run ./cmd/cupidbench -exp planner || fail planner-bench "planner gates failed (recall, time-vs-static or allocation regression; see above)"
 fi
 
 echo "check: ok"

@@ -164,6 +164,12 @@ type BenchReport struct {
 	// cell. Gated: goodput at 2x >= 0.8x capacity, the 2x p99 bounded by
 	// queue-wait + 5x the 1x p99, cache-warm >= 10x cold.
 	Overload *OverloadPoint `json:"overload,omitempty"`
+	// Planner is the planner-vs-static retrieval workload (-exp planner):
+	// the stats-driven adaptive planner against every static policy at
+	// three FamilyCorpus scales. Gated: planned recall@10 exactly 1.0,
+	// planned aggregate sweep time never above any static policy, and an
+	// allocation-free planning step.
+	Planner *PlannerPoint `json:"planner,omitempty"`
 }
 
 // benchSpecs is the sweep measured by -exp bench: the eval scalability

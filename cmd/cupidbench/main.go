@@ -29,7 +29,14 @@
 //	           p50/p99 per cell), cache warm-vs-cold speedup, and
 //	           cached/uncached/degraded ranking-identity checks
 //	           -> merged into BENCH_cupid.json
-//	all        everything (default; excludes tune, bench and overload)
+//	planner    retrieval planner vs static policies: family and
+//	           rare-token probe sweeps over 1-vs-200, 1-vs-2000 and
+//	           1-vs-20000 FamilyCorpus registries, gated on planned
+//	           recall@10 = 1.0, planned aggregate time <= every static
+//	           policy, and an allocation-free planning step
+//	           -> merged into BENCH_cupid.json
+//	all        everything (default; excludes tune, bench, overload and
+//	           planner)
 //
 // With -csv, the scale and ablation experiments additionally emit CSV to
 // stdout (the raw series behind the figures).
@@ -148,18 +155,23 @@ func run(exp string, csvOut bool, benchOut string, benchSelfCheck bool, overload
 			return err
 		}
 	}
+	if exp == "planner" { // not part of "all": builds a 20k-schema corpus
+		if err := runPlanner(benchOut); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, table2, table3, rdbstar, thesaurus, lingonly, university, scale, ablation, tune, bench, overload, all")
+	exp := flag.String("exp", "all", "experiment: table1, table2, table3, rdbstar, thesaurus, lingonly, university, scale, ablation, tune, bench, overload, planner, all")
 	csvOut := flag.Bool("csv", false, "also emit CSV for scale/ablation")
-	benchOut := flag.String("benchout", "BENCH_cupid.json", "output path for the -exp bench/overload report")
+	benchOut := flag.String("benchout", "BENCH_cupid.json", "output path for the -exp bench/overload/planner report")
 	benchSelfCheck := flag.Bool("selfcheck", true, "run go vet + race determinism tests before -exp bench")
 	overloadWindow := flag.Duration("overload-window", time.Second, "timed window per -exp overload load cell")
 	flag.Parse()
 	switch *exp {
-	case "all", "table1", "table2", "table3", "rdbstar", "thesaurus", "lingonly", "university", "scale", "ablation", "tune", "bench", "overload":
+	case "all", "table1", "table2", "table3", "rdbstar", "thesaurus", "lingonly", "university", "scale", "ablation", "tune", "bench", "overload", "planner":
 	default:
 		fmt.Fprintf(os.Stderr, "cupidbench: unknown experiment %q\n", *exp)
 		os.Exit(2)

@@ -98,10 +98,10 @@ func percentileMS(lats []time.Duration, p float64) float64 {
 // candidates under the default budgets, like a default-flag cupidd.
 func overloadSpec() serve.MatchSpec {
 	return serve.MatchSpec{
-		UseIndex: true,
-		TopK:     overloadTopK,
-		Prune:    registry.DefaultPruneOptions(),
-		Index:    registry.DefaultIndexOptions(),
+		Retrieval: registry.StrategyIndexed,
+		TopK:      overloadTopK,
+		Prune:     registry.DefaultPruneOptions(),
+		Index:     registry.DefaultIndexOptions(),
 	}
 }
 

@@ -23,12 +23,17 @@
 // behind batch matching is never persisted; recovery rebuilds it
 // deterministically while re-registering the recovered documents.
 //
-// Batch matching retrieves candidates from the inverted index by default
-// (-index, on unless disabled): only repository schemas sharing at least
-// one normalized token with the source are touched, re-ranked by exact
-// signature affinity, and just the top candidates pay the full tree
-// match. -index=false falls back to the linear signature-pruned scan;
-// -exact overrides both with the exhaustive full scan.
+// Batch matching goes through a stats-driven retrieval planner by
+// default (-retrieval=auto): per query, cheap statistics the index
+// already maintains (corpus size, posting-list lengths, stop-token
+// density) pick between exhaustive scanning, the linear signature-pruned
+// scan, and inverted-index candidate generation — where only repository
+// schemas sharing at least one normalized token with the source are
+// touched, re-ranked by exact signature affinity, and just the top
+// candidates pay the full tree match — and size the candidate budget to
+// the query's actual posting pool. -retrieval=index|pruned|exact forces
+// one path (the deprecated -index/-exact aliases still work; every
+// response reports the "strategy" that ran).
 //
 // The server is overload-resilient (docs/ARCHITECTURE.md has the serving
 // layer diagram). Match traffic and mutations are admitted through
@@ -68,11 +73,17 @@
 //	-snapshot-interval DUR legacy snapshot batching (implies -wal=false):
 //	                       snapshot at most once per DUR; 0 = fsync a full
 //	                       snapshot synchronously on every mutation
-//	-index                 serve /match/batch from the token inverted index
-//	                       (default true; =false falls back to the linear
-//	                       signature-pruned scan)
-//	-exact                 exhaustive /match/batch scans (disable indexed
-//	                       retrieval and pruning)
+//	-retrieval MODE        /match/batch retrieval strategy: auto (default;
+//	                       a stats-driven planner picks exact, pruned or
+//	                       indexed retrieval plus a candidate budget per
+//	                       query), index (force inverted-index candidates),
+//	                       pruned (force the linear signature-pruned scan)
+//	                       or exact (force exhaustive scans)
+//	-index                 deprecated alias: -index is -retrieval=index,
+//	                       -index=false is -retrieval=pruned; contradicting
+//	                       an explicit -retrieval is refused
+//	-exact                 deprecated alias for -retrieval=exact;
+//	                       contradicting -retrieval or -index is refused
 //	-concurrency N         concurrent match requests admitted (default 0:
 //	                       one per match worker)
 //	-write-concurrency N   concurrent mutations admitted (default 2)
@@ -141,12 +152,11 @@ type server struct {
 	front *serve.Frontend
 	// maxBody caps request bodies (http.MaxBytesReader; 413 beyond).
 	maxBody int64
-	// exact disables candidate generation entirely in /match/batch
-	// (exhaustive scans); useIndex picks the inverted-index candidate path
-	// over the linear signature-pruned scan when exact is off.
-	exact    bool
-	useIndex bool
-	prune    cupid.PruneOptions
+	// retrieval is /match/batch's strategy: the zero value
+	// (cupid.RetrievalAuto) plans per query, the others force one path
+	// (-retrieval=index|pruned|exact and the deprecated aliases).
+	retrieval cupid.RetrievalStrategy
+	prune     cupid.PruneOptions
 	// indexOpt sizes the indexed path's candidate budget (same Limit
 	// policy as prune, tighter default fraction).
 	indexOpt cupid.PruneOptions
@@ -157,7 +167,7 @@ func newServer(cfg cupid.Config) (*server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &server{reg: reg, useIndex: true, prune: cupid.DefaultPruneOptions(), indexOpt: cupid.DefaultIndexOptions()}
+	s := &server{reg: reg, prune: cupid.DefaultPruneOptions(), indexOpt: cupid.DefaultIndexOptions()}
 	_, opt := newFlagSet() // flag defaults double as the serving defaults
 	s.initServing(opt)
 	return s, nil
@@ -177,7 +187,7 @@ func newPersistentServer(cfg cupid.Config, dir string, popt cupid.PersistOptions
 	for _, w := range warns {
 		log.Printf("cupidd: recovery: %s", w)
 	}
-	s := &server{reg: p.Registry, persist: p, useIndex: true, prune: cupid.DefaultPruneOptions(), indexOpt: cupid.DefaultIndexOptions()}
+	s := &server{reg: p.Registry, persist: p, prune: cupid.DefaultPruneOptions(), indexOpt: cupid.DefaultIndexOptions()}
 	_, opt := newFlagSet()
 	s.initServing(opt)
 	return s, nil
@@ -507,12 +517,12 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	// Rank the repository, drop the source's trivial self-match, and only
 	// then truncate — otherwise a registered source would eat one of the
-	// caller's topK slots with itself. The default path retrieves
-	// candidates from the token inverted index (MatchIndexed) with one
-	// extra slot to absorb the self-match; -index=false falls back to the
-	// linear signature-pruned scan (MatchTop), -exact scans every entry
-	// (MatchAll). With topK <= 0 the exact scan ranks the whole
-	// repository, the other paths their candidate set.
+	// caller's topK slots with itself (one extra slot absorbs it). The
+	// default -retrieval=auto lets the registry's planner pick exhaustive,
+	// pruned or indexed retrieval plus a candidate budget per query;
+	// -retrieval=index|pruned|exact forces one path. With topK <= 0 the
+	// exact scan ranks the whole repository, the other paths their
+	// candidate set; "strategy" in the reply names what actually ran.
 	//
 	// The call goes through the serving frontend: admission (429/503 when
 	// shed), the match deadline, the singleflight cache ("cached" in the
@@ -526,13 +536,12 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		want++
 	}
 	spec := serve.MatchSpec{
-		Exact:    s.exact,
-		UseIndex: s.useIndex,
-		TopK:     want,
-		Prune:    s.prune,
-		Index:    s.indexOpt,
+		Retrieval: s.retrieval,
+		TopK:      want,
+		Prune:     s.prune,
+		Index:     s.indexOpt,
 	}
-	if s.exact {
+	if s.retrieval == cupid.RetrievalExact {
 		spec.TopK = 0 // exhaustive mode ranks the whole repository
 	}
 	res, err := s.front.MatchBatch(r.Context(), src, spec)
@@ -561,6 +570,8 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"source":            sourceName(src, srcName),
+		"strategy":          res.Stats.Strategy.String(),
+		"planned":           res.Stats.Planned,
 		"candidates_scored": res.Stats.CandidatesScored,
 		"candidate_budget":  res.Stats.CandidateBudget,
 		"cached":            res.Cached,
@@ -688,8 +699,12 @@ type options struct {
 	compactThreshold    int64
 	compactThresholdSet bool // -compact-threshold passed explicitly
 	snapshotInterval    time.Duration
+	retrieval           string
+	retrievalSet        bool // -retrieval passed explicitly
 	useIndex            bool
+	indexSet            bool // -index passed explicitly (deprecated alias)
 	exact               bool
+	exactSet            bool // -exact passed explicitly (deprecated alias)
 	concurrency         int
 	writeConcurrency    int
 	queueDepth          int
@@ -724,8 +739,9 @@ func newFlagSet() (*flag.FlagSet, *options) {
 	fs.DurationVar(&opt.walGroupCommit, "wal-group-commit", 0, "linger this long after a write batch opens so more concurrent writers join the same fsync; 0 batches only what queued during the previous fsync")
 	fs.Int64Var(&opt.compactThreshold, "compact-threshold", cupid.DefaultPersistOptions().CompactBytes, "fold the write-ahead journal into a new snapshot generation once it exceeds this many bytes")
 	fs.DurationVar(&opt.snapshotInterval, "snapshot-interval", 0, "legacy snapshot batching (setting it implies -wal=false): snapshot at most once per interval; 0 snapshots synchronously on every mutation")
-	fs.BoolVar(&opt.useIndex, "index", true, "serve /match/batch candidates from the sharded token inverted index; =false falls back to the linear signature-pruned scan")
-	fs.BoolVar(&opt.exact, "exact", false, "exhaustive /match/batch scans: disable indexed retrieval and candidate pruning")
+	fs.StringVar(&opt.retrieval, "retrieval", "auto", "/match/batch retrieval strategy: auto (stats-driven planner picks a strategy and candidate budget per query), index, pruned or exact")
+	fs.BoolVar(&opt.useIndex, "index", true, "deprecated alias: -index is -retrieval=index, -index=false is -retrieval=pruned")
+	fs.BoolVar(&opt.exact, "exact", false, "deprecated alias for -retrieval=exact")
 	fs.IntVar(&opt.concurrency, "concurrency", 0, "concurrent match requests admitted; 0 sizes the pool to the match worker count")
 	fs.IntVar(&opt.writeConcurrency, "write-concurrency", 2, "concurrent register/delete mutations admitted (a separate pool, so match storms cannot starve registrations)")
 	fs.IntVar(&opt.queueDepth, "queue-depth", 0, "bounded admission queue per pool; arrivals beyond it are rejected with 429 immediately; 0 means 8x the pool's concurrency")
@@ -775,6 +791,72 @@ func (opt *options) persistOptions() (cupid.PersistOptions, error) {
 	return popt, nil
 }
 
+// recordExplicitFlags notes which flags were passed explicitly (call
+// after fs.Parse); the contradiction refusals in persistOptions and
+// retrievalStrategy distinguish an explicit value from a default.
+func (opt *options) recordExplicitFlags(fs *flag.FlagSet) {
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "wal":
+			opt.walSet = true
+		case "wal-group-commit":
+			opt.walGroupCommitSet = true
+		case "compact-threshold":
+			opt.compactThresholdSet = true
+		case "retrieval":
+			opt.retrievalSet = true
+		case "index":
+			opt.indexSet = true
+		case "exact":
+			opt.exactSet = true
+		}
+	})
+}
+
+// retrievalStrategy derives the /match/batch strategy from the flags.
+// -retrieval is the single knob; -index and -exact are the deprecated
+// aliases it replaced, mapped onto forced strategies exactly as they used
+// to behave (-exact wins over -index's default-true value, as it always
+// did). An alias that contradicts an explicit -retrieval — or -exact
+// alongside an explicit -index=true — is refused rather than guessed
+// about, mirroring the -wal/-snapshot-interval precedent. The
+// explicit-set flags catch even a value equal to the default; the value
+// checks catch programmatic construction (a zero options value keeps its
+// legacy meaning: the pruned scan).
+func (opt *options) retrievalStrategy() (cupid.RetrievalStrategy, error) {
+	alias, aliasFlag := cupid.RetrievalAuto, ""
+	switch {
+	case opt.exactSet || opt.exact:
+		if opt.indexSet && opt.useIndex {
+			return 0, fmt.Errorf("-exact and -index are contradictory (use -retrieval=exact or -retrieval=index)")
+		}
+		alias, aliasFlag = cupid.RetrievalExact, "-exact"
+	case opt.indexSet && opt.useIndex:
+		alias, aliasFlag = cupid.RetrievalIndexed, "-index"
+	case (opt.indexSet || opt.retrieval == "") && !opt.useIndex:
+		alias, aliasFlag = cupid.RetrievalPruned, "-index=false"
+	}
+	if opt.retrieval == "" {
+		// Programmatic construction predating -retrieval: the legacy bools
+		// decide, with the old default (indexed) when nothing forces a path.
+		if aliasFlag == "" {
+			return cupid.RetrievalIndexed, nil
+		}
+		return alias, nil
+	}
+	strat, err := cupid.ParseRetrievalStrategy(opt.retrieval)
+	if err != nil {
+		return 0, err
+	}
+	if aliasFlag != "" {
+		if opt.retrievalSet && strat != alias {
+			return 0, fmt.Errorf("%s contradicts -retrieval=%s (drop the deprecated alias)", aliasFlag, opt.retrieval)
+		}
+		return alias, nil
+	}
+	return strat, nil
+}
+
 // newServerFromOptions assembles the configured server.
 func newServerFromOptions(opt *options) (*server, error) {
 	cfg := cupid.DefaultConfig()
@@ -806,9 +888,12 @@ func newServerFromOptions(opt *options) (*server, error) {
 	if opt.cacheCap < 0 {
 		return nil, fmt.Errorf("-cache must be >= 0 (0 disables caching)")
 	}
+	strat, err := opt.retrievalStrategy()
+	if err != nil {
+		return nil, err
+	}
 
 	var s *server
-	var err error
 	if opt.dataDir != "" {
 		popt, perr := opt.persistOptions()
 		if perr != nil {
@@ -821,8 +906,7 @@ func newServerFromOptions(opt *options) (*server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.exact = opt.exact
-	s.useIndex = opt.useIndex
+	s.retrieval = strat
 	s.initServing(opt)
 	return s, nil
 }
@@ -832,16 +916,7 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	fs.Visit(func(f *flag.Flag) {
-		switch f.Name {
-		case "wal":
-			opt.walSet = true
-		case "wal-group-commit":
-			opt.walGroupCommitSet = true
-		case "compact-threshold":
-			opt.compactThresholdSet = true
-		}
-	})
+	opt.recordExplicitFlags(fs)
 	s, err := newServerFromOptions(opt)
 	if err != nil {
 		return err

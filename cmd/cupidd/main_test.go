@@ -332,16 +332,17 @@ func TestServerConcurrentClients(t *testing.T) {
 	}
 }
 
-// TestServerBatchRetrievalModes drives /match/batch under all three
-// retrieval modes — indexed (default), linear signature-pruned
-// (-index=false), exhaustive (-exact) — and asserts they agree on the
-// top result and always report candidates_scored. The candidate floors
-// are lowered below the repository size so the indexed and pruned paths
-// genuinely engage instead of falling back to the exact scan.
+// TestServerBatchRetrievalModes drives /match/batch under all four
+// retrieval modes — planned (-retrieval=auto, the default), forced
+// indexed, forced linear signature-pruned, forced exhaustive — and
+// asserts they agree on the top result, always report candidates_scored,
+// and name the strategy that ran. The candidate floors are lowered below
+// the repository size so the indexed and pruned paths genuinely engage
+// instead of falling back to the exact scan.
 func TestServerBatchRetrievalModes(t *testing.T) {
 	tightOpt := cupid.PruneOptions{Fraction: 0.5, MinCandidates: 2}
 	servers := map[string]*server{}
-	for _, mode := range []string{"indexed", "pruned", "exact"} {
+	for _, mode := range []string{"auto", "indexed", "pruned", "exact"} {
 		s, err := newServer(cupid.DefaultConfig())
 		if err != nil {
 			t.Fatal(err)
@@ -349,10 +350,12 @@ func TestServerBatchRetrievalModes(t *testing.T) {
 		s.prune = tightOpt
 		s.indexOpt = tightOpt
 		switch mode {
+		case "indexed":
+			s.retrieval = cupid.RetrievalIndexed
 		case "pruned":
-			s.useIndex = false
+			s.retrieval = cupid.RetrievalPruned
 		case "exact":
-			s.exact = true
+			s.retrieval = cupid.RetrievalExact
 		}
 		servers[mode] = s
 	}
@@ -374,11 +377,13 @@ func TestServerBatchRetrievalModes(t *testing.T) {
 	}
 	type batchResp struct {
 		Source           string        `json:"source"`
+		Strategy         string        `json:"strategy"`
+		Planned          bool          `json:"planned"`
 		CandidatesScored int           `json:"candidates_scored"`
 		Results          []batchResult `json:"results"`
 	}
 	got := map[string]batchResp{}
-	for _, mode := range []string{"exact", "indexed", "pruned"} {
+	for _, mode := range []string{"exact", "auto", "indexed", "pruned"} {
 		s := servers[mode]
 		ts := httptest.NewServer(s.routes())
 		for _, sc := range schemas {
@@ -402,6 +407,20 @@ func TestServerBatchRetrievalModes(t *testing.T) {
 	if n := got["indexed"].CandidatesScored; n <= 0 || n >= len(schemas) {
 		t.Errorf("indexed: candidates_scored = %d, want in (0,%d) — the index did not engage", n, len(schemas))
 	}
+	// Forced modes report themselves; the planned mode reports a concrete
+	// strategy (never "auto") and flags the decision as planned.
+	for _, mode := range []string{"exact", "indexed", "pruned"} {
+		if got[mode].Strategy != mode || got[mode].Planned {
+			t.Errorf("%s: strategy = %q planned=%t, want the forced mode, not planned",
+				mode, got[mode].Strategy, got[mode].Planned)
+		}
+	}
+	if st := got["auto"].Strategy; st == "" || st == "auto" {
+		t.Errorf("auto: strategy = %q, want the concrete strategy the planner picked", st)
+	}
+	if !got["auto"].Planned {
+		t.Error("auto: planned = false, want true")
+	}
 	for mode, resp := range got {
 		if resp.CandidatesScored <= 0 {
 			t.Errorf("%s: candidates_scored = %d, want > 0", mode, resp.CandidatesScored)
@@ -415,6 +434,80 @@ func TestServerBatchRetrievalModes(t *testing.T) {
 		if resp.Results[0].Score != got["exact"].Results[0].Score {
 			t.Errorf("%s: score %v differs from exact %v", mode,
 				resp.Results[0].Score, got["exact"].Results[0].Score)
+		}
+	}
+}
+
+// TestRetrievalFlagResolution covers the -retrieval knob and its
+// deprecated -index/-exact aliases: every alias maps onto the forced
+// strategy it always selected, agreement with an explicit -retrieval is
+// accepted, and contradictions are refused (mirroring the
+// -wal/-snapshot-interval precedent).
+func TestRetrievalFlagResolution(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		want    cupid.RetrievalStrategy
+		wantErr bool
+	}{
+		{name: "default is the planner", args: nil, want: cupid.RetrievalAuto},
+		{name: "retrieval auto", args: []string{"-retrieval=auto"}, want: cupid.RetrievalAuto},
+		{name: "retrieval index", args: []string{"-retrieval=index"}, want: cupid.RetrievalIndexed},
+		{name: "retrieval indexed spelling", args: []string{"-retrieval=indexed"}, want: cupid.RetrievalIndexed},
+		{name: "retrieval pruned", args: []string{"-retrieval=pruned"}, want: cupid.RetrievalPruned},
+		{name: "retrieval exact", args: []string{"-retrieval=exact"}, want: cupid.RetrievalExact},
+		{name: "unknown strategy", args: []string{"-retrieval=fuzzy"}, wantErr: true},
+		{name: "exact alias", args: []string{"-exact"}, want: cupid.RetrievalExact},
+		{name: "index alias", args: []string{"-index"}, want: cupid.RetrievalIndexed},
+		{name: "index=false alias", args: []string{"-index=false"}, want: cupid.RetrievalPruned},
+		{name: "exact beats index default", args: []string{"-exact", "-index=false"}, want: cupid.RetrievalExact},
+		{name: "exact vs explicit index", args: []string{"-exact", "-index"}, wantErr: true},
+		{name: "alias agrees with retrieval", args: []string{"-retrieval=exact", "-exact"}, want: cupid.RetrievalExact},
+		{name: "index agrees with retrieval", args: []string{"-retrieval=index", "-index"}, want: cupid.RetrievalIndexed},
+		{name: "pruned agrees with index=false", args: []string{"-retrieval=pruned", "-index=false"}, want: cupid.RetrievalPruned},
+		{name: "exact contradicts retrieval", args: []string{"-retrieval=index", "-exact"}, wantErr: true},
+		{name: "index contradicts retrieval", args: []string{"-retrieval=pruned", "-index"}, wantErr: true},
+		{name: "index=false contradicts retrieval", args: []string{"-retrieval=index", "-index=false"}, wantErr: true},
+		{name: "alias contradicts explicit auto", args: []string{"-retrieval=auto", "-index"}, wantErr: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs, opt := newFlagSet()
+			if err := fs.Parse(tc.args); err != nil {
+				t.Fatal(err)
+			}
+			opt.recordExplicitFlags(fs)
+			got, err := opt.retrievalStrategy()
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("retrievalStrategy() = %v, want an error", got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Errorf("retrievalStrategy() = %v, want %v", got, tc.want)
+			}
+		})
+	}
+
+	// Programmatic construction (the zero options value and the legacy
+	// bools) keeps its pre--retrieval meaning.
+	legacy := []struct {
+		opt  options
+		want cupid.RetrievalStrategy
+	}{
+		{options{}, cupid.RetrievalPruned},
+		{options{useIndex: true}, cupid.RetrievalIndexed},
+		{options{exact: true}, cupid.RetrievalExact},
+		{options{exact: true, useIndex: true}, cupid.RetrievalExact},
+	}
+	for _, tc := range legacy {
+		got, err := tc.opt.retrievalStrategy()
+		if err != nil || got != tc.want {
+			t.Errorf("programmatic %+v: strategy = %v, err %v; want %v", tc.opt, got, err, tc.want)
 		}
 	}
 }

@@ -359,12 +359,12 @@ func TestPersistOptionsFlagSemantics(t *testing.T) {
 // and the default pruned path agree on a small repository (pruning cannot
 // engage below the candidate floor).
 func TestServerExactFlagMatchesPrunedOnSmallRepo(t *testing.T) {
-	build := func(exact bool) batchResponse {
+	build := func(strat cupid.RetrievalStrategy) batchResponse {
 		s, err := newServer(cupid.DefaultConfig())
 		if err != nil {
 			t.Fatal(err)
 		}
-		s.exact = exact
+		s.retrieval = strat
 		ts := httptest.NewServer(s.routes())
 		t.Cleanup(ts.Close)
 		register(t, ts, "orders", "sql", ordersDDL)
@@ -372,7 +372,7 @@ func TestServerExactFlagMatchesPrunedOnSmallRepo(t *testing.T) {
 		register(t, ts, "inventory", "json", inventoryJSON)
 		return batchOf(t, ts, map[string]any{"source": map[string]string{"name": "orders"}, "topK": 2})
 	}
-	if exact, pruned := build(true), build(false); !reflect.DeepEqual(exact, pruned) {
+	if exact, pruned := build(cupid.RetrievalExact), build(cupid.RetrievalPruned); !reflect.DeepEqual(exact, pruned) {
 		t.Errorf("exact and pruned rankings differ on a small repository:\nexact:  %+v\npruned: %+v", exact, pruned)
 	}
 }

@@ -63,7 +63,11 @@
 // the full tree match, and MatchIndexed generates candidates sublinearly
 // from a sharded token inverted index maintained incrementally on every
 // mutation — only entries sharing a normalized token with the query are
-// touched (RetrievalStats reports how many). PersistentRegistry makes the
+// touched. Those three are forced forms of one planned entry point:
+// SchemaRegistry.Match consults cheap per-probe statistics (corpus size,
+// posting-list lengths, stop-token density) and picks a strategy and
+// candidate budget per query, with RetrievalStats reporting the decision
+// and what it cost. PersistentRegistry makes the
 // repository durable —
 // every mutation journals the schema's source document into a versioned
 // JSON-lines snapshot store (atomic write+rename, fsync'd; synchronous
@@ -309,10 +313,42 @@ func DefaultPruneOptions() PruneOptions { return registry.DefaultPruneOptions() 
 // affords a tighter fraction than pruning at equal recall).
 func DefaultIndexOptions() PruneOptions { return registry.DefaultIndexOptions() }
 
-// RetrievalStats reports what a SchemaRegistry.MatchIndexed call did: how
-// many entries the inverted index scored and how many reached the full
-// tree match.
+// RetrievalStats reports what one retrieval call did — the strategy that
+// ran (planned or forced), the statistics the planner decided from, and
+// how many entries were scored, tree-matched and budgeted. Every
+// retrieval path returns it.
 type RetrievalStats = registry.RetrievalStats
+
+// RetrievalStrategy names a repository retrieval path: the planner
+// (RetrievalAuto) or one of the three forced strategies.
+type RetrievalStrategy = registry.Strategy
+
+// Retrieval strategies, mirroring cupidd's -retrieval flag values.
+const (
+	// RetrievalAuto lets the stats-driven planner pick a strategy and
+	// candidate budget per probe (SchemaRegistry.Plan).
+	RetrievalAuto = registry.StrategyAuto
+	// RetrievalExact forces the exhaustive scan (MatchAll).
+	RetrievalExact = registry.StrategyExact
+	// RetrievalPruned forces the linear signature-pruned scan (MatchTop).
+	RetrievalPruned = registry.StrategyPruned
+	// RetrievalIndexed forces inverted-index candidate generation
+	// (MatchIndexed).
+	RetrievalIndexed = registry.StrategyIndexed
+)
+
+// ParseRetrievalStrategy parses a -retrieval flag value (auto, exact,
+// pruned, index or indexed).
+func ParseRetrievalStrategy(s string) (RetrievalStrategy, error) { return registry.ParseStrategy(s) }
+
+// PlanOptions configures SchemaRegistry.Match's planned retrieval: an
+// optional forced strategy, the per-path budget policies, and the
+// serving layer's degradation signal.
+type PlanOptions = registry.PlanOptions
+
+// DefaultPlanOptions plans with the default pruned and indexed budget
+// policies and no forced strategy.
+func DefaultPlanOptions() PlanOptions { return registry.DefaultPlanOptions() }
 
 // PersistentRegistry is a SchemaRegistry whose contents survive restarts:
 // each mutation's source document is made durable either through the

@@ -53,6 +53,7 @@ package index
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/model"
 	"repro/internal/par"
@@ -106,6 +107,14 @@ type dirShard struct {
 type Index struct {
 	shards []shard
 	dir    []dirShard
+	// dfs is the token-hash-sharded document-frequency table behind
+	// ProbeStats: df[t] = number of indexed documents whose signature
+	// contains token t, maintained incrementally alongside the posting
+	// lists (stats.go).
+	dfs []dfShard
+	// ndocs mirrors Len as an atomic counter so ProbeStats can read the
+	// corpus size without walking the directory shards.
+	ndocs atomic.Int64
 }
 
 // New builds an empty index with the given shard count (DefaultShards
@@ -114,7 +123,7 @@ func New(shards int) *Index {
 	if shards <= 0 {
 		shards = DefaultShards
 	}
-	ix := &Index{shards: make([]shard, shards), dir: make([]dirShard, shards)}
+	ix := &Index{shards: make([]shard, shards), dir: make([]dirShard, shards), dfs: make([]dfShard, shards)}
 	for i := range ix.shards {
 		ix.shards[i].docs = map[uint32]docInfo{}
 		ix.shards[i].byKey = map[string]uint32{}
@@ -122,6 +131,9 @@ func New(shards int) *Index {
 	}
 	for i := range ix.dir {
 		ix.dir[i].loc = map[string]int{}
+	}
+	for i := range ix.dfs {
+		ix.dfs[i].df = map[string]int{}
 	}
 	return ix
 }
@@ -150,9 +162,14 @@ func (ix *Index) Upsert(key, fingerprint string, sig model.Signature) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if old, ok := d.loc[key]; ok {
-		ix.shards[old].remove(key)
+		if oldSig, had := ix.shards[old].remove(key); had {
+			ix.dfUpdate(oldSig, -1)
+		}
+	} else {
+		ix.ndocs.Add(1)
 	}
 	ix.shards[target].add(key, sig)
+	ix.dfUpdate(sig, +1)
 	d.loc[key] = target
 }
 
@@ -166,8 +183,11 @@ func (ix *Index) Remove(key string) bool {
 	if !ok {
 		return false
 	}
-	ix.shards[old].remove(key)
+	if oldSig, had := ix.shards[old].remove(key); had {
+		ix.dfUpdate(oldSig, -1)
+	}
 	delete(d.loc, key)
+	ix.ndocs.Add(-1)
 	return true
 }
 
@@ -202,15 +222,16 @@ func (s *shard) add(key string, sig model.Signature) {
 }
 
 // remove deletes the document registered in this shard under key, along
-// with every posting it contributed. Posting lists are unordered (the
-// accumulator is order-independent per document), so eviction is a
-// swap-remove.
-func (s *shard) remove(key string) {
+// with every posting it contributed, returning the removed signature so
+// the caller can decrement its tokens' document frequencies. Posting
+// lists are unordered (the accumulator is order-independent per
+// document), so eviction is a swap-remove.
+func (s *shard) remove(key string) (model.Signature, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	id, found := s.byKey[key]
 	if !found {
-		return
+		return model.Signature{}, false
 	}
 	delete(s.byKey, key)
 	for _, t := range s.docs[id].sig.Tokens {
@@ -228,8 +249,10 @@ func (s *shard) remove(key string) {
 			s.post[t] = ps
 		}
 	}
+	sig := s.docs[id].sig
 	delete(s.docs, id)
 	s.free = append(s.free, id)
+	return sig, true
 }
 
 // Candidate is one retrieval survivor: a document sharing at least one

@@ -1,0 +1,194 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// recountDF recomputes the document-frequency table by brute force from
+// the live shard contents — the reference the incremental table must
+// match after any maintenance interleaving.
+func recountDF(ix *Index) (map[string]int, int) {
+	df := map[string]int{}
+	docs := 0
+	for i := range ix.shards {
+		s := &ix.shards[i]
+		s.mu.RLock()
+		for _, d := range s.docs {
+			docs++
+			for _, t := range d.sig.Tokens {
+				df[t]++
+			}
+		}
+		s.mu.RUnlock()
+	}
+	return df, docs
+}
+
+func dfSnapshot(ix *Index) map[string]int {
+	df := map[string]int{}
+	for i := range ix.dfs {
+		ix.dfs[i].mu.RLock()
+		for t, n := range ix.dfs[i].df {
+			df[t] = n
+		}
+		ix.dfs[i].mu.RUnlock()
+	}
+	return df
+}
+
+func dfEqual(a, b map[string]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for t, n := range a {
+		if b[t] != n {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDocumentFrequenciesTrackMaintenance drives a randomized (seeded)
+// upsert/replace/remove sequence and asserts the incremental df table and
+// document count always equal a from-scratch recount. Replacements
+// exercise the decrement-then-increment path, including same-key upserts
+// whose old and new signatures overlap.
+func TestDocumentFrequenciesTrackMaintenance(t *testing.T) {
+	ix := New(8)
+	rng := rand.New(rand.NewSource(23))
+	vocab := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta"}
+	version := map[string]int{}
+	live := map[string]bool{}
+	for step := 0; step < 400; step++ {
+		key := fmt.Sprintf("doc%d", rng.Intn(25))
+		switch {
+		case rng.Intn(4) == 0 && live[key]:
+			ix.Remove(key)
+			delete(live, key)
+		default:
+			toks := make([]string, 0, 4)
+			for _, v := range vocab {
+				if rng.Intn(2) == 0 {
+					toks = append(toks, v)
+				}
+			}
+			version[key]++
+			ix.Upsert(key, fp(key, version[key]), sig(3, toks...))
+			live[key] = true
+		}
+		want, wantDocs := recountDF(ix)
+		if got := dfSnapshot(ix); !dfEqual(got, want) {
+			t.Fatalf("step %d: df table diverged from recount:\n got %v\nwant %v", step, got, want)
+		}
+		if got := int(ix.ndocs.Load()); got != wantDocs || got != len(live) {
+			t.Fatalf("step %d: ndocs = %d, recount %d, live %d", step, got, wantDocs, len(live))
+		}
+	}
+}
+
+// TestProbeStatsValues pins ProbeStats field semantics on a hand-built
+// corpus: per-token document frequencies, the common cutoff split, and
+// the kept-postings aggregates.
+func TestProbeStatsValues(t *testing.T) {
+	ix := New(2)
+	// commonCutoff(2 shards): floor 32*2 = 64 dominates until 256 docs, so
+	// make "pop" common by document count alone: 0.25 * 400 = 100 > 64.
+	for i := 0; i < 400; i++ {
+		toks := []string{"pop"}
+		if i < 9 {
+			toks = append(toks, "niche")
+		}
+		if i < 3 {
+			toks = append(toks, "scarce")
+		}
+		key := fmt.Sprintf("d%d", i)
+		ix.Upsert(key, fp(key, 1), sig(2, toks...))
+	}
+	st := ix.ProbeStats(sig(2, "pop", "niche", "scarce", "absent"))
+	want := ProbeStats{
+		Docs:          400,
+		ProbeTokens:   4,
+		TokensIndexed: 3,
+		TokensCommon:  1,   // pop: df 400 > cutoff 100
+		PostingsTotal: 412, // 400 + 9 + 3
+		PostingsKept:  12,  // niche + scarce
+		MaxKeptDF:     9,   // niche
+		MinKeptDF:     3,   // scarce
+	}
+	if st != want {
+		t.Errorf("ProbeStats = %+v, want %+v", st, want)
+	}
+	if got := ix.ProbeStats(model.Signature{}); got != (ProbeStats{Docs: 400}) {
+		t.Errorf("empty-probe stats = %+v, want Docs only", got)
+	}
+}
+
+// TestCommonCutoff pins the corpus-wide cutoff approximation: the floor
+// scaled by shard count until the fractional term overtakes it.
+func TestCommonCutoff(t *testing.T) {
+	cases := []struct{ docs, shards, want int }{
+		{0, 16, 512},
+		{200, 16, 512},
+		{2048, 16, 512},
+		{2049, 16, 512},
+		{20000, 16, 5000},
+		{400, 2, 100},
+		{100, 0, 32 * DefaultShards}, // shards <= 0 falls back to the default
+	}
+	for _, tc := range cases {
+		if got := CommonCutoff(tc.docs, tc.shards); got != tc.want {
+			t.Errorf("CommonCutoff(%d, %d) = %d, want %d", tc.docs, tc.shards, got, tc.want)
+		}
+	}
+}
+
+// TestProbeStatsDoesNotChangeRetrieval asserts the stats surface is pure
+// observation: TopK before and after a ProbeStats call is identical.
+func TestProbeStatsDoesNotChangeRetrieval(t *testing.T) {
+	ix := New(4)
+	rng := rand.New(rand.NewSource(7))
+	vocab := []string{"red", "green", "blue", "cyan", "teal", "plum"}
+	for i := 0; i < 60; i++ {
+		toks := make([]string, 0, 3)
+		for _, v := range vocab {
+			if rng.Intn(3) == 0 {
+				toks = append(toks, v)
+			}
+		}
+		key := fmt.Sprintf("d%d", i)
+		ix.Upsert(key, fp(key, 1), sig(2, toks...))
+	}
+	q := sig(2, "red", "teal")
+	before, bst := ix.TopK(q, 10)
+	ix.ProbeStats(q)
+	after, ast := ix.TopK(q, 10)
+	if bst != ast {
+		t.Fatalf("TopK stats changed: %+v vs %+v", bst, ast)
+	}
+	if len(before) != len(after) {
+		t.Fatalf("TopK size changed: %d vs %d", len(before), len(after))
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("TopK[%d] changed: %+v vs %+v", i, before[i], after[i])
+		}
+	}
+}
+
+// TestProbeStatsAllocationFree pins the warm-path contract: planning
+// consults ProbeStats on every query, so it must not allocate.
+func TestProbeStatsAllocationFree(t *testing.T) {
+	ix := New(4)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("d%d", i)
+		ix.Upsert(key, fp(key, 1), sig(2, "shared", fmt.Sprintf("tok%d", i%7)))
+	}
+	q := sig(2, "shared", "tok3", "missing")
+	if allocs := testing.AllocsPerRun(200, func() { ix.ProbeStats(q) }); allocs > 0 {
+		t.Errorf("ProbeStats allocates %.1f objects per call, want 0", allocs)
+	}
+}

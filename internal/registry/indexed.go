@@ -6,35 +6,58 @@ import (
 	"repro/internal/core"
 )
 
-// RetrievalStats reports what a MatchIndexed call did — the server
-// surfaces it so clients can see how much of the repository a query
-// actually touched.
+// RetrievalStats reports what one retrieval call did — the decision the
+// planner made (or the caller forced), the inputs it decided from, and
+// what the execution actually touched. Every retrieval path returns it
+// (exact and pruned included), so the server always surfaces how much of
+// the repository a query cost regardless of strategy.
 type RetrievalStats struct {
+	// Strategy is the retrieval path that ran (never StrategyAuto).
+	Strategy Strategy
+	// Planned reports the strategy was chosen by the planner from
+	// per-probe statistics; false means the caller forced it (the legacy
+	// entry points, or cupidd's -retrieval=index|pruned|exact).
+	Planned bool
 	// CandidatesScored is the number of entries whose cheap signature was
 	// scored during candidate generation: the inverted index's accumulator
-	// survivors (entries sharing at least one normalized token with the
-	// query), or the whole repository when retrieval fell back to a full
-	// scan. The gap between this and the repository size is the work the
-	// index never did.
+	// survivors on the indexed path, the whole repository on the pruned
+	// sweep and the scans. The gap between this and the repository size is
+	// the work the index never did.
 	CandidatesScored int
 	// CandidatesMatched is the number of entries that reached the full
 	// tree match.
 	CandidatesMatched int
-	// CandidateBudget is the candidate limit the call ran under
-	// (PruneOptions.Limit for the repository size and topK at hand) — the
-	// number the serving layer shrinks when it degrades under load, so a
-	// response always carries the budget that actually produced it.
+	// CandidateBudget is the candidate limit the call ran under: the
+	// planner's adaptive budget on planned runs, PruneOptions.Limit for
+	// the repository size and topK at hand on forced ones, the corpus
+	// size on exact scans — so a response always carries the budget that
+	// actually produced it.
 	CandidateBudget int
 	// Indexed reports whether the inverted index generated the candidates
 	// (false when the repository was small enough, or the query signature
-	// token-less, so the call fell back to an exact scan).
+	// token-less, so an indexed call fell back to an exact scan).
 	Indexed bool
-	// Degraded reports that the caller deliberately shrank the candidate
-	// budget below its configured policy to shed load. MatchIndexed never
-	// sets it — the serving layer (internal/serve) does when it substitutes
-	// degraded PruneOptions, so clients can tell a load-shed ranking from a
-	// full-budget one.
+	// Degraded reports that the budget was deliberately shrunk below its
+	// configured policy to shed load (PlanOptions.Degraded, set by the
+	// serving layer under saturation), so clients can tell a load-shed
+	// ranking from a full-budget one. Never set when the exact path ran.
 	Degraded bool
+	// Corpus is the repository size the decision saw — a planner input,
+	// also filled on forced runs from the execution-time size.
+	Corpus int
+	// ProbeTokens is the probe signature's token count (planner input;
+	// zero on forced runs, which never consult the statistics).
+	ProbeTokens int
+	// TokensIndexed is how many probe tokens the index has seen (planner
+	// input; zero on forced runs).
+	TokensIndexed int
+	// TokensCommon is how many of those are stop-common — posting lists
+	// past index.CommonCutoff (planner input; zero on forced runs).
+	TokensCommon int
+	// PostingsKept is the summed document frequency of the kept probe
+	// tokens: the candidate pool the planner sized its budget against
+	// (planner input; zero on forced runs).
+	PostingsKept int
 }
 
 // MatchIndexed is the inverted-index form of MatchTop: instead of scoring
@@ -63,6 +86,11 @@ type RetrievalStats struct {
 // trade is measured by cupidbench (recall@10 vs the exact scan on the
 // 1-vs-2000 corpus) and callers that need the full-scan guarantee use
 // MatchAll.
+//
+// MatchIndexed is a forced-plan wrapper over the planned entry point
+// (Match with PlanOptions.Force = StrategyIndexed) and behaves
+// bit-identically to its pre-planner implementation; Match with
+// StrategyAuto lets the planner pick the strategy and budget per probe.
 func (r *Registry) MatchIndexed(src *core.Prepared, topK int, opt PruneOptions) ([]Ranked, RetrievalStats, error) {
 	return r.MatchIndexedContext(context.Background(), src, topK, opt)
 }
@@ -73,23 +101,5 @@ func (r *Registry) MatchIndexed(src *core.Prepared, topK int, opt PruneOptions) 
 // abandoned caller stops consuming CPU mid-ranking. It returns ctx.Err()
 // when cut short.
 func (r *Registry) MatchIndexedContext(ctx context.Context, src *core.Prepared, topK int, opt PruneOptions) ([]Ranked, RetrievalStats, error) {
-	n := r.Len()
-	limit := opt.Limit(n, topK)
-	srcSig := src.Signature()
-	if limit >= n || len(srcSig.Tokens) == 0 {
-		entries := r.List()
-		ranked, err := r.rank(ctx, entries, src, topK)
-		return ranked, RetrievalStats{CandidatesScored: len(entries), CandidatesMatched: len(entries), CandidateBudget: limit}, err
-	}
-	cands, st := r.idx.TopK(srcSig, limit)
-	entries := make([]*Entry, 0, len(cands))
-	for _, c := range cands {
-		// A candidate may have been removed (or replaced under a name that
-		// now hashes elsewhere) since the index snapshot; skip the gone.
-		if e, ok := r.Get(c.Key); ok {
-			entries = append(entries, e)
-		}
-	}
-	ranked, err := r.rank(ctx, entries, src, topK)
-	return ranked, RetrievalStats{CandidatesScored: st.Scored, CandidatesMatched: len(entries), CandidateBudget: limit, Indexed: true}, err
+	return r.MatchContext(ctx, src, topK, PlanOptions{Force: StrategyIndexed, Index: opt})
 }

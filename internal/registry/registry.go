@@ -14,21 +14,28 @@
 // results ranked by score; the ranking is deterministic regardless of
 // worker count (asserted by the -race determinism tests).
 //
-// Three layers make the repository serve at scale:
+// Retrieval goes through one planned entry point (Match/MatchContext,
+// planner.go): a stats-driven planner picks per probe between the three
+// strategies — the exhaustive scan, the linear signature-pruned scan and
+// the inverted-index path — from cheap statistics the index maintains
+// (index.ProbeStats), and sizes the candidate budget to the probe's
+// reachable pool. The strategies themselves, also reachable as forced
+// plans through the legacy entry points:
 //
 //   - Indexed retrieval (MatchIndexed): a sharded token inverted index
 //     (internal/index), maintained incrementally on every
 //     Register/Replace/Remove, generates candidates sublinearly — only
 //     entries sharing at least one normalized signature token with the
 //     query are ever touched — then re-ranks them by exact signature
-//     affinity and runs the full tree match on the survivors. This is the
-//     default /match/batch path.
+//     affinity and runs the full tree match on the survivors.
 //   - Candidate pruning (MatchTop): the linear-scan predecessor — an
 //     affinity (size similarity + normalized token Jaccard,
 //     model.Signature) computed against *every* entry, full match on the
 //     top candidate fraction. Still exact over its candidate set, and the
 //     baseline the indexed path is benchmarked against. MatchAll remains
 //     the exact full scan.
+//
+// Alongside those, the third serving layer:
 //   - Persistence (Persistent, Store, the write-ahead journal in
 //     wal.go): each mutation's source document is made durable by
 //     appending one checksummed record to an append-only journal, with a
@@ -280,9 +287,11 @@ func (r *Registry) MatchAll(src *core.Prepared, topK int) ([]Ranked, error) {
 // MatchAllContext is MatchAll with a request lifecycle: the per-entry
 // tree-match fan-out checks ctx cooperatively before every candidate, so
 // an abandoned caller (client disconnect, deadline) stops consuming CPU
-// mid-sweep. It returns ctx.Err() when cut short.
+// mid-sweep. It returns ctx.Err() when cut short. It is a forced-plan
+// wrapper over MatchContext (PlanOptions.Force = StrategyExact).
 func (r *Registry) MatchAllContext(ctx context.Context, src *core.Prepared, topK int) ([]Ranked, error) {
-	return r.rank(ctx, r.List(), src, topK)
+	ranked, _, err := r.MatchContext(ctx, src, topK, PlanOptions{Force: StrategyExact})
+	return ranked, err
 }
 
 // rank runs the full tree match of src against every given entry (fanned
@@ -420,13 +429,19 @@ func (r *Registry) MatchTop(src *core.Prepared, topK int, opt PruneOptions) ([]R
 // MatchTopContext is MatchTop with a request lifecycle: both the affinity
 // sweep and the candidate tree-match loop check ctx cooperatively, so an
 // abandoned caller stops consuming CPU. It returns ctx.Err() when cut
-// short.
+// short. It is a forced-plan wrapper over MatchContext
+// (PlanOptions.Force = StrategyPruned).
 func (r *Registry) MatchTopContext(ctx context.Context, src *core.Prepared, topK int, opt PruneOptions) ([]Ranked, error) {
-	entries := r.List()
-	limit := opt.Limit(len(entries), topK)
-	if limit >= len(entries) {
-		return r.rank(ctx, entries, src, topK)
-	}
+	ranked, _, err := r.MatchContext(ctx, src, topK, PlanOptions{Force: StrategyPruned, Prune: opt})
+	return ranked, err
+}
+
+// pruneByAffinity is the pruned path's candidate-generation stage: rank
+// every entry by signature affinity against src (fanned over the worker
+// pool, ties broken by name so pruning is deterministic) and return the
+// top limit entries. The caller has already established limit <
+// len(entries).
+func (r *Registry) pruneByAffinity(ctx context.Context, entries []*Entry, src *core.Prepared, limit int) ([]*Entry, error) {
 	affs := make([]float64, len(entries))
 	srcSig := src.Signature()
 	if err := par.ForCtx(ctx, len(entries), func(i int) {
@@ -448,7 +463,7 @@ func (r *Registry) MatchTopContext(ctx context.Context, src *core.Prepared, topK
 	for i := range cands {
 		cands[i] = entries[order[i]]
 	}
-	return r.rank(ctx, cands, src, topK)
+	return cands, nil
 }
 
 // MatchAllSchema prepares the schema with the registry's matcher and runs

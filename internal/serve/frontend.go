@@ -104,28 +104,37 @@ func (f *Frontend) BeginDrain() { f.draining.Store(true) }
 // Draining reports whether BeginDrain has been called.
 func (f *Frontend) Draining() bool { return f.draining.Load() }
 
-// MatchSpec selects a retrieval mode for MatchBatch, mirroring cupidd's
-// flags: Exact scans everything, UseIndex retrieves candidates from the
-// token inverted index under the Index budget, otherwise the linear
-// signature-pruned scan runs under the Prune budget. TopK is the ranking
-// length requested from the registry (0 = rank everything retrieved).
+// MatchSpec selects a retrieval strategy for MatchBatch, mirroring
+// cupidd's -retrieval flag: the zero value (registry.StrategyAuto) lets
+// the registry's planner pick per probe, the other strategies force one
+// path. TopK is the ranking length requested from the registry (0 = rank
+// everything retrieved); Prune and Index are the per-path candidate
+// budget policies the planner (or a forced path) runs under.
 type MatchSpec struct {
-	Exact    bool
-	UseIndex bool
-	TopK     int
-	Prune    registry.PruneOptions
-	Index    registry.PruneOptions
+	// Retrieval picks the strategy (StrategyAuto plans per probe).
+	Retrieval registry.Strategy
+	// TopK is the requested ranking length (0 = everything retrieved).
+	TopK int
+	// Prune sizes the pruned path's candidate budget.
+	Prune registry.PruneOptions
+	// Index sizes the indexed path's candidate budget.
+	Index registry.PruneOptions
 }
 
-// Result is a MatchBatch outcome. Stats always carries CandidatesScored,
-// CandidateBudget and Degraded regardless of mode (synthesized for the
-// scan modes, the registry's own stats for the indexed mode). Cached
-// reports the ranking came from the cache or a coalesced flight rather
-// than a fresh computation. Ranked is shared when Cached — treat it as
-// immutable.
+// Result is a MatchBatch outcome. Stats is the registry's own
+// RetrievalStats for every strategy (exact and pruned included): the
+// plan that ran, its inputs, and the budget that produced the ranking —
+// recorded on cached entries too, so a cache hit reports the plan of the
+// computation it shares. Cached reports the ranking came from the cache
+// or a coalesced flight rather than a fresh computation. Ranked is
+// shared when Cached — treat it as immutable.
 type Result struct {
+	// Ranked is the scored ranking.
 	Ranked []registry.Ranked
-	Stats  registry.RetrievalStats
+	// Stats describes the retrieval that produced (or originally
+	// produced, when Cached) the ranking.
+	Stats registry.RetrievalStats
+	// Cached reports a cache hit or coalesced flight.
 	Cached bool
 }
 
@@ -160,7 +169,11 @@ func (f *Frontend) MatchBatch(ctx context.Context, src *core.Prepared, spec Matc
 }
 
 // matchBatchAdmitted is the uncached path: acquire a read slot, decide
-// degradation from the pool's saturation, run the spec'd retrieval.
+// degradation from the pool's saturation, and hand the spec to the
+// registry's planned entry point. Degradation is a planner input
+// (PlanOptions.Degraded halves the budget policies exactly like the old
+// serving-layer special case did), not a serve-side rewrite of the spec;
+// the returned stats report what actually ran.
 func (f *Frontend) matchBatchAdmitted(ctx context.Context, src *core.Prepared, spec MatchSpec) (Result, error) {
 	release, err := f.read.Acquire(ctx)
 	if err != nil {
@@ -168,45 +181,21 @@ func (f *Frontend) matchBatchAdmitted(ctx context.Context, src *core.Prepared, s
 	}
 	defer release()
 
-	degraded := false
-	if !spec.Exact && f.degrade > 0 && f.read.Saturation() >= f.degrade {
-		degraded = true
-		spec.Prune = shrinkBudget(spec.Prune)
-		spec.Index = shrinkBudget(spec.Index)
+	degraded := spec.Retrieval != registry.StrategyExact &&
+		f.degrade > 0 && f.read.Saturation() >= f.degrade
+	ranked, st, err := f.reg.MatchContext(ctx, src, spec.TopK, registry.PlanOptions{
+		Force:    spec.Retrieval,
+		Prune:    spec.Prune,
+		Index:    spec.Index,
+		Degraded: degraded,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	if st.Degraded {
 		f.degraded.Add(1)
 	}
-	switch {
-	case spec.Exact:
-		ranked, err := f.reg.MatchAllContext(ctx, src, spec.TopK)
-		if err != nil {
-			return Result{}, err
-		}
-		return Result{Ranked: ranked, Stats: registry.RetrievalStats{
-			CandidatesScored:  len(ranked),
-			CandidatesMatched: len(ranked),
-			CandidateBudget:   f.reg.Len(),
-		}}, nil
-	case spec.UseIndex:
-		ranked, st, err := f.reg.MatchIndexedContext(ctx, src, spec.TopK, spec.Index)
-		if err != nil {
-			return Result{}, err
-		}
-		st.Degraded = degraded
-		return Result{Ranked: ranked, Stats: st}, nil
-	default:
-		ranked, err := f.reg.MatchTopContext(ctx, src, spec.TopK, spec.Prune)
-		if err != nil {
-			return Result{}, err
-		}
-		n := f.reg.Len()
-		limit := spec.Prune.Limit(n, spec.TopK)
-		return Result{Ranked: ranked, Stats: registry.RetrievalStats{
-			CandidatesScored:  n,
-			CandidatesMatched: limit,
-			CandidateBudget:   limit,
-			Degraded:          degraded,
-		}}, nil
-	}
+	return Result{Ranked: ranked, Stats: st}, nil
 }
 
 // MatchPair runs a single source-vs-target tree match through deadline,
@@ -252,24 +241,18 @@ func (f *Frontend) withDeadline(ctx context.Context) (context.Context, context.C
 // content is deliberately absent — the epoch mechanism invalidates on
 // mutation instead.
 func batchKey(src *core.Prepared, spec MatchSpec) string {
-	return fmt.Sprintf("batch|%s|%d|%t|%t|%g|%d|%g|%d",
-		src.Fingerprint(), spec.TopK, spec.Exact, spec.UseIndex,
+	return fmt.Sprintf("batch|%s|%d|%s|%g|%d|%g|%d",
+		src.Fingerprint(), spec.TopK, spec.Retrieval,
 		spec.Prune.Fraction, spec.Prune.MinCandidates,
 		spec.Index.Fraction, spec.Index.MinCandidates)
 }
 
-// shrinkBudget halves a candidate budget for degraded operation. A
-// full-scan config (Fraction outside (0,1] means "everything") is left
-// alone — there is no budget to shrink.
+// shrinkBudget halves a candidate budget for degraded operation — the
+// registry's PruneOptions.Halve, which PlanOptions.Degraded applies
+// inside the planner. Kept as the serving layer's name for the policy so
+// the degradation tests document the contract at this layer.
 func shrinkBudget(o registry.PruneOptions) registry.PruneOptions {
-	if o.Fraction <= 0 || o.Fraction > 1 {
-		return o
-	}
-	o.Fraction /= 2
-	if o.MinCandidates > 1 {
-		o.MinCandidates /= 2
-	}
-	return o
+	return o.Halve()
 }
 
 // FrontendStats snapshots the serving layer for /healthz-style reporting.

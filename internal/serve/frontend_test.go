@@ -68,7 +68,7 @@ func TestMatchBatchModesIdenticalToRegistry(t *testing.T) {
 	prune := registry.PruneOptions{Fraction: 0.25, MinCandidates: 4}
 	index := registry.PruneOptions{Fraction: 0.25, MinCandidates: 4}
 
-	res, err := f.MatchBatch(ctx, probe, MatchSpec{Exact: true, TopK: 0})
+	res, err := f.MatchBatch(ctx, probe, MatchSpec{Retrieval: registry.StrategyExact, TopK: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +83,7 @@ func TestMatchBatchModesIdenticalToRegistry(t *testing.T) {
 		t.Errorf("exact stats = %+v; want full budget, not degraded", res.Stats)
 	}
 
-	res, err = f.MatchBatch(ctx, probe, MatchSpec{UseIndex: true, TopK: 5, Index: index})
+	res, err = f.MatchBatch(ctx, probe, MatchSpec{Retrieval: registry.StrategyIndexed, TopK: 5, Index: index})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +98,7 @@ func TestMatchBatchModesIdenticalToRegistry(t *testing.T) {
 		t.Errorf("indexed stats = %+v, want %+v", res.Stats, directStats)
 	}
 
-	res, err = f.MatchBatch(ctx, probe, MatchSpec{TopK: 5, Prune: prune})
+	res, err = f.MatchBatch(ctx, probe, MatchSpec{Retrieval: registry.StrategyPruned, TopK: 5, Prune: prune})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +120,7 @@ func TestMatchBatchCacheHitIsIdentical(t *testing.T) {
 	r := testRegistry(t, 40)
 	f := NewFrontend(r, calmOptions(32))
 	probe := prepProbe(t, r, 2, 3)
-	spec := MatchSpec{UseIndex: true, TopK: 5, Index: registry.PruneOptions{Fraction: 0.25, MinCandidates: 4}}
+	spec := MatchSpec{Retrieval: registry.StrategyIndexed, TopK: 5, Index: registry.PruneOptions{Fraction: 0.25, MinCandidates: 4}}
 	ctx := context.Background()
 
 	cold, err := f.MatchBatch(ctx, probe, spec)
@@ -141,7 +141,7 @@ func TestMatchBatchCacheHitIsIdentical(t *testing.T) {
 		t.Error("cached reply differs from the fresh one")
 	}
 	// A different spec is a different key.
-	other, err := f.MatchBatch(ctx, probe, MatchSpec{UseIndex: true, TopK: 3, Index: spec.Index})
+	other, err := f.MatchBatch(ctx, probe, MatchSpec{Retrieval: registry.StrategyIndexed, TopK: 3, Index: spec.Index})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +168,7 @@ func TestInvalidationProperty(t *testing.T) {
 		names = append(names, e.Name)
 	}
 	probes := []*core.Prepared{prepProbe(t, r, 0, 5), prepProbe(t, r, 2, 5), prepProbe(t, r, 4, 5)}
-	spec := MatchSpec{UseIndex: true, TopK: 5, Index: registry.PruneOptions{Fraction: 0.25, MinCandidates: 4}}
+	spec := MatchSpec{Retrieval: registry.StrategyIndexed, TopK: 5, Index: registry.PruneOptions{Fraction: 0.25, MinCandidates: 4}}
 
 	for i := 0; i < 150; i++ {
 		switch op := rng.Intn(10); {
@@ -222,7 +222,7 @@ func TestInvalidationUnderConcurrentMutation(t *testing.T) {
 	f := NewFrontend(r, calmOptions(64))
 	ctx := context.Background()
 	probe := prepProbe(t, r, 1, 5)
-	spec := MatchSpec{UseIndex: true, TopK: 5, Index: registry.PruneOptions{Fraction: 0.25, MinCandidates: 4}}
+	spec := MatchSpec{Retrieval: registry.StrategyIndexed, TopK: 5, Index: registry.PruneOptions{Fraction: 0.25, MinCandidates: 4}}
 	reserve := workloads.FamilyCorpus(workloads.FamilyCorpusSpec{PerFamily: 4, Seed: 42})
 
 	var wg sync.WaitGroup
@@ -268,7 +268,7 @@ func TestDegradedShrinksBudgetAndStaysDeterministic(t *testing.T) {
 	})
 	probe := prepProbe(t, r, 3, 3)
 	index := registry.PruneOptions{Fraction: 0.5, MinCandidates: 4}
-	spec := MatchSpec{UseIndex: true, TopK: 3, Index: index}
+	spec := MatchSpec{Retrieval: registry.StrategyIndexed, TopK: 3, Index: index}
 	ctx := context.Background()
 
 	res, err := f.MatchBatch(ctx, probe, spec)
@@ -340,7 +340,7 @@ func TestDrainRejectsNewWork(t *testing.T) {
 	if !f.Draining() {
 		t.Fatal("Draining() false after BeginDrain")
 	}
-	if _, err := f.MatchBatch(ctx, probe, MatchSpec{Exact: true}); !errors.Is(err, ErrDraining) {
+	if _, err := f.MatchBatch(ctx, probe, MatchSpec{Retrieval: registry.StrategyExact}); !errors.Is(err, ErrDraining) {
 		t.Errorf("MatchBatch while draining = %v, want ErrDraining", err)
 	}
 	if _, _, err := f.MatchPair(ctx, probe, probe); !errors.Is(err, ErrDraining) {
@@ -359,7 +359,7 @@ func TestMatchDeadlineExpires(t *testing.T) {
 		DegradeAt:     -1,
 	})
 	probe := prepProbe(t, r, 2, 1)
-	if _, err := f.MatchBatch(context.Background(), probe, MatchSpec{Exact: true}); !errors.Is(err, context.DeadlineExceeded) {
+	if _, err := f.MatchBatch(context.Background(), probe, MatchSpec{Retrieval: registry.StrategyExact}); !errors.Is(err, context.DeadlineExceeded) {
 		t.Errorf("MatchBatch under 1ns deadline = %v, want context.DeadlineExceeded", err)
 	}
 }

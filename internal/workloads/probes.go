@@ -1,0 +1,81 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/model"
+)
+
+// Planner-stress probes: FamilyProbe draws a typical domain schema, but
+// the retrieval planner's interesting decisions happen at the edges of
+// the token-frequency spectrum. RareTokenProbe builds a schema whose
+// signature reaches only a narrow posting pool (an adaptive candidate
+// budget can be much smaller than the static policy at equal recall);
+// StopHeavyProbe builds one whose every indexed token is corpus-common at
+// scale (the inverted index degenerates to a full accumulation, and the
+// planner should prefer the pruned scan, whose candidate set is a
+// superset of anything the index returns). The planner benchmark
+// (cupidbench -exp planner) mixes both in with family probes.
+
+// stopStems are element names built from stems every FamilyCorpus schema
+// (or most of its domains) carries: the generator names roots "Target",
+// containers "Table<i>"/"Group<i>_<j>", suffixes columns with their
+// index digit, and several domain vocabularies share "…Date"/"…Name"
+// column words. At planner scale (thousands of schemas) all of these sit
+// past the stop-posting cutoff.
+var stopStems = []string{"Target", "Table0", "Group0", "Date1", "Name2", "DateOfName", "NameDate"}
+
+// fillerNames carry stems absent from every corpus vocabulary, so the
+// index has never seen them (document frequency zero). They make a
+// stop-heavy probe a realistic schema with some unique noise instead of
+// a degenerate all-stop-word bag, without widening its reachable
+// posting pool.
+var fillerNames = []string{"Widget", "Gizmo", "Sprocket", "Doohickey"}
+
+// RareTokenProbe generates an incoming schema from the given family's
+// domain whose signature deliberately avoids the corpus-wide tokens: the
+// root and container are named from the family vocabulary (not
+// "Target"/"Table0"), columns take variant names from just two
+// vocabulary pairs, and nothing carries a numeric suffix. Its posting
+// pool is therefore a few family stems — the shape of a probe where an
+// adaptive candidate budget far below the static fraction still reaches
+// every true match. Deterministic for a given (family, seed).
+func RareTokenProbe(family int, seed int64) *model.Schema {
+	vocab := familyVocabs[family%len(familyVocabs)]
+	rng := rand.New(rand.NewSource(seed + int64(family)*7919))
+	i := rng.Intn(len(vocab))
+	j := (i + 1 + rng.Intn(len(vocab)-1)) % len(vocab)
+	s := model.New(vocab[i][0])
+	tbl := s.AddChild(s.Root(), vocab[j][0], model.KindTable)
+	for _, pair := range [][2]string{vocab[i], vocab[j]} {
+		col := s.AddChild(tbl, pair[1], model.KindColumn)
+		col.Type = synthTypes[rng.Intn(len(synthTypes))]
+	}
+	s.Name = fmt.Sprintf("rare-fam%d", family)
+	return s
+}
+
+// StopHeavyProbe generates an incoming schema dominated by stop-common
+// tokens: every token the index has seen is (at planner scale) past the
+// stop-posting cutoff, and the rest are filler stems the index has never
+// seen. The index can only degenerate on it — skipping the common
+// posting lists leaves nothing, keeping them accumulates the whole
+// corpus — which is exactly the probe shape the planner should route to
+// the signature-pruned scan instead. Deterministic for a given seed.
+func StopHeavyProbe(seed int64) *model.Schema {
+	rng := rand.New(rand.NewSource(seed ^ 0x5707))
+	s := model.New(stopStems[0])
+	tbl := s.AddChild(s.Root(), stopStems[1], model.KindTable)
+	for _, name := range stopStems[2:] {
+		col := s.AddChild(tbl, name, model.KindColumn)
+		col.Type = synthTypes[rng.Intn(len(synthTypes))]
+	}
+	filler := s.AddChild(s.Root(), fillerNames[rng.Intn(len(fillerNames))], model.KindTable)
+	for _, name := range fillerNames {
+		col := s.AddChild(filler, name+"Value", model.KindColumn)
+		col.Type = synthTypes[rng.Intn(len(synthTypes))]
+	}
+	s.Name = "probe-stop"
+	return s
+}
