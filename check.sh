@@ -50,7 +50,7 @@ else
 fi
 
 echo "check: docs present"
-for f in README.md docs/ARCHITECTURE.md docs/API.md docs/PERSISTENCE.md; do
+for f in README.md docs/ARCHITECTURE.md docs/API.md docs/PERSISTENCE.md docs/REPLICATION.md; do
     if [ ! -f "$f" ]; then
         fail docs "missing $f (entry-point documentation is part of the contract)"
     fi

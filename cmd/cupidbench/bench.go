@@ -170,6 +170,13 @@ type BenchReport struct {
 	// planned aggregate sweep time never above any static policy, and an
 	// allocation-free planning step.
 	Planner *PlannerPoint `json:"planner,omitempty"`
+	// Cluster is the scale-out workload (-exp cluster): scatter-gather
+	// scaling over 1/2/4 consistent-hash shards (critical-path timing),
+	// merged-ranking recall through the router's merge, and the
+	// killed-and-restarted replica convergence cell. Gated: >= 1.6x
+	// aggregate matches/sec from 1 to 4 shards, merged recall@10
+	// exactly 1.0, byte-identical replica rankings.
+	Cluster *ClusterPoint `json:"cluster,omitempty"`
 }
 
 // benchSpecs is the sweep measured by -exp bench: the eval scalability

@@ -35,8 +35,14 @@
 //	           recall@10 = 1.0, planned aggregate time <= every static
 //	           policy, and an allocation-free planning step
 //	           -> merged into BENCH_cupid.json
-//	all        everything (default; excludes tune, bench, overload and
-//	           planner)
+//	cluster    scale-out workload: scatter-gather over 1/2/4
+//	           consistent-hash shards (aggregate matches/sec gated
+//	           >= 1.6x from 1 to 4, merged recall@10 gated exactly
+//	           1.0) plus the killed-and-restarted replica, gated on
+//	           byte-identical convergence with the primary
+//	           -> merged into BENCH_cupid.json
+//	all        everything (default; excludes tune, bench, overload,
+//	           planner and cluster)
 //
 // With -csv, the scale and ablation experiments additionally emit CSV to
 // stdout (the raw series behind the figures).
@@ -160,18 +166,23 @@ func run(exp string, csvOut bool, benchOut string, benchSelfCheck bool, overload
 			return err
 		}
 	}
+	if exp == "cluster" { // not part of "all": seconds of timed sweeps
+		if err := runCluster(benchOut); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, table2, table3, rdbstar, thesaurus, lingonly, university, scale, ablation, tune, bench, overload, planner, all")
+	exp := flag.String("exp", "all", "experiment: table1, table2, table3, rdbstar, thesaurus, lingonly, university, scale, ablation, tune, bench, overload, planner, cluster, all")
 	csvOut := flag.Bool("csv", false, "also emit CSV for scale/ablation")
-	benchOut := flag.String("benchout", "BENCH_cupid.json", "output path for the -exp bench/overload/planner report")
+	benchOut := flag.String("benchout", "BENCH_cupid.json", "output path for the -exp bench/overload/planner/cluster report")
 	benchSelfCheck := flag.Bool("selfcheck", true, "run go vet + race determinism tests before -exp bench")
 	overloadWindow := flag.Duration("overload-window", time.Second, "timed window per -exp overload load cell")
 	flag.Parse()
 	switch *exp {
-	case "all", "table1", "table2", "table3", "rdbstar", "thesaurus", "lingonly", "university", "scale", "ablation", "tune", "bench", "overload", "planner":
+	case "all", "table1", "table2", "table3", "rdbstar", "thesaurus", "lingonly", "university", "scale", "ablation", "tune", "bench", "overload", "planner", "cluster":
 	default:
 		fmt.Fprintf(os.Stderr, "cupidbench: unknown experiment %q\n", *exp)
 		os.Exit(2)

@@ -62,6 +62,13 @@
 //	-one-to-one            generate 1:1 mappings instead of the naive 1:n
 //	-min FLOAT             acceptance threshold thaccept (default 0.5)
 //	-data DIR              persist the repository under DIR (default: in-memory only)
+//	-follow URL            replicate from the primary cupidd at URL: the
+//	                       server becomes a read-only replica (writes are
+//	                       refused with 403 naming the primary) that
+//	                       replays the primary's /replicate stream into
+//	                       its own journal and index, checkpoints its
+//	                       position, and reconnects with backoff; requires
+//	                       -data with the write-ahead journal
 //	-wal                   journal mutations to a write-ahead log with group
 //	                       commit and background compaction (default true;
 //	                       =false falls back to legacy full snapshots)
@@ -103,15 +110,24 @@
 //	POST   /schemas          register {name?, format, content}; format is
 //	                         sql, xsd, dtd or json (cupidmatch's formats)
 //	GET    /schemas          list registered schemas
+//	GET    /schemas/{name}   fetch one schema's stored source document
+//	                         (requires -data; the cluster router resolves
+//	                         by-name match sources through it)
 //	DELETE /schemas/{name}   remove one schema
 //	POST   /match            match two schemas: {source, target}, each a
 //	                         {"name": ...} reference to a registered schema
 //	                         or an inline {"format", "content"} document
 //	POST   /match/batch      rank the repository against one source schema:
 //	                         {source, topK?}; returns top-K scored results
+//	GET    /replicate        stream the write-ahead journal to a follower
+//	                         (snapshot transfer, then commit-ordered tail;
+//	                         ?base=&records= resumes a checkpointed
+//	                         position; docs/REPLICATION.md is the wire
+//	                         contract)
 //	GET    /healthz          liveness probe
-//	GET    /readyz           readiness probe: 503 while draining or while
-//	                         journal compaction is catching up
+//	GET    /readyz           readiness probe: 503 while draining, while a
+//	                         follower is catching up to its primary, or
+//	                         while journal compaction is catching up
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: new requests are
 // rejected with 503 (Retry-After: 1) while in-flight ones drain, then the
@@ -124,10 +140,13 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -160,6 +179,17 @@ type server struct {
 	// indexOpt sizes the indexed path's candidate budget (same Limit
 	// policy as prune, tighter default fraction).
 	indexOpt cupid.PruneOptions
+	// dataDir is the persistence root (-data); empty when in-memory. The
+	// follower checkpoint file lives here.
+	dataDir string
+	// primary is the URL this server replicates from (-follow); non-empty
+	// makes the server a read-only replica: mutations are refused with
+	// 403 naming the primary, and the repository converges by replaying
+	// the primary's replication stream.
+	primary string
+	// replState tracks the follower's replication progress for /readyz
+	// (non-nil exactly in follower mode).
+	replState *cupid.ReplState
 }
 
 func newServer(cfg cupid.Config) (*server, error) {
@@ -347,6 +377,10 @@ func (s *server) resolve(ref schemaRef) (*cupid.Prepared, string, error) {
 }
 
 func (s *server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	if err := s.replicaWriteGuard(); err != nil {
+		writeError(w, err)
+		return
+	}
 	var req struct {
 		Name    string `json:"name,omitempty"`
 		Format  string `json:"format"`
@@ -412,6 +446,10 @@ func (s *server) handleList(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if err := s.replicaWriteGuard(); err != nil {
+		writeError(w, err)
+		return
+	}
 	name := r.PathValue("name")
 	release, err := s.front.AcquireWrite(r.Context())
 	if err != nil {
@@ -435,6 +473,191 @@ func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"removed": name})
+}
+
+// replicaWriteGuard refuses mutations on a read-only replica, naming the
+// primary so clients (and the cluster router) know where writes go.
+func (s *server) replicaWriteGuard() error {
+	if s.primary == "" {
+		return nil
+	}
+	return errf(http.StatusForbidden, "read-only replica: writes go to the primary at %s", s.primary)
+}
+
+// handleGetSchema serves one registered schema's stored source document —
+// the bytes it was parsed from, plus its identity. The cluster router
+// uses it to resolve a by-name match source into a document it can
+// scatter to every shard; it needs persistence because only the durable
+// store keeps source documents (the in-memory registry keeps prepared
+// artifacts only).
+func (s *server) handleGetSchema(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if s.persist == nil {
+		writeError(w, errf(http.StatusNotImplemented, "schema source documents are only stored with -data"))
+		return
+	}
+	doc, ok := s.persist.Doc(name)
+	if !ok {
+		writeError(w, errf(http.StatusNotFound, "schema %q is not registered", name))
+		return
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// replQuery encodes/decodes the follower's resume position in the
+// /replicate query string.
+func replQuery(pos cupid.ReplPos) string {
+	return fmt.Sprintf("base=%d&records=%d", pos.Base, pos.Records)
+}
+
+// handleReplicate streams the write-ahead journal to a follower:
+// preamble, a hello that either resumes the follower's position as a
+// tail or opens with a full snapshot transfer, then record frames as
+// mutations commit and heartbeat pings when idle, until the follower
+// disconnects. The stream bypasses the admission pools — it is one
+// long-lived response serving commit-ordered bytes, not match work — and
+// docs/REPLICATION.md specifies the wire format.
+func (s *server) handleReplicate(w http.ResponseWriter, r *http.Request) {
+	if s.persist == nil {
+		writeError(w, errf(http.StatusNotImplemented, "replication requires -data with the write-ahead journal"))
+		return
+	}
+	if _, err := s.persist.ReplicationPos(); err != nil {
+		writeError(w, errf(http.StatusNotImplemented, "%v", err))
+		return
+	}
+	var from cupid.ReplPos
+	q := r.URL.Query()
+	if v := q.Get("base"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeError(w, errf(http.StatusBadRequest, "query parameter base: %v", err))
+			return
+		}
+		from.Base = n
+	}
+	if v := q.Get("records"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, errf(http.StatusBadRequest, "query parameter records must be a non-negative integer"))
+			return
+		}
+		from.Records = n
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	if err := s.persist.StreamReplication(r.Context(), httpFlusher{w}, from, replHeartbeat); err != nil {
+		// The response is already streaming; all that is left is the log.
+		log.Printf("cupidd: replication stream from %s: %v", replQuery(from), err)
+	}
+}
+
+// replHeartbeat is the idle-stream ping interval: frequent enough that a
+// follower (or an intervening proxy) can tell a quiet primary from a
+// dead one within seconds.
+const replHeartbeat = 3 * time.Second
+
+// httpFlusher adapts a ResponseWriter so StreamReplication's per-burst
+// flush reaches the client at commit latency instead of buffer latency.
+type httpFlusher struct{ http.ResponseWriter }
+
+func (f httpFlusher) Flush() {
+	if fl, ok := f.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+// replCheckpointFile is where a follower records the last primary
+// position it durably applied (under -data). It is an optimization, not
+// a durability anchor: a stale or missing checkpoint only means the next
+// connection resumes earlier (idempotent re-apply) or resyncs.
+const replCheckpointFile = "replpos.json"
+
+func (s *server) loadReplCheckpoint() cupid.ReplPos {
+	var pos cupid.ReplPos
+	b, err := os.ReadFile(filepath.Join(s.dataDir, replCheckpointFile))
+	if err != nil || json.Unmarshal(b, &pos) != nil {
+		return cupid.ReplPos{}
+	}
+	return pos
+}
+
+func (s *server) saveReplCheckpoint(pos cupid.ReplPos) {
+	b, err := json.Marshal(pos)
+	if err != nil {
+		return
+	}
+	path := filepath.Join(s.dataDir, replCheckpointFile)
+	tmp := path + ".tmp"
+	// No fsync: losing the checkpoint costs a resync, never correctness.
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		log.Printf("cupidd: writing replication checkpoint: %v", err)
+		return
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		log.Printf("cupidd: writing replication checkpoint: %v", err)
+	}
+}
+
+// followOnce runs one replication session against the primary: connect
+// at the checkpointed position, then apply frames until the stream ends.
+// Every applied (locally durable) position advances the checkpoint and
+// drops cached rankings, so reads on the replica see replicated
+// mutations exactly as they would see local ones.
+func (s *server) followOnce(ctx context.Context) error {
+	from := s.loadReplCheckpoint()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.primary+"/replicate?"+replQuery(from), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return fmt.Errorf("primary returned status %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	return s.persist.ApplyReplication(ctx, resp.Body, s.replState, func(pos cupid.ReplPos) {
+		s.front.Invalidate()
+		s.saveReplCheckpoint(pos)
+	})
+}
+
+// followLoop keeps a replica converging: run a session, reconnect with
+// backoff when it ends (primary restart, network cut), forever until ctx
+// is canceled. The returned channel closes when the loop has fully
+// stopped, so shutdown can wait for the apply path to quiesce before
+// closing the journal.
+func (s *server) followLoop(ctx context.Context) <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		backoff := 100 * time.Millisecond
+		for ctx.Err() == nil {
+			err := s.followOnce(ctx)
+			if ctx.Err() != nil {
+				return
+			}
+			if err != nil {
+				log.Printf("cupidd: replication from %s: %v (reconnecting in %v)", s.primary, err, backoff)
+			} else {
+				// Clean EOF: the primary closed (restart, drain). Reconnect
+				// quickly — the tail resume makes this cheap.
+				backoff = 100 * time.Millisecond
+			}
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > 3*time.Second {
+				backoff = 3 * time.Second
+			}
+		}
+	}()
+	return done
 }
 
 // jsonPair is one mapping element in a match response.
@@ -602,9 +825,11 @@ func (s *server) routeTable() []route {
 	return []route{
 		{http.MethodPost, "/schemas", s.handleRegister},
 		{http.MethodGet, "/schemas", s.handleList},
+		{http.MethodGet, "/schemas/{name}", s.handleGetSchema},
 		{http.MethodDelete, "/schemas/{name}", s.handleDelete},
 		{http.MethodPost, "/match", s.handleMatch},
 		{http.MethodPost, "/match/batch", s.handleBatch},
+		{http.MethodGet, "/replicate", s.handleReplicate},
 		{http.MethodGet, "/healthz", func(w http.ResponseWriter, _ *http.Request) {
 			writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 		}},
@@ -613,15 +838,28 @@ func (s *server) routeTable() []route {
 }
 
 // handleReady is the readiness probe, distinct from /healthz liveness:
-// 503 while draining for shutdown and while journal compaction is
-// rewriting snapshot generations (a crash mid-compaction recovers, but
+// 503 while draining for shutdown, while a follower is still catching up
+// to its primary (a replica that has never reached the primary's horizon
+// would serve arbitrarily stale rankings), and while journal compaction
+// is rewriting snapshot generations (a crash mid-compaction recovers, but
 // routing fresh traffic at a node paying compaction I/O is the thing
-// readiness gates exist to avoid). WAL recovery itself happens before the
-// listener opens, so "connection refused" covers the recovering state.
+// readiness gates exist to avoid). Each reason is reported distinctly —
+// "draining", "catching_up" (with the applied position and horizon), or
+// "compacting" — so orchestrators can tell shutdown from replication lag.
+// A follower that caught up once stays ready across a primary outage: it
+// serves the last converged state rather than flapping. WAL recovery
+// itself happens before the listener opens, so "connection refused"
+// covers the recovering state.
 func (s *server) handleReady(w http.ResponseWriter, _ *http.Request) {
 	switch {
 	case s.front.Draining():
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "reason": "draining"})
+	case s.replState != nil && !s.replState.Status().CaughtUp:
+		st := s.replState.Status()
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"ready": false, "reason": "catching_up",
+			"applied": st.Pos.String(), "horizon": st.Horizon.String(),
+		})
 	case s.persist != nil && s.persist.Compacting():
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "reason": "compacting"})
 	default:
@@ -692,6 +930,7 @@ type options struct {
 	oneToOne            bool
 	minAccept           float64
 	dataDir             string
+	follow              string
 	wal                 bool
 	walSet              bool // -wal passed explicitly (run() records it)
 	walGroupCommit      time.Duration
@@ -735,6 +974,7 @@ func newFlagSet() (*flag.FlagSet, *options) {
 	fs.BoolVar(&opt.oneToOne, "one-to-one", false, "generate 1:1 mappings")
 	fs.Float64Var(&opt.minAccept, "min", 0.5, "acceptance threshold thaccept")
 	fs.StringVar(&opt.dataDir, "data", "", "persist the schema repository under this directory (default: in-memory only)")
+	fs.StringVar(&opt.follow, "follow", "", "replicate from the primary cupidd at this URL (read-only replica; requires -data with the write-ahead journal)")
 	fs.BoolVar(&opt.wal, "wal", true, "journal mutations to a write-ahead log with group commit and background compaction; =false falls back to legacy full snapshots per mutation")
 	fs.DurationVar(&opt.walGroupCommit, "wal-group-commit", 0, "linger this long after a write batch opens so more concurrent writers join the same fsync; 0 batches only what queued during the previous fsync")
 	fs.Int64Var(&opt.compactThreshold, "compact-threshold", cupid.DefaultPersistOptions().CompactBytes, "fold the write-ahead journal into a new snapshot generation once it exceeds this many bytes")
@@ -893,11 +1133,24 @@ func newServerFromOptions(opt *options) (*server, error) {
 		return nil, err
 	}
 
+	if opt.follow != "" {
+		if opt.dataDir == "" {
+			return nil, fmt.Errorf("-follow requires -data (the replica replays the primary's journal into its own)")
+		}
+		u, uerr := url.Parse(opt.follow)
+		if uerr != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("-follow needs an absolute primary URL, got %q", opt.follow)
+		}
+	}
+
 	var s *server
 	if opt.dataDir != "" {
 		popt, perr := opt.persistOptions()
 		if perr != nil {
 			return nil, perr
+		}
+		if opt.follow != "" && !popt.WAL {
+			return nil, fmt.Errorf("-follow requires the write-ahead journal (drop -wal=false / -snapshot-interval)")
 		}
 		s, err = newPersistentServer(cfg, opt.dataDir, popt)
 	} else {
@@ -905,6 +1158,11 @@ func newServerFromOptions(opt *options) (*server, error) {
 	}
 	if err != nil {
 		return nil, err
+	}
+	s.dataDir = opt.dataDir
+	if opt.follow != "" {
+		s.primary = strings.TrimRight(opt.follow, "/")
+		s.replState = &cupid.ReplState{}
 	}
 	s.retrieval = strat
 	s.initServing(opt)
@@ -936,6 +1194,25 @@ func run(args []string) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	var followDone <-chan struct{}
+	if s.primary != "" {
+		log.Printf("cupidd: read-only replica following %s", s.primary)
+		followDone = s.followLoop(ctx)
+	}
+	// waitFollow stops the follower loop and waits for its apply path to
+	// quiesce, so the journal is closed only after the last replicated
+	// record committed.
+	waitFollow := func() {
+		if followDone == nil {
+			return
+		}
+		stop()
+		select {
+		case <-followDone:
+		case <-time.After(5 * time.Second):
+			log.Print("cupidd: replication loop did not stop in time")
+		}
+	}
 	errCh := make(chan error, 1)
 	go func() {
 		log.Printf("cupidd: listening on %s", opt.addr)
@@ -945,6 +1222,7 @@ func run(args []string) error {
 	// HTTP error takes precedence but a dropped snapshot must not vanish
 	// silently.
 	closeLoud := func() {
+		waitFollow()
 		if err := s.close(); err != nil {
 			log.Printf("cupidd: flushing repository snapshot: %v", err)
 		}
@@ -969,7 +1247,9 @@ func run(args []string) error {
 			closeLoud()
 			return err
 		}
-		// Flush any pending snapshot only after in-flight requests drained.
+		// Flush any pending snapshot only after in-flight requests (and the
+		// replication apply loop, on a follower) drained.
+		waitFollow()
 		if err := s.close(); err != nil {
 			return fmt.Errorf("flushing repository snapshot: %w", err)
 		}

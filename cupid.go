@@ -374,6 +374,25 @@ func DefaultPersistOptions() PersistOptions { return registry.DefaultPersistOpti
 // bag) candidate pruning compares; derive one with Prepared.Signature.
 type SchemaSignature = model.Signature
 
+// RegistryDoc is one persisted repository entry's source document — the
+// registration key plus the bytes it was parsed from — as stored by a
+// PersistentRegistry and shipped over the replication stream.
+type RegistryDoc = registry.Doc
+
+// ReplPos is a position in a PersistentRegistry's replication stream:
+// the journal generation (WAL base sequence) plus the number of records
+// applied within it. Followers checkpoint it to resume as a tail.
+type ReplPos = registry.ReplPos
+
+// ReplState is the concurrency-safe follower progress cell a replica's
+// apply loop keeps current and its readiness probe reads.
+type ReplState = registry.ReplState
+
+// ReplStatus is a snapshot of a follower's replication progress: applied
+// position, catch-up horizon, the primary's last observed position, and
+// whether the follower has caught up.
+type ReplStatus = registry.ReplStatus
+
 // OpenPersistentRegistry opens (creating if needed) the data directory,
 // recovers the repository, and returns the durable registry in the legacy
 // snapshot mode: interval 0 snapshots synchronously on every mutation,

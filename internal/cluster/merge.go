@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"sort"
+
+	"repro/internal/registry"
+)
+
+// MergeRanked merges per-shard rankings into one deterministic global
+// ranking: score descending, ties broken by entry name ascending (the
+// same key the single-node ranking uses, so a merged ranking is
+// element-for-element identical to the unsharded one), then by
+// fingerprint ascending as the final disambiguator for distinct entries
+// that share a name across mis-partitioned shards. topK > 0 truncates;
+// topK <= 0 returns everything. The input slices are not modified.
+func MergeRanked(shards [][]registry.Ranked, topK int) []registry.Ranked {
+	n := 0
+	for _, s := range shards {
+		n += len(s)
+	}
+	all := make([]registry.Ranked, 0, n)
+	for _, s := range shards {
+		all = append(all, s...)
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		return rankedLess(all[i].Score, all[i].Entry.Name, all[i].Entry.Fingerprint,
+			all[j].Score, all[j].Entry.Name, all[j].Entry.Fingerprint)
+	})
+	if topK > 0 && len(all) > topK {
+		all = all[:topK]
+	}
+	return all
+}
+
+// rankedLess is the global ranking order: score descending, then name
+// ascending, then fingerprint ascending. Shared between the library-level
+// merge and the router's wire-level merge so the two can never disagree.
+func rankedLess(si float64, ni, fi string, sj float64, nj, fj string) bool {
+	if si != sj {
+		return si > sj
+	}
+	if ni != nj {
+		return ni < nj
+	}
+	return fi < fj
+}
+
+// MergedStats is the aggregate of per-shard RetrievalStats. Strategy and
+// the embedded counters follow the documented aggregation rules (see
+// MergeStats); Mixed reports that the shards ran different strategies, in
+// which case the embedded Strategy is the first shard's and the wire
+// layer reports the literal string "mixed" instead.
+type MergedStats struct {
+	registry.RetrievalStats
+	// Mixed reports the shards did not all run the same strategy.
+	Mixed bool
+}
+
+// StrategyLabel is the wire spelling of the merged strategy: the shared
+// strategy's name when uniform, "mixed" otherwise.
+func (m MergedStats) StrategyLabel() string {
+	if m.Mixed {
+		return "mixed"
+	}
+	return m.Strategy.String()
+}
+
+// MergeStats aggregates per-shard retrieval statistics into the stats of
+// the logical single-node run the cluster stands in for. The rules, which
+// the property test pins against a real unsharded run:
+//
+//   - Corpus, CandidatesScored, CandidatesMatched, CandidateBudget,
+//     PostingsKept, TokensIndexed, TokensCommon: summed — each shard did
+//     that slice of the global work.
+//   - ProbeTokens: maximum — every shard saw the same probe, so the
+//     values agree (zero on forced runs); max tolerates a mix of forced
+//     and planned shards.
+//   - Degraded, Indexed: OR — one load-shed (or index-driven) shard makes
+//     the merged ranking load-shed (index-assisted).
+//   - Planned: AND — the merge is "planned" only if every shard's was.
+//   - Strategy: the shared value when uniform; Mixed is set otherwise and
+//     Strategy holds the first shard's.
+func MergeStats(parts []registry.RetrievalStats) MergedStats {
+	var m MergedStats
+	for i, p := range parts {
+		if i == 0 {
+			m.Strategy = p.Strategy
+			m.Planned = p.Planned
+		} else {
+			if p.Strategy != m.Strategy {
+				m.Mixed = true
+			}
+			m.Planned = m.Planned && p.Planned
+		}
+		m.Corpus += p.Corpus
+		m.CandidatesScored += p.CandidatesScored
+		m.CandidatesMatched += p.CandidatesMatched
+		m.CandidateBudget += p.CandidateBudget
+		m.PostingsKept += p.PostingsKept
+		m.TokensIndexed += p.TokensIndexed
+		m.TokensCommon += p.TokensCommon
+		if p.ProbeTokens > m.ProbeTokens {
+			m.ProbeTokens = p.ProbeTokens
+		}
+		m.Degraded = m.Degraded || p.Degraded
+		m.Indexed = m.Indexed || p.Indexed
+	}
+	return m
+}

@@ -1,0 +1,117 @@
+// Package cluster is the scatter-gather layer over N cupidd shards: a
+// consistent-hash ring that assigns every schema name to exactly one
+// shard, a deterministic merge of per-shard rankings and retrieval
+// statistics, and an HTTP router that forwards registrations to the
+// owning shard, fans /match/batch out to every shard through the same
+// admission/deadline machinery cupidd itself serves under
+// (internal/serve), and merges the per-shard top-K into one global
+// ranking. A dead shard is shed within the deadline and reported as a
+// partial, degraded result — the router never hangs on a member.
+//
+// The merge is exact, not approximate: every shard ranks with the same
+// scoring the single node uses, and merging each shard's top-(K+1) is
+// sufficient for the global top-K (any globally top-K entry is in its
+// own shard's top-K, plus one slot for the source's self-match). The
+// property test asserts element-for-element identity with the unsharded
+// single-node ranking.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVnodes is the virtual-node count per shard: enough points that
+// the largest shard's share of a random keyspace stays within a few
+// percent of 1/N, cheap enough that ring construction is microseconds.
+const DefaultVnodes = 64
+
+// ringPoint is one virtual node: a position on the 64-bit hash circle
+// owned by a shard.
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// Ring consistent-hashes schema names onto shard indices. A name's owner
+// is the first virtual node at or clockwise after the name's hash, so
+// adding or removing one shard moves only the keys adjacent to its
+// virtual nodes — not a full reshuffle. The ring is immutable after
+// construction and safe for concurrent use.
+type Ring struct {
+	points []ringPoint
+	shards int
+}
+
+// NewRing builds a ring over shards members with vnodes virtual nodes
+// each (vnodes <= 0 means DefaultVnodes). Virtual nodes are keyed by the
+// shard's index, so any two rings built for the same member count agree
+// on every owner — the placement is a pure function of (shards, vnodes,
+// name).
+func NewRing(shards, vnodes int) (*Ring, error) {
+	if shards <= 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one shard, got %d", shards)
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	points := make([]ringPoint, 0, shards*vnodes)
+	for s := 0; s < shards; s++ {
+		for v := 0; v < vnodes; v++ {
+			points = append(points, ringPoint{
+				hash:  ringHash(fmt.Sprintf("shard-%d/vnode-%d", s, v)),
+				shard: s,
+			})
+		}
+	}
+	sort.Slice(points, func(i, j int) bool {
+		if points[i].hash != points[j].hash {
+			return points[i].hash < points[j].hash
+		}
+		// A 64-bit collision between vnode keys is astronomically rare;
+		// break it by shard index so the ring is still deterministic.
+		return points[i].shard < points[j].shard
+	})
+	return &Ring{points: points, shards: shards}, nil
+}
+
+// Shards reports the member count the ring was built for.
+func (r *Ring) Shards() int { return r.shards }
+
+// Owner maps a schema name to its shard index: the shard of the first
+// virtual node at or clockwise after the name's hash (wrapping to the
+// ring's first point).
+func (r *Ring) Owner(name string) int {
+	h := ringHash(name)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].shard
+}
+
+// ringHash is FNV-1a over the key bytes, finished with the splitmix64
+// mixer. FNV alone is stable across processes and Go versions (unlike
+// maphash) — which the ring needs: the router and any future rebalancer
+// must agree on placement without coordination — but on short keys that
+// differ only in a trailing digit its high bits barely move, so the
+// virtual nodes of one shard cluster into contiguous bands and the ring
+// degenerates toward ranges. The finalizer avalanches every input bit
+// across the word while staying just as deterministic.
+func ringHash(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer (Steele et al.): a fixed, portable
+// bijection on uint64 with full avalanche.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,94 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingRejectsZeroShards(t *testing.T) {
+	if _, err := NewRing(0, 0); err == nil {
+		t.Fatal("NewRing(0, 0) accepted an empty member list")
+	}
+}
+
+// TestRingDeterministic: placement is a pure function of (shards, vnodes,
+// name) — two independently built rings agree on every owner, which is
+// what lets a router and any other component place keys without
+// coordination.
+func TestRingDeterministic(t *testing.T) {
+	a, err := NewRing(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		name := fmt.Sprintf("schema-%d", i)
+		oa, ob := a.Owner(name), b.Owner(name)
+		if oa != ob {
+			t.Fatalf("rings disagree on %q: %d vs %d", name, oa, ob)
+		}
+		if oa < 0 || oa >= a.Shards() {
+			t.Fatalf("owner of %q out of range: %d", name, oa)
+		}
+	}
+}
+
+// TestRingBalance: with the default vnode count no shard of a 4-member
+// ring owns a grossly disproportionate share of a synthetic keyspace.
+// The bound is deliberately loose (half to double the fair share) — the
+// test guards against a broken hash or search, not against statistical
+// variance.
+func TestRingBalance(t *testing.T) {
+	const shards, keys = 4, 2000
+	r, err := NewRing(shards, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, shards)
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("family%d_member%d", i%7, i))]++
+	}
+	fair := keys / shards
+	for s, c := range counts {
+		if c < fair/2 || c > fair*2 {
+			t.Errorf("shard %d owns %d of %d keys (fair share %d)", s, c, keys, fair)
+		}
+	}
+}
+
+// TestRingStabilityUnderGrowth: going from N to N+1 shards moves only
+// keys — it never reshuffles a key between two shards that exist in both
+// rings unless the new shard took it. That is the property consistent
+// hashing buys over mod-N.
+func TestRingStabilityUnderGrowth(t *testing.T) {
+	small, err := NewRing(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := NewRing(5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved, kept := 0, 0
+	for i := 0; i < 2000; i++ {
+		name := fmt.Sprintf("key-%d", i)
+		before, after := small.Owner(name), big.Owner(name)
+		switch {
+		case before == after:
+			kept++
+		case after == 4: // moved to the new shard: expected
+			moved++
+		default:
+			t.Fatalf("key %q reshuffled between surviving shards: %d -> %d", name, before, after)
+		}
+	}
+	if moved == 0 {
+		t.Error("no key moved to the new shard — growth did nothing")
+	}
+	if kept == 0 {
+		t.Error("every key moved — placement is not consistent")
+	}
+}

@@ -69,6 +69,11 @@ type Persistent struct {
 	compactWG  sync.WaitGroup
 
 	wal *walFile // owned by the committer once it starts
+	// hub fans committed journal records out to replication followers
+	// (repl.go); non-nil exactly in WAL mode. The committer publishes each
+	// batch after its fsync and rebases the hub when compaction rotates
+	// the journal.
+	hub *replHub
 
 	closeOnce sync.Once
 	closeErr  error
@@ -204,6 +209,16 @@ func OpenPersistentOptions(dir string, m *core.Matcher, opts PersistOptions, par
 			return nil, rec.Warnings, err
 		}
 		p.wal = w
+		// Prime the replication replay buffer with the live journal's
+		// recovered records, so a follower whose checkpoint predates this
+		// restart can still resume as a tail instead of a full resync.
+		var primed []walRecord
+		if rec.WALRecords > 0 {
+			if recs, _, _, err := scanWAL(st.walPath(rec.WALBase)); err == nil {
+				primed = recs
+			}
+		}
+		p.hub = newReplHub(rec.WALBase, primed)
 		p.wg.Add(1)
 		go p.committer()
 	case p.opts.SnapshotInterval > 0:
@@ -293,6 +308,15 @@ func (p *Persistent) commitPending() {
 	if err != nil {
 		p.noteErr(err)
 	}
+	if err == nil {
+		// Publish to replication followers only after the fsync: a
+		// follower must never see a record the primary could still lose.
+		recs := make([]walRecord, len(good))
+		for i, r := range good {
+			recs[i] = r.rec
+		}
+		p.hub.publish(recs)
+	}
 	for _, r := range good {
 		r.done <- err
 	}
@@ -330,6 +354,10 @@ func (p *Persistent) maybeCompact() {
 	old := p.wal
 	p.wal = nw
 	old.Close()
+	// Rebase the replication buffer: followers tailing the old generation
+	// fall back to a snapshot resync, exactly as a follower reconnecting
+	// after the compaction would.
+	p.hub.rotate(newBase)
 	// The document set to fold: copied under the mutation lock *after* the
 	// rotation, so it covers every record in the old journal (their
 	// in-memory commits happened before their enqueue, which happened
@@ -361,6 +389,17 @@ func (p *Persistent) noteErr(err error) {
 		p.saveErr = err
 	}
 	p.errMu.Unlock()
+}
+
+// Doc returns the persisted source document registered under name — the
+// exact bytes a restart (or a replication follower) re-parses. The
+// cluster router uses it to resolve a by-name batch source into an
+// inline document it can scatter to every shard.
+func (p *Persistent) Doc(name string) (Doc, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	d, ok := p.docs[name]
+	return d, ok
 }
 
 // Compacting reports whether a background journal compaction is

@@ -1,0 +1,185 @@
+package registry
+
+// Doc-conformance coverage for docs/REPLICATION.md, the replication
+// protocol contract: the worked byte-level stream example must decode
+// with the real frame decoder to exactly the frames the prose claims,
+// re-encode byte-for-byte, and every fenced JSON payload must match a
+// decoded frame. If the wire format evolves, this test forces the
+// specification to evolve with it.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const replicationDocPath = "../../docs/REPLICATION.md"
+
+func readReplicationDoc(t *testing.T) string {
+	t.Helper()
+	b, err := os.ReadFile(replicationDocPath)
+	if err != nil {
+		t.Fatalf("docs/REPLICATION.md must exist (the replication protocol contract): %v", err)
+	}
+	return string(b)
+}
+
+// replWorkedExampleBytes extracts the hexdump under "### Worked example"
+// and reassembles the raw stream bytes.
+func replWorkedExampleBytes(t *testing.T, doc string) []byte {
+	t.Helper()
+	_, after, found := strings.Cut(doc, "### Worked example")
+	if !found {
+		t.Fatal("docs/REPLICATION.md has no '### Worked example' section")
+	}
+	fence := regexp.MustCompile("(?s)```text\n(.*?)```")
+	m := fence.FindStringSubmatch(after)
+	if m == nil {
+		t.Fatal("worked example has no ```text hexdump block")
+	}
+	hexByte := regexp.MustCompile(`^[0-9a-f]{2}$`)
+	var out []byte
+	for _, line := range strings.Split(strings.TrimSpace(m[1]), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			t.Fatalf("hexdump line %q has no byte columns", line)
+		}
+		for _, f := range fields[1:] {
+			if !hexByte.MatchString(f) {
+				t.Fatalf("hexdump line %q: %q is not a byte", line, f)
+			}
+			b, err := hex.DecodeString(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, b...)
+		}
+	}
+	return out
+}
+
+func TestReplicationDocWorkedExampleDecodes(t *testing.T) {
+	doc := readReplicationDoc(t)
+	raw := replWorkedExampleBytes(t, doc)
+	if len(raw) <= replHeaderSize {
+		t.Fatalf("worked example is %d bytes, shorter than the %d-byte preamble", len(raw), replHeaderSize)
+	}
+	// The preamble must be exactly what the streamer emits.
+	if got := string(raw[:len(replMagic)]); got != replMagic {
+		t.Fatalf("documented magic %q, streamer emits %q", got, replMagic)
+	}
+	if v := binary.BigEndian.Uint32(raw[len(replMagic):replHeaderSize]); v != replVersion {
+		t.Fatalf("documented version %d, streamer emits %d", v, replVersion)
+	}
+
+	// Decode every frame with the real decoder; the example promises a
+	// tail hello, one shipped delete, and a heartbeat.
+	var frames []replFrame
+	rest := raw[replHeaderSize:]
+	for len(rest) > 0 {
+		f, n, err := decodeReplFrame(rest)
+		if err != nil {
+			t.Fatalf("documented frame %d does not decode: %v", len(frames), err)
+		}
+		frames = append(frames, f)
+		rest = rest[n:]
+	}
+	if len(frames) != 3 {
+		t.Fatalf("worked example decodes to %d frames, the prose promises 3", len(frames))
+	}
+	hello, rec, ping := frames[0], frames[1], frames[2]
+	if hello.Kind != replKindHello || hello.Resync ||
+		hello.Pos != (ReplPos{Base: 3, Records: 5}) ||
+		hello.Horizon == nil || *hello.Horizon != (ReplPos{Base: 3, Records: 6}) {
+		t.Errorf("frame 0 decodes to %+v, the prose promises a tail hello 3/5 with horizon 3/6", hello)
+	}
+	if rec.Kind != replKindRec || rec.Rec == nil ||
+		rec.Rec.Op != walOpDel || rec.Rec.Name != "orders" ||
+		rec.Pos != (ReplPos{Base: 3, Records: 6}) {
+		t.Errorf("frame 1 decodes to %+v, the prose promises del orders at 3/6", rec)
+	}
+	if ping.Kind != replKindPing || ping.Pos != (ReplPos{Base: 3, Records: 6}) {
+		t.Errorf("frame 2 decodes to %+v, the prose promises a ping at 3/6", ping)
+	}
+
+	// Re-encoding the decoded frames must reproduce the documented bytes
+	// exactly (the format has no nondeterminism).
+	reenc := appendReplHeader(nil)
+	for _, f := range frames {
+		var err error
+		reenc, err = encodeReplFrame(reenc, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(reenc, raw) {
+		t.Errorf("re-encoding the documented frames yields\n%x\nthe doc shows\n%x", reenc, raw)
+	}
+}
+
+// TestReplicationDocJSONPayloadsMatchFrames requires every fenced JSON
+// example in the document to be a valid frame payload, and the three
+// under the worked example to be exactly the decoded frames' payloads.
+func TestReplicationDocJSONPayloadsMatchFrames(t *testing.T) {
+	doc := readReplicationDoc(t)
+	fence := regexp.MustCompile("(?s)```json\n(.*?)```")
+	blocks := fence.FindAllStringSubmatch(doc, -1)
+	if len(blocks) < 3 {
+		t.Fatalf("docs/REPLICATION.md has %d json examples, expected at least the three worked-example payloads", len(blocks))
+	}
+	raw := replWorkedExampleBytes(t, doc)
+	var payloads []string
+	rest := raw[replHeaderSize:]
+	for len(rest) > 0 {
+		payload, n, err := decodeFrame(rest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payloads = append(payloads, string(payload))
+		rest = rest[n:]
+	}
+	for i, b := range blocks {
+		var f replFrame
+		dec := json.NewDecoder(strings.NewReader(b[1]))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&f); err != nil {
+			t.Errorf("json example %d is not a frame payload: %v", i, err)
+			continue
+		}
+		if i >= len(payloads) {
+			continue
+		}
+		// The documented payload must be the decoded frame's payload,
+		// modulo whitespace: re-marshal both compactly.
+		var want, got any
+		if err := json.Unmarshal([]byte(payloads[i]), &want); err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal([]byte(b[1]), &got); err != nil {
+			t.Fatal(err)
+		}
+		wantC, _ := json.Marshal(want)
+		gotC, _ := json.Marshal(got)
+		if !bytes.Equal(wantC, gotC) {
+			t.Errorf("json example %d is %s, the stream's frame %d payload is %s", i, gotC, i, wantC)
+		}
+	}
+}
+
+// TestReplicationDocConstants pins the names and notations the prose
+// leans on, so a rename in the implementation surfaces here.
+func TestReplicationDocConstants(t *testing.T) {
+	doc := readReplicationDoc(t)
+	for _, want := range []string{
+		"`CUPIDREP`", "replpos.json", "CRC-32", "base/records",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("docs/REPLICATION.md does not mention %s", want)
+		}
+	}
+}

@@ -97,6 +97,39 @@ func appendWALHeader(buf []byte) []byte {
 	return binary.BigEndian.AppendUint32(buf, walVersion)
 }
 
+// appendFrame appends one length+checksum frame around payload to buf.
+// This is the framing primitive shared by the on-disk journal and the
+// replication stream (repl.go): 4-byte big-endian payload length, 4-byte
+// IEEE CRC-32 of the payload, then the payload itself.
+func appendFrame(buf, payload []byte) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+	return append(buf, payload...)
+}
+
+// decodeFrame decodes one frame from b, returning the payload and the
+// number of bytes consumed. Any defect — short frame, oversized length,
+// checksum mismatch — is an error; the caller treats the frame and
+// everything after it as torn.
+func decodeFrame(b []byte) ([]byte, int, error) {
+	if len(b) < walFrameSize {
+		return nil, 0, fmt.Errorf("short frame: %d bytes", len(b))
+	}
+	n := binary.BigEndian.Uint32(b[0:4])
+	sum := binary.BigEndian.Uint32(b[4:8])
+	if n > walMaxPayload {
+		return nil, 0, fmt.Errorf("implausible payload length %d", n)
+	}
+	if int64(len(b))-walFrameSize < int64(n) {
+		return nil, 0, fmt.Errorf("torn payload: %d of %d bytes", len(b)-walFrameSize, n)
+	}
+	payload := b[walFrameSize : walFrameSize+int(n)]
+	if got := crc32.ChecksumIEEE(payload); got != sum {
+		return nil, 0, fmt.Errorf("checksum mismatch: %08x, frame says %08x", got, sum)
+	}
+	return payload, walFrameSize + int(n), nil
+}
+
 // appendWALRecord appends one framed record to buf. A payload the
 // decoder would reject as implausible is refused here, symmetrically —
 // writing it would produce an acknowledged record that the next recovery
@@ -109,9 +142,7 @@ func appendWALRecord(buf []byte, rec walRecord) ([]byte, error) {
 	if len(payload) > walMaxPayload {
 		return nil, fmt.Errorf("registry: WAL record %q is %d bytes, beyond the %d-byte record limit", rec.Name, len(payload), walMaxPayload)
 	}
-	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)))
-	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
-	return append(buf, payload...), nil
+	return appendFrame(buf, payload), nil
 }
 
 // decodeWALRecord decodes one framed record from b, returning the record
@@ -121,20 +152,9 @@ func appendWALRecord(buf []byte, rec walRecord) ([]byte, error) {
 // tail.
 func decodeWALRecord(b []byte) (walRecord, int, error) {
 	var rec walRecord
-	if len(b) < walFrameSize {
-		return rec, 0, fmt.Errorf("short frame: %d bytes", len(b))
-	}
-	n := binary.BigEndian.Uint32(b[0:4])
-	sum := binary.BigEndian.Uint32(b[4:8])
-	if n > walMaxPayload {
-		return rec, 0, fmt.Errorf("implausible payload length %d", n)
-	}
-	if int64(len(b))-walFrameSize < int64(n) {
-		return rec, 0, fmt.Errorf("torn payload: %d of %d bytes", len(b)-walFrameSize, n)
-	}
-	payload := b[walFrameSize : walFrameSize+int(n)]
-	if got := crc32.ChecksumIEEE(payload); got != sum {
-		return rec, 0, fmt.Errorf("checksum mismatch: %08x, frame says %08x", got, sum)
+	payload, size, err := decodeFrame(b)
+	if err != nil {
+		return rec, 0, err
 	}
 	if err := json.Unmarshal(payload, &rec); err != nil {
 		return rec, 0, fmt.Errorf("decoding payload: %w", err)
@@ -147,7 +167,7 @@ func decodeWALRecord(b []byte) (walRecord, int, error) {
 	if rec.Name == "" {
 		return rec, 0, fmt.Errorf("record without a name")
 	}
-	return rec, walFrameSize + int(n), nil
+	return rec, size, nil
 }
 
 // scanWAL reads a journal file and returns every whole, checksum-valid
