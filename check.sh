@@ -73,13 +73,22 @@ go build ./... || fail build "go build failed (see above)"
 echo "check: go test ./..."
 go test ./... || fail test "go test failed (see above)"
 
+# The bench gates mirror CI's bench job: every gated cupidbench
+# experiment, in the same order. Short overload windows keep the local
+# run interactive; CI's nightly deep suite runs the full-length ones.
 if [ "${CHECK_SKIP_BENCH:-}" = "1" ]; then
     echo "check: bench gates skipped (CHECK_SKIP_BENCH=1)"
 else
     echo "check: cupidbench -exp bench (CHECK_SKIP_BENCH=1 to skip)"
     go run ./cmd/cupidbench -exp bench || fail bench "bench gates failed (recall or speedup regression; see above)"
+    echo "check: cupidbench -exp overload (CHECK_SKIP_BENCH=1 to skip)"
+    go run ./cmd/cupidbench -exp overload -overload-window 250ms || fail overload-bench "overload gates failed (goodput, p99 knee, cache or ranking-identity regression; see above)"
     echo "check: cupidbench -exp planner (CHECK_SKIP_BENCH=1 to skip)"
     go run ./cmd/cupidbench -exp planner || fail planner-bench "planner gates failed (recall, time-vs-static or allocation regression; see above)"
+    echo "check: cupidbench -exp cluster (CHECK_SKIP_BENCH=1 to skip)"
+    go run ./cmd/cupidbench -exp cluster || fail cluster-bench "cluster gates failed (scaling, merge-recall or replica-convergence regression; see above)"
+    echo "check: cupidbench -exp corpus (CHECK_SKIP_BENCH=1 to skip)"
+    go run ./cmd/cupidbench -exp corpus || fail corpus-bench "corpus gates failed (family routing speed/recall or clustering durability regression; see above)"
 fi
 
 echo "check: ok"

@@ -177,6 +177,13 @@ type BenchReport struct {
 	// aggregate matches/sec from 1 to 4 shards, merged recall@10
 	// exactly 1.0, byte-identical replica rankings.
 	Cluster *ClusterPoint `json:"cluster,omitempty"`
+	// Corpus is the corpus-clustering workload (-exp corpus): family-routed
+	// retrieval vs the flat indexed path on a clustered 10k FamilyCorpus
+	// registry, plus clustering durability. Gated: the family sweep beats
+	// flat indexed, family recall@10 >= 0.98 vs the exhaustive scan, and a
+	// restarted node and a replication follower both serve byte-identical
+	// clustering bytes.
+	Corpus *CorpusPoint `json:"corpus,omitempty"`
 }
 
 // benchSpecs is the sweep measured by -exp bench: the eval scalability

@@ -41,11 +41,25 @@
 //	           1.0) plus the killed-and-restarted replica, gated on
 //	           byte-identical convergence with the primary
 //	           -> merged into BENCH_cupid.json
+//	corpus     corpus clustering + family-routed retrieval: cluster a
+//	           10k FamilyCorpus registry into schema families and race
+//	           family-routed matching against the flat indexed path
+//	           (gated faster, recall@10 >= 0.98 vs the exhaustive
+//	           scan), then persist a clustering through the journal
+//	           and gate a restarted node and a replication follower on
+//	           byte-identical family assignments
+//	           -> merged into BENCH_cupid.json
 //	all        everything (default; excludes tune, bench, overload,
-//	           planner and cluster)
+//	           planner, cluster and corpus)
 //
 // With -csv, the scale and ablation experiments additionally emit CSV to
 // stdout (the raw series behind the figures).
+//
+// With -compare BASELINE, no experiment runs: the report at -benchout is
+// diffed against the committed BASELINE and the command fails when any
+// speedup ratio degraded more than 25% or any recall metric dropped at
+// all — the bench-trend regression gate CI runs after regenerating the
+// report.
 package main
 
 import (
@@ -171,18 +185,31 @@ func run(exp string, csvOut bool, benchOut string, benchSelfCheck bool, overload
 			return err
 		}
 	}
+	if exp == "corpus" { // not part of "all": builds a 10k-schema corpus
+		if err := runCorpus(benchOut); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, table2, table3, rdbstar, thesaurus, lingonly, university, scale, ablation, tune, bench, overload, planner, cluster, all")
+	exp := flag.String("exp", "all", "experiment: table1, table2, table3, rdbstar, thesaurus, lingonly, university, scale, ablation, tune, bench, overload, planner, cluster, corpus, all")
 	csvOut := flag.Bool("csv", false, "also emit CSV for scale/ablation")
-	benchOut := flag.String("benchout", "BENCH_cupid.json", "output path for the -exp bench/overload/planner/cluster report")
+	benchOut := flag.String("benchout", "BENCH_cupid.json", "output path for the -exp bench/overload/planner/cluster/corpus report")
 	benchSelfCheck := flag.Bool("selfcheck", true, "run go vet + race determinism tests before -exp bench")
 	overloadWindow := flag.Duration("overload-window", time.Second, "timed window per -exp overload load cell")
+	compare := flag.String("compare", "", "baseline BENCH_cupid.json to gate -benchout against: fail when any speedup ratio degrades > 25% or any recall drops (no experiment runs)")
 	flag.Parse()
+	if *compare != "" {
+		if err := runCompare(*benchOut, *compare); err != nil {
+			fmt.Fprintln(os.Stderr, "cupidbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	switch *exp {
-	case "all", "table1", "table2", "table3", "rdbstar", "thesaurus", "lingonly", "university", "scale", "ablation", "tune", "bench", "overload", "planner", "cluster":
+	case "all", "table1", "table2", "table3", "rdbstar", "thesaurus", "lingonly", "university", "scale", "ablation", "tune", "bench", "overload", "planner", "cluster", "corpus":
 	default:
 		fmt.Fprintf(os.Stderr, "cupidbench: unknown experiment %q\n", *exp)
 		os.Exit(2)

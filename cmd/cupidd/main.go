@@ -81,11 +81,14 @@
 //	                       snapshot at most once per DUR; 0 = fsync a full
 //	                       snapshot synchronously on every mutation
 //	-retrieval MODE        /match/batch retrieval strategy: auto (default;
-//	                       a stats-driven planner picks exact, pruned or
-//	                       indexed retrieval plus a candidate budget per
-//	                       query), index (force inverted-index candidates),
-//	                       pruned (force the linear signature-pruned scan)
-//	                       or exact (force exhaustive scans)
+//	                       a stats-driven planner picks exact, pruned,
+//	                       indexed or family retrieval plus a candidate
+//	                       budget per query), index (force inverted-index
+//	                       candidates), pruned (force the linear
+//	                       signature-pruned scan), family (force
+//	                       family-routed matching through the installed
+//	                       corpus clustering) or exact (force exhaustive
+//	                       scans)
 //	-index                 deprecated alias: -index is -retrieval=index,
 //	                       -index=false is -retrieval=pruned; contradicting
 //	                       an explicit -retrieval is refused
@@ -119,6 +122,19 @@
 //	                         or an inline {"format", "content"} document
 //	POST   /match/batch      rank the repository against one source schema:
 //	                         {source, topK?}; returns top-K scored results
+//	GET    /mappings/{a}/{c} derive a mapping between two registered
+//	                         schemas: ?via=direct (one full match, the
+//	                         default) or ?via=family (composed transitively
+//	                         through the schemas' shared family medoid,
+//	                         similarities multiplied along each chain)
+//	POST   /corpus/cluster   start an asynchronous corpus-clustering job
+//	                         (greedy-medoid schema families over
+//	                         index-generated candidate pairs); returns 202
+//	                         with a job id; optional body {neighbors,
+//	                         min_affinity}
+//	GET    /corpus/cluster/{id} poll a clustering job (running/done/failed)
+//	GET    /corpus/families  the installed clustering's canonical JSON,
+//	                         byte-identical across restarts and replicas
 //	GET    /replicate        stream the write-ahead journal to a follower
 //	                         (snapshot transfer, then commit-ordered tail;
 //	                         ?base=&records= resumes a checkpointed
@@ -190,6 +206,9 @@ type server struct {
 	// replState tracks the follower's replication progress for /readyz
 	// (non-nil exactly in follower mode).
 	replState *cupid.ReplState
+	// corpusJobs tracks asynchronous corpus-clustering runs
+	// (POST /corpus/cluster; corpus.go).
+	corpusJobs clusterJobs
 }
 
 func newServer(cfg cupid.Config) (*server, error) {
@@ -791,7 +810,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			Leaves:      pairsOf(rk.Result.Mapping.Leaves),
 		})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	reply := map[string]any{
 		"source":            sourceName(src, srcName),
 		"strategy":          res.Stats.Strategy.String(),
 		"planned":           res.Stats.Planned,
@@ -800,7 +819,16 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		"cached":            res.Cached,
 		"degraded":          res.Stats.Degraded,
 		"results":           results,
-	})
+	}
+	// Family-route provenance, reported only when the family strategy was
+	// in play: the winning medoid, or the fact that the route fell back.
+	if res.Stats.Family != "" {
+		reply["family"] = res.Stats.Family
+	}
+	if res.Stats.FamilyFallback {
+		reply["family_fallback"] = true
+	}
+	writeJSON(w, http.StatusOK, reply)
 }
 
 // sourceName labels the batch source: its repository name when registered,
@@ -829,6 +857,10 @@ func (s *server) routeTable() []route {
 		{http.MethodDelete, "/schemas/{name}", s.handleDelete},
 		{http.MethodPost, "/match", s.handleMatch},
 		{http.MethodPost, "/match/batch", s.handleBatch},
+		{http.MethodGet, "/mappings/{a}/{c}", s.handleMapping},
+		{http.MethodPost, "/corpus/cluster", s.handleClusterStart},
+		{http.MethodGet, "/corpus/cluster/{id}", s.handleClusterStatus},
+		{http.MethodGet, "/corpus/families", s.handleFamilies},
 		{http.MethodGet, "/replicate", s.handleReplicate},
 		{http.MethodGet, "/healthz", func(w http.ResponseWriter, _ *http.Request) {
 			writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})

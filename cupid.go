@@ -97,6 +97,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/corpus"
 	"repro/internal/dtd"
 	"repro/internal/linguistic"
 	"repro/internal/mapping"
@@ -320,7 +321,7 @@ func DefaultIndexOptions() PruneOptions { return registry.DefaultIndexOptions() 
 type RetrievalStats = registry.RetrievalStats
 
 // RetrievalStrategy names a repository retrieval path: the planner
-// (RetrievalAuto) or one of the three forced strategies.
+// (RetrievalAuto) or one of the four forced strategies.
 type RetrievalStrategy = registry.Strategy
 
 // Retrieval strategies, mirroring cupidd's -retrieval flag values.
@@ -335,11 +336,26 @@ const (
 	// RetrievalIndexed forces inverted-index candidate generation
 	// (MatchIndexed).
 	RetrievalIndexed = registry.StrategyIndexed
+	// RetrievalFamily forces family-routed matching: probe the installed
+	// corpus clustering's medoids, full-match only inside the winning
+	// family. Falls back to indexed when no fresh clustering is installed.
+	RetrievalFamily = registry.StrategyFamily
 )
 
 // ParseRetrievalStrategy parses a -retrieval flag value (auto, exact,
-// pruned, index or indexed).
+// pruned, index, indexed or family).
 func ParseRetrievalStrategy(s string) (RetrievalStrategy, error) { return registry.ParseStrategy(s) }
+
+// CorpusOptions tunes corpus-scale schema clustering (neighbor count per
+// schema and the minimum affinity for a family edge).
+type CorpusOptions = corpus.Options
+
+// CorpusResult is one corpus clustering: the schema families (medoid +
+// sorted members) in canonical, byte-stable JSON form.
+type CorpusResult = corpus.Result
+
+// SchemaFamily is one family of a corpus clustering.
+type SchemaFamily = corpus.Family
 
 // PlanOptions configures SchemaRegistry.Match's planned retrieval: an
 // optional forced strategy, the per-path budget policies, and the

@@ -10,8 +10,10 @@ import (
 )
 
 // threeWayFixture builds A -> B and B -> C mappings over three copies of
-// the same small schema, so composition A -> C is fully determined.
-func threeWayFixture(t *testing.T) (ab, bc *Mapping) {
+// the same small schema, so composition A -> C is fully determined. It
+// also returns the direct A -> C mapping as the oracle for agreement
+// tests.
+func threeWayFixture(t *testing.T) (ab, bc, direct *Mapping) {
 	t.Helper()
 	build := func(name string) *schematree.Tree {
 		s := model.New(name)
@@ -39,11 +41,11 @@ func threeWayFixture(t *testing.T) (ab, bc *Mapping) {
 		structural.SecondPass(res, ts, tt, lsim, p)
 		return Generate(ts, tt, res, lsim, DefaultOptions())
 	}
-	return match(a, b), match(b, c)
+	return match(a, b), match(b, c), match(a, c)
 }
 
 func TestInvert(t *testing.T) {
-	ab, _ := threeWayFixture(t)
+	ab, _, _ := threeWayFixture(t)
 	inv := ab.Invert()
 	if inv.SourceSchema != "B" || inv.TargetSchema != "A" {
 		t.Errorf("inverted schemas = %s -> %s", inv.SourceSchema, inv.TargetSchema)
@@ -68,7 +70,7 @@ func TestInvert(t *testing.T) {
 }
 
 func TestCompose(t *testing.T) {
-	ab, bc := threeWayFixture(t)
+	ab, bc, _ := threeWayFixture(t)
 	ac := ab.Compose(bc)
 	if ac.SourceSchema != "A" || ac.TargetSchema != "C" {
 		t.Errorf("composed schemas = %s -> %s", ac.SourceSchema, ac.TargetSchema)
@@ -99,8 +101,47 @@ func TestCompose(t *testing.T) {
 	}
 }
 
+// TestComposeAgreesWithDirect is the agreement property the family-
+// mediated mapping route (GET /mappings/{a}/{c}?via=family) rests on:
+// composing A -> B with B -> C yields exactly the correspondence pairs a
+// direct A -> C match finds, and — because per-hop similarities multiply
+// — never claims more confidence than the direct match does.
+func TestComposeAgreesWithDirect(t *testing.T) {
+	ab, bc, direct := threeWayFixture(t)
+	composed := ab.Compose(bc)
+
+	directSim := make(map[[2]string]float64, len(direct.Leaves))
+	for _, e := range direct.Leaves {
+		directSim[[2]string{e.Source.Path(), e.Target.Path()}] = e.WSim
+	}
+	if len(composed.Leaves) != len(direct.Leaves) {
+		t.Fatalf("composed has %d leaf pairs, direct has %d:\n%s\nvs\n%s",
+			len(composed.Leaves), len(direct.Leaves), composed, direct)
+	}
+	for _, e := range composed.Leaves {
+		key := [2]string{e.Source.Path(), e.Target.Path()}
+		ws, ok := directSim[key]
+		if !ok {
+			t.Errorf("composed pair %s <-> %s not in the direct mapping", key[0], key[1])
+			continue
+		}
+		if e.WSim > ws+1e-12 {
+			t.Errorf("composed pair %s <-> %s claims wsim %v above the direct %v",
+				key[0], key[1], e.WSim, ws)
+		}
+	}
+
+	// Non-leaf structure chains identically.
+	for _, e := range direct.NonLeaves {
+		if !composed.HasPair(e.Source.Path(), e.Target.Path()) {
+			t.Errorf("direct non-leaf pair %s <-> %s missing from the composition",
+				e.Source.Path(), e.Target.Path())
+		}
+	}
+}
+
 func TestComposeDropsUnchainedElements(t *testing.T) {
-	ab, bc := threeWayFixture(t)
+	ab, bc, _ := threeWayFixture(t)
 	// Break the chain: remove B's ID link from the second mapping.
 	var filtered []Element
 	for _, e := range bc.Leaves {

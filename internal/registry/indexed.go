@@ -58,6 +58,16 @@ type RetrievalStats struct {
 	// tokens: the candidate pool the planner sized its budget against
 	// (planner input; zero on forced runs).
 	PostingsKept int
+	// Families is the number of family medoids the family route probed
+	// (zero unless the family strategy actually ran).
+	Families int
+	// Family is the winning family's medoid name when the family route
+	// produced the ranking.
+	Family string
+	// FamilyFallback reports that a family-strategy call could not run as
+	// one — no clustering installed, the clustering gone stale, or its
+	// medoids no longer resolving — and fell back to the indexed path.
+	FamilyFallback bool
 }
 
 // MatchIndexed is the inverted-index form of MatchTop: instead of scoring

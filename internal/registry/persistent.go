@@ -2,11 +2,13 @@ package registry
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/corpus"
 	"repro/internal/model"
 )
 
@@ -188,7 +190,16 @@ func OpenPersistentOptions(dir string, m *core.Matcher, opts PersistOptions, par
 		kick:        make(chan struct{}, 1),
 		stop:        make(chan struct{}),
 	}
+	var famDoc *Doc
 	for _, l := range rec.Docs {
+		if l.Schema == nil && metaDoc(l.Doc.Format) {
+			// Repository metadata rides the same recovery stream but is
+			// installed after the schema registrations (below), so the
+			// staleness clock it records covers the whole recovered corpus.
+			d := l.Doc
+			famDoc = &d
+			continue
+		}
 		e, _, err := p.Registry.Register(l.Doc.Name, l.Schema)
 		if err != nil {
 			st.Close()
@@ -200,6 +211,16 @@ func OpenPersistentOptions(dir string, m *core.Matcher, opts PersistOptions, par
 		d := l.Doc
 		d.Fingerprint = e.Fingerprint
 		p.docs[e.Name] = d
+	}
+	if famDoc != nil {
+		// An undecodable clustering is dropped with a warning, never fatal:
+		// the registry serves fine without one (the planner just routes
+		// indexed), and the next compaction stops persisting it.
+		if err := p.Registry.SetFamiliesJSON([]byte(famDoc.Content)); err != nil {
+			rec.Warnings = append(rec.Warnings, fmt.Sprintf("dropping persisted corpus clustering: %v", err))
+		} else {
+			p.docs[famDoc.Name] = *famDoc
+		}
 	}
 	switch {
 	case p.opts.WAL:
@@ -465,6 +486,9 @@ func errClosed() error { return fmt.Errorf("registry: persistent registry is clo
 // document bytes verbatim so a restart re-parses exactly what was
 // registered. This is the durable path the cupidd server uses.
 func (p *Persistent) RegisterSource(name, format string, content []byte) (*Entry, bool, error) {
+	if name == FamiliesDocName || metaDoc(format) {
+		return nil, false, fmt.Errorf("registry: name %q / format %q is reserved for corpus clustering metadata", FamiliesDocName, FamiliesDocFormat)
+	}
 	s, err := p.store.parse(name, format, content)
 	if err != nil {
 		return nil, false, err
@@ -582,6 +606,83 @@ func (p *Persistent) journalPutLocked(d Doc, verb string) error {
 	return nil
 }
 
+// familiesFingerprint derives the reserved metadata document's
+// fingerprint from its canonical bytes, so idempotence and replication
+// diffing work the same way they do for schema documents.
+func familiesFingerprint(raw []byte) string {
+	h := fnv.New64a()
+	h.Write(raw)
+	return fmt.Sprintf("corpus-%016x", h.Sum64())
+}
+
+// StoreFamilies validates and installs a corpus clustering result and
+// persists its canonical bytes as the reserved metadata document — one
+// journaled put through the ordinary WAL/snapshot path, so the clustering
+// survives restarts, folds into compaction snapshots, and streams to
+// replication followers like any other acknowledged mutation.
+func (p *Persistent) StoreFamilies(res *corpus.Result) error {
+	if res == nil {
+		return fmt.Errorf("registry: storing nil corpus clustering")
+	}
+	raw, err := res.Encode()
+	if err != nil {
+		return err
+	}
+	return p.storeFamiliesJSON(raw)
+}
+
+// storeFamiliesJSON is StoreFamilies on canonical bytes — also the
+// replication apply path (applyFamiliesDoc), which must journal exactly
+// the primary's bytes locally so a follower's own restart and its own
+// followers see the identical clustering.
+func (p *Persistent) storeFamiliesJSON(raw []byte) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return errClosed()
+	}
+	if err := p.Registry.SetFamiliesJSON(raw); err != nil {
+		p.mu.Unlock()
+		return err
+	}
+	d := Doc{Name: FamiliesDocName, Fingerprint: familiesFingerprint(raw), Format: FamiliesDocFormat, Content: string(raw)}
+	identical := false
+	if cur, ok := p.docs[d.Name]; ok && cur.Content == d.Content {
+		identical = true
+	}
+	p.docs[d.Name] = d
+	if identical {
+		if p.opts.WAL {
+			// Same idempotence contract as re-registration: free when the
+			// content is confirmed durable, a fresh record when a pending
+			// marker says the earlier commit never confirmed.
+			if _, pending := p.unjournaled[d.Name]; !pending {
+				p.mu.Unlock()
+				return nil
+			}
+		} else if !(p.dirty && p.opts.SnapshotInterval == 0) {
+			p.mu.Unlock()
+			return nil
+		}
+	}
+	if !p.opts.WAL {
+		err := p.noteMutationLocked()
+		p.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("registry: installed corpus clustering but persisting failed: %w", err)
+		}
+		return nil
+	}
+	return p.journalPutLocked(d, "installed corpus clustering")
+}
+
+// applyFamiliesDoc installs a clustering document received from
+// replication (a streamed put record or a resync snapshot doc),
+// journaling it locally with the primary's exact content bytes.
+func (p *Persistent) applyFamiliesDoc(d Doc) error {
+	return p.storeFamiliesJSON([]byte(d.Content))
+}
+
 // Remove deletes the entry and persists the removal, reporting whether the
 // entry existed.
 func (p *Persistent) Remove(name string) (bool, error) {
@@ -593,6 +694,16 @@ func (p *Persistent) Remove(name string) (bool, error) {
 	existed := p.Registry.Remove(name)
 	if existed {
 		delete(p.docs, name)
+	}
+	if !existed && name == FamiliesDocName {
+		// The reserved metadata document never lives in the entry shards;
+		// removing it clears the installed clustering (planner falls back
+		// to indexed) and journals an ordinary del record.
+		if _, ok := p.docs[name]; ok {
+			p.Registry.ClearFamilies()
+			delete(p.docs, name)
+			existed = true
+		}
 	}
 	if !p.opts.WAL {
 		if !existed {

@@ -36,6 +36,12 @@ const (
 	// StrategyIndexed is the inverted-index path (MatchIndexed): only
 	// token-sharing entries are touched at all.
 	StrategyIndexed
+	// StrategyFamily is the corpus-clustered route (families.go): the
+	// probe is tree-matched against the K family medoids first, then
+	// full-matched only within the winning family. Requires an installed,
+	// fresh clustering (Registry.SetFamilies); execution falls back to the
+	// indexed path otherwise, flagged FamilyFallback in the stats.
+	StrategyFamily
 )
 
 // String returns the strategy's wire name (the value cupidd's -retrieval
@@ -50,12 +56,14 @@ func (s Strategy) String() string {
 		return "pruned"
 	case StrategyIndexed:
 		return "indexed"
+	case StrategyFamily:
+		return "family"
 	}
 	return fmt.Sprintf("strategy(%d)", uint8(s))
 }
 
-// ParseStrategy parses a -retrieval flag value: auto, exact, pruned, or
-// index (indexed is accepted as a synonym).
+// ParseStrategy parses a -retrieval flag value: auto, exact, pruned,
+// family, or index (indexed is accepted as a synonym).
 func ParseStrategy(s string) (Strategy, error) {
 	switch s {
 	case "auto":
@@ -66,8 +74,10 @@ func ParseStrategy(s string) (Strategy, error) {
 		return StrategyPruned, nil
 	case "index", "indexed":
 		return StrategyIndexed, nil
+	case "family":
+		return StrategyFamily, nil
 	}
-	return StrategyAuto, fmt.Errorf("unknown retrieval strategy %q (want auto, index, pruned or exact)", s)
+	return StrategyAuto, fmt.Errorf("unknown retrieval strategy %q (want auto, index, pruned, family or exact)", s)
 }
 
 // PlanOptions configures one planned match: which strategy to run (or
@@ -157,6 +167,10 @@ type Plan struct {
 	// probe's sharpest discriminating signal. The planner abandons the
 	// index when even this cluster overflows the static candidate budget.
 	MinKeptDF int
+	// Families is the installed family count the family route will probe
+	// (zero when the plan is not StrategyFamily). The family budget itself
+	// is resolved at execution time from the winning family's size.
+	Families int
 }
 
 // Plan decides how a probe will be retrieved, without running anything.
@@ -168,6 +182,11 @@ type Plan struct {
 //	exact    n = 0, a token-less probe, or static budgets that already
 //	         reach the whole corpus: every path degenerates to the full
 //	         scan, so run the cheapest spelling of it.
+//	family   a fresh corpus clustering is installed (SetFamilies) and the
+//	         corpus is large enough (familyAutoMinCorpus) for medoid
+//	         routing to pay: tree-match the K medoids, full-match only
+//	         within the winning family. Falls back to indexed at
+//	         execution time if the clustering went stale in between.
 //	pruned   the index cannot separate this probe's true matches from
 //	         the crowd: it is blind to the probe (no token indexed),
 //	         sees only stop-common tokens (accumulation would touch
@@ -206,9 +225,14 @@ func (r *Registry) Plan(src *core.Prepared, topK int, opt PlanOptions) Plan {
 	p.PostingsKept, p.MaxKeptDF, p.MinKeptDF = st.PostingsKept, st.MaxKeptDF, st.MinKeptDF
 	pruneLimit := opt.Prune.Limit(n, topK)
 	idxLimit := opt.Index.Limit(n, topK)
+	fams := r.usableFamilies()
 	switch {
 	case n == 0 || len(sig.Tokens) == 0 || idxLimit >= n || pruneLimit >= n:
 		p.Strategy, p.Budget, p.Degraded = StrategyExact, n, false
+	case fams != nil && n >= familyAutoMinCorpus:
+		// Budget resolved at execution from the winning family's size
+		// (plan.Index.Limit over its members, plus the medoid probes).
+		p.Strategy, p.Families = StrategyFamily, len(fams.medoids)
 	case st.TokensIndexed == 0 || st.PostingsKept == 0 || st.MinKeptDF >= idxLimit:
 		p.Strategy, p.Budget = StrategyPruned, pruneLimit
 	default:
@@ -323,6 +347,8 @@ func (r *Registry) execute(ctx context.Context, src *core.Prepared, topK int, pl
 		st.CandidatesScored, st.CandidatesMatched, st.CandidateBudget = ist.Scored, len(entries), limit
 		st.Indexed = true
 		return ranked, st, err
+	case StrategyFamily:
+		return r.executeFamily(ctx, src, topK, plan, st)
 	default: // StrategyExact — and the safe fallback for invalid values
 		entries := r.List()
 		ranked, err := r.rank(ctx, entries, src, topK)

@@ -62,6 +62,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/index"
@@ -111,6 +112,13 @@ type Registry struct {
 	matcher *core.Matcher
 	idx     *index.Index
 	shards  [regShards]regShard
+
+	// families is the installed corpus clustering (families.go); nil until
+	// SetFamilies. mutations counts committed map mutations (inserts,
+	// replacements, removals) — the staleness clock an installed clustering
+	// is judged against.
+	families  atomic.Pointer[familyView]
+	mutations atomic.Uint64
 }
 
 // New builds a registry with its own Matcher for the given configuration.
@@ -187,6 +195,7 @@ func (r *Registry) Register(name string, s *model.Schema) (e *Entry, created boo
 	// mutations commit in the same order, so a replace can never leave the
 	// index pointing at evicted content.
 	r.idx.Upsert(name, fp, sig)
+	r.mutations.Add(1)
 	return e, true, nil
 }
 
@@ -209,6 +218,7 @@ func (r *Registry) Remove(name string) bool {
 	if ok {
 		delete(sh.byName, name)
 		r.idx.Remove(name)
+		r.mutations.Add(1)
 	}
 	return ok
 }

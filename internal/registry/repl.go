@@ -581,7 +581,20 @@ func (p *Persistent) applyResync(docs []Doc) error {
 			}
 		}
 	}
+	if !keep[FamiliesDocName] {
+		// The primary dropped (or never had) a corpus clustering; a
+		// follower holding a stale one must drop it too.
+		if _, err := p.Remove(FamiliesDocName); err != nil {
+			return fmt.Errorf("registry: resync removing corpus clustering: %w", err)
+		}
+	}
 	for _, d := range docs {
+		if metaDoc(d.Format) {
+			if err := p.applyFamiliesDoc(d); err != nil {
+				return fmt.Errorf("registry: resync applying corpus clustering: %w", err)
+			}
+			continue
+		}
 		if _, _, err := p.RegisterSource(d.Name, d.Format, []byte(d.Content)); err != nil {
 			return fmt.Errorf("registry: resync applying %q: %w", d.Name, err)
 		}
@@ -593,6 +606,12 @@ func (p *Persistent) applyResync(docs []Doc) error {
 func (p *Persistent) applyReplRecord(rec walRecord) error {
 	switch rec.Op {
 	case walOpPut:
+		if metaDoc(rec.Format) {
+			if err := p.applyFamiliesDoc(rec.doc()); err != nil {
+				return fmt.Errorf("registry: replaying replicated corpus clustering: %w", err)
+			}
+			return nil
+		}
 		if _, _, err := p.RegisterSource(rec.Name, rec.Format, []byte(rec.Content)); err != nil {
 			return fmt.Errorf("registry: replaying replicated put %q: %w", rec.Name, err)
 		}

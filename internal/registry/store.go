@@ -84,6 +84,23 @@ const (
 	snapshotsKept = 2
 )
 
+// FamiliesDocName and FamiliesDocFormat identify the reserved metadata
+// document that carries the corpus clustering (internal/corpus canonical
+// JSON) through the ordinary persistence machinery: journaled like any
+// put, folded into snapshots, shipped to replication followers — so
+// family assignments survive restarts and replicate byte-identically
+// without a second durability path. The name is reserved: RegisterSource
+// refuses it for ordinary schemas.
+const (
+	FamiliesDocName   = ".corpus/families"
+	FamiliesDocFormat = "corpus-families"
+)
+
+// metaDoc reports whether a persisted record is repository metadata
+// rather than a schema document: metadata is never parsed as a schema and
+// never registered into the entry shards.
+func metaDoc(format string) bool { return format == FamiliesDocFormat }
+
 // Sentinel failure kinds loadNewest dispatches on: a version mismatch
 // hard-fails the open, a document parse failure skips the generation
 // without deleting it; everything else is structural crash damage.
@@ -429,6 +446,12 @@ func (st *Store) Recover() (*Recovery, error) {
 	rec.Docs = make([]Loaded, 0, len(names))
 	for _, name := range names {
 		d := state[name]
+		if metaDoc(d.Format) {
+			// Metadata replays like any other record (last writer wins) but
+			// is never parsed as a schema; the opener installs it.
+			rec.Docs = append(rec.Docs, Loaded{Doc: d})
+			continue
+		}
 		s, ok := parsed[name]
 		if !ok {
 			var perr error
@@ -473,6 +496,12 @@ func (st *Store) loadSnapshot(seq uint64) ([]Loaded, error) {
 		var d Doc
 		if err := json.Unmarshal(sc.Bytes(), &d); err != nil {
 			return nil, fmt.Errorf("decoding record %d: %w", i, err)
+		}
+		if metaDoc(d.Format) {
+			// Repository metadata (the corpus clustering) is carried, not
+			// parsed: the opener validates and installs it separately.
+			out = append(out, Loaded{Doc: d})
+			continue
 		}
 		s, err := st.parse(d.Name, d.Format, []byte(d.Content))
 		if err != nil {
