@@ -184,6 +184,12 @@ type BenchReport struct {
 	// restarted node and a replication follower both serve byte-identical
 	// clustering bytes.
 	Corpus *CorpusPoint `json:"corpus,omitempty"`
+	// CrossFormat is the generic-model fan-in workload (-exp crossformat):
+	// cross-format self-match over the examples/crossformat corpus plus
+	// the instance tie-break cell on byte-identical DDL. Gated: self-match
+	// top-1 >= 0.95, cross-format recall@10 exactly 1.0, and instance
+	// blending strictly beating name-only top-1 on the ambiguous corpus.
+	CrossFormat *CrossFormatPoint `json:"crossformat,omitempty"`
 }
 
 // benchSpecs is the sweep measured by -exp bench: the eval scalability

@@ -49,8 +49,17 @@
 //	           and gate a restarted node and a replication follower on
 //	           byte-identical family assignments
 //	           -> merged into BENCH_cupid.json
+//	crossformat  generic-model fan-in + instance-aware matching: the
+//	           cross-format corpus (each family rendered as SQL DDL,
+//	           JSON Schema and Avro; the examples/crossformat files)
+//	           probed against itself (top-1 family accuracy gated
+//	           >= 0.95, cross-format recall@10 exactly 1.0), and the
+//	           ambiguous-names tie-break corpus matched with and
+//	           without instance profiles (instance blending gated to
+//	           strictly beat name-only top-1)
+//	           -> merged into BENCH_cupid.json
 //	all        everything (default; excludes tune, bench, overload,
-//	           planner, cluster and corpus)
+//	           planner, cluster, corpus and crossformat)
 //
 // With -csv, the scale and ablation experiments additionally emit CSV to
 // stdout (the raw series behind the figures).
@@ -190,13 +199,18 @@ func run(exp string, csvOut bool, benchOut string, benchSelfCheck bool, overload
 			return err
 		}
 	}
+	if exp == "crossformat" { // not part of "all": merges into the bench report
+		if err := runCrossFormat(benchOut); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, table2, table3, rdbstar, thesaurus, lingonly, university, scale, ablation, tune, bench, overload, planner, cluster, corpus, all")
+	exp := flag.String("exp", "all", "experiment: table1, table2, table3, rdbstar, thesaurus, lingonly, university, scale, ablation, tune, bench, overload, planner, cluster, corpus, crossformat, all")
 	csvOut := flag.Bool("csv", false, "also emit CSV for scale/ablation")
-	benchOut := flag.String("benchout", "BENCH_cupid.json", "output path for the -exp bench/overload/planner/cluster/corpus report")
+	benchOut := flag.String("benchout", "BENCH_cupid.json", "output path for the -exp bench/overload/planner/cluster/corpus/crossformat report")
 	benchSelfCheck := flag.Bool("selfcheck", true, "run go vet + race determinism tests before -exp bench")
 	overloadWindow := flag.Duration("overload-window", time.Second, "timed window per -exp overload load cell")
 	compare := flag.String("compare", "", "baseline BENCH_cupid.json to gate -benchout against: fail when any speedup ratio degrades > 25% or any recall drops (no experiment runs)")
@@ -209,7 +223,7 @@ func main() {
 		return
 	}
 	switch *exp {
-	case "all", "table1", "table2", "table3", "rdbstar", "thesaurus", "lingonly", "university", "scale", "ablation", "tune", "bench", "overload", "planner", "cluster", "corpus":
+	case "all", "table1", "table2", "table3", "rdbstar", "thesaurus", "lingonly", "university", "scale", "ablation", "tune", "bench", "overload", "planner", "cluster", "corpus", "crossformat":
 	default:
 		fmt.Fprintf(os.Stderr, "cupidbench: unknown experiment %q\n", *exp)
 		os.Exit(2)

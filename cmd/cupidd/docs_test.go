@@ -208,6 +208,90 @@ func TestAPIDocQuickstartFlow(t *testing.T) {
 	}
 }
 
+// TestDocsFormatListMatchesSchemaFormats holds the schema-format lists in
+// docs/API.md and the command doc comment to cupid.SchemaFormats(), both
+// directions: every supported format must be documented (backticked in
+// the API doc's "Formats:" sentence and named in the godoc header), and
+// every format the docs name must actually be supported.
+func TestDocsFormatListMatchesSchemaFormats(t *testing.T) {
+	supported := map[string]bool{}
+	for _, f := range cupid.SchemaFormats() {
+		supported[f] = true
+	}
+
+	doc := readAPIDoc(t)
+	i := strings.Index(doc, "Formats:")
+	if i < 0 {
+		t.Fatal("docs/API.md has no \"Formats:\" sentence")
+	}
+	sentence, _, _ := strings.Cut(doc[i:], ".\n")
+	documented := map[string]bool{}
+	for _, m := range regexp.MustCompile("`([a-z]+)`").FindAllStringSubmatch(sentence, -1) {
+		documented[m[1]] = true
+	}
+	for f := range supported {
+		if !documented[f] {
+			t.Errorf("format %q is supported but missing from docs/API.md's Formats list", f)
+		}
+	}
+	for f := range documented {
+		if !supported[f] {
+			t.Errorf("format %q is documented in docs/API.md but not supported by cupid.ParseSchema", f)
+		}
+	}
+
+	head, err := os.ReadFile("main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := string(head)
+	if i := strings.Index(src, "package main"); i > 0 {
+		src = src[:i]
+	}
+	for f := range supported {
+		if !strings.Contains(src, f) {
+			t.Errorf("command doc comment does not mention format %q", f)
+		}
+	}
+}
+
+// TestRegisterWithInstancesFlow drives the documented instances payload
+// against the real handler stack: a registration carrying samples must
+// succeed with a profile-suffixed fingerprint, and a malformed payload
+// must be rejected with 400.
+func TestRegisterWithInstancesFlow(t *testing.T) {
+	s, err := newServer(cupid.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.routes())
+	defer ts.Close()
+
+	var info schemaInfo
+	code := call(t, ts, http.MethodPost, "/schemas", map[string]any{
+		"name": "orders", "format": "sql",
+		"content":   "CREATE TABLE Orders (OrderID INT, Customer VARCHAR(64));",
+		"instances": map[string]any{"Orders.OrderID": []any{1001, 1002, 1003}, "Orders.Customer": []any{"Ada", "Grace", nil}},
+	}, &info)
+	if code != http.StatusCreated {
+		t.Fatalf("register with instances: status %d, want 201", code)
+	}
+	if !strings.Contains(info.Fingerprint, "+") {
+		t.Errorf("fingerprint %q has no profile suffix; instances dropped?", info.Fingerprint)
+	}
+
+	var errResp struct {
+		Error string `json:"error"`
+	}
+	if code := call(t, ts, http.MethodPost, "/schemas", map[string]any{
+		"name": "bad", "format": "sql",
+		"content":   "CREATE TABLE T (X INT);",
+		"instances": map[string]any{"T.X": []any{map[string]any{"nested": true}}},
+	}, &errResp); code != http.StatusBadRequest || errResp.Error == "" {
+		t.Errorf("malformed instances: status %d, error %q (want 400)", code, errResp.Error)
+	}
+}
+
 // TestCommandDocMentionsEveryFlagAndRoute keeps the package comment at the
 // top of main.go (the godoc face of the command) in sync with reality.
 func TestCommandDocMentionsEveryFlagAndRoute(t *testing.T) {

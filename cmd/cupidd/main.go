@@ -110,8 +110,11 @@
 // Endpoints (request and response bodies are JSON; docs/API.md is the full
 // reference, kept honest by a doc-conformance test):
 //
-//	POST   /schemas          register {name?, format, content}; format is
-//	                         sql, xsd, dtd or json (cupidmatch's formats)
+//	POST   /schemas          register {name?, format, content, instances?};
+//	                         format is sql, xsd, dtd, json, jsonschema or
+//	                         avro; the optional instances payload ({"path":
+//	                         [value, ...]} sampled leaf values) builds
+//	                         per-leaf profiles for instance-aware matching
 //	GET    /schemas          list registered schemas
 //	GET    /schemas/{name}   fetch one schema's stored source document
 //	                         (requires -data; the cluster router resolves
@@ -404,6 +407,12 @@ func (s *server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		Name    string `json:"name,omitempty"`
 		Format  string `json:"format"`
 		Content string `json:"content"`
+		// Instances is the optional sampled-instances payload: an object
+		// mapping leaf paths to arrays of sampled scalar values. When
+		// present, the entry is registered with per-leaf value profiles
+		// (instance-aware matching) and the payload is journaled with the
+		// source document.
+		Instances json.RawMessage `json:"instances,omitempty"`
 	}
 	if err := s.decodeBody(w, r, &req); err != nil {
 		writeError(w, err)
@@ -415,6 +424,10 @@ func (s *server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
+	instances := []byte(req.Instances)
+	if string(instances) == "null" { // explicit JSON null = no samples
+		instances = nil
+	}
 	var (
 		e       *cupid.RegistryEntry
 		created bool
@@ -425,7 +438,7 @@ func (s *server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		// failed snapshot write (entry exists but err != nil) is a
 		// server-side error: the mutation is in memory but its durability
 		// could not be guaranteed.
-		e, created, err = s.persist.RegisterSource(req.Name, req.Format, []byte(req.Content))
+		e, created, err = s.persist.RegisterSourceInstances(req.Name, req.Format, []byte(req.Content), instances)
 		if err != nil && e != nil {
 			// The mutation is in memory even though durability failed, so
 			// cached rankings are stale either way.
@@ -436,8 +449,15 @@ func (s *server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	} else {
 		var sch *cupid.Schema
 		sch, err = cupid.ParseSchema(req.Name, req.Format, []byte(req.Content))
+		var samples cupid.InstanceSamples
+		if err == nil && len(instances) > 0 {
+			samples, err = cupid.ParseInstanceSamples(instances)
+			if err != nil {
+				err = fmt.Errorf("instances: %w", err)
+			}
+		}
 		if err == nil {
-			e, created, err = s.reg.Register(req.Name, sch)
+			e, created, err = s.reg.RegisterInstances(req.Name, sch, samples)
 		}
 	}
 	if err != nil {

@@ -6,8 +6,8 @@
 //	cupidmatch [flags] SOURCE TARGET
 //
 // SOURCE and TARGET are schema files; the format is inferred from the
-// extension: .sql (SQL DDL), .xsd (XML Schema), .dtd (XML DTD), or
-// .json (native schema JSON).
+// extension: .sql (SQL DDL), .xsd (XML Schema), .dtd (XML DTD), .json
+// (native schema JSON), .jsonschema (JSON Schema), or .avsc (Avro).
 //
 // Flags:
 //
@@ -40,7 +40,7 @@ func loadSchema(path string) (*cupid.Schema, error) {
 	}
 	ext := filepath.Ext(path)
 	if ext == "" {
-		return nil, fmt.Errorf("cannot infer the schema format of %q: the path has no extension (want .sql, .xsd, .dtd or .json)", path)
+		return nil, fmt.Errorf("cannot infer the schema format of %q: the path has no extension (want .sql, .xsd, .dtd, .json, .jsonschema or .avsc)", path)
 	}
 	name := strings.TrimSuffix(filepath.Base(path), ext)
 	return cupid.ParseSchema(name, ext, data)

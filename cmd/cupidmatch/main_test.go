@@ -27,8 +27,10 @@ func TestLoadSchemaDispatch(t *testing.T) {
 </xs:schema>`)
 	dtd := write(t, dir, "c.dtd", `<!ELEMENT R EMPTY> <!ATTLIST R a CDATA #REQUIRED>`)
 	jsn := write(t, dir, "d.json", `{"name":"J","root":{"name":"J","children":[{"name":"A"}]}}`)
+	jss := write(t, dir, "e.jsonschema", `{"type":"object","properties":{"id":{"type":"integer"}}}`)
+	avs := write(t, dir, "f.avsc", `{"type":"record","name":"R","fields":[{"name":"id","type":"long"}]}`)
 
-	for _, p := range []string{sql, xsd, dtd, jsn} {
+	for _, p := range []string{sql, xsd, dtd, jsn, jss, avs} {
 		s, err := loadSchema(p)
 		if err != nil {
 			t.Errorf("loadSchema(%s): %v", p, err)

@@ -26,7 +26,11 @@
 //	}
 //
 // Schemas can also be imported from SQL DDL (ParseSQL), XML Schema
-// (ParseXSD), DTDs (ParseDTD), or the native JSON format (ReadSchemaJSON).
+// (ParseXSD), DTDs (ParseDTD), JSON Schema (ParseJSONSchema), Avro
+// (ParseAvro), or the native JSON format (ReadSchemaJSON) — all landing in
+// the same generic model, with concrete datatype names normalized through
+// one shared broad-type table (ParseDataType) so the datatype-compat
+// signal works across formats.
 //
 // # Performance
 //
@@ -96,9 +100,12 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/avro"
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/dtd"
+	"repro/internal/instance"
+	"repro/internal/jsonschema"
 	"repro/internal/linguistic"
 	"repro/internal/mapping"
 	"repro/internal/model"
@@ -279,6 +286,26 @@ func Match(source, target *Schema) (*Result, error) { return core.Match(source, 
 // schema once — see SchemaRegistry and the cupidd server.
 type Prepared = core.Prepared
 
+// InstanceSamples is sampled instance data for a schema's leaves, keyed by
+// leaf path ("table.column", with or without the schema-name prefix).
+// Attaching samples at preparation (Matcher.PrepareWithInstances) or
+// registration (SchemaRegistry.RegisterInstances, cupidd's POST /schemas
+// "instances" field) builds per-leaf value profiles that sharpen leaf
+// matching between profile-carrying schemas — observed-value evidence
+// breaking ties that names and declared types leave ambiguous. Parse the
+// JSON wire form with ParseInstanceSamples.
+type InstanceSamples = instance.Samples
+
+// ParseInstanceSamples decodes the JSON instances payload: an object
+// mapping each sampled leaf path to an array of scalar values (strings,
+// numbers, booleans; null marks a missing value). Sampling caps are
+// enforced at parse time — at most 256 sampled leaves, 1024 values per
+// leaf, and 256 bytes per value — so profile memory stays bounded
+// regardless of payload size.
+func ParseInstanceSamples(data []byte) (InstanceSamples, error) {
+	return instance.ParseSamples(data)
+}
+
 // SchemaRegistry is a concurrency-safe repository of prepared schemas,
 // keyed by name and content fingerprint. Register schemas once, then
 // MatchAll an incoming schema against every entry (fanned out over the
@@ -432,11 +459,15 @@ func OpenPersistentRegistryOptions(dir string, m *Matcher, opts PersistOptions) 
 func SchemaFingerprint(s *Schema) string { return model.Fingerprint(s) }
 
 // SchemaFormats lists the schema formats ParseSchema accepts.
-func SchemaFormats() []string { return []string{"sql", "xsd", "dtd", "json"} }
+func SchemaFormats() []string {
+	return []string{"sql", "xsd", "dtd", "json", "jsonschema", "avro"}
+}
 
 // ParseSchema imports a schema from raw bytes in the named format: "sql"
-// (SQL DDL), "xsd" (XML Schema), "dtd" (XML DTD), or "json" (the native
-// schema JSON). Format names are case-insensitive and may carry a leading
+// (SQL DDL), "xsd" (XML Schema), "dtd" (XML DTD), "json" (the native
+// schema JSON), "jsonschema" (JSON Schema draft-07 subset), or "avro"
+// (Avro schema declarations; "avsc", the conventional file extension, is
+// an alias). Format names are case-insensitive and may carry a leading
 // dot (".sql"), so file extensions can be passed through directly. The
 // cupidmatch CLI and the cupidd server share this loader.
 func ParseSchema(name, format string, data []byte) (*Schema, error) {
@@ -449,8 +480,12 @@ func ParseSchema(name, format string, data []byte) (*Schema, error) {
 		return dtd.Parse(name, string(data))
 	case "json":
 		return model.ReadJSON(bytes.NewReader(data))
+	case "jsonschema":
+		return jsonschema.Parse(name, data)
+	case "avro", "avsc":
+		return avro.Parse(name, data)
 	}
-	return nil, fmt.Errorf("unknown schema format %q (want sql, xsd, dtd or json)", format)
+	return nil, fmt.Errorf("unknown schema format %q (want sql, xsd, dtd, json, jsonschema or avro)", format)
 }
 
 // ParseSQL imports a relational schema from SQL DDL (CREATE TABLE with
@@ -466,6 +501,19 @@ func ParseXSD(schemaName string, doc []byte) (*Schema, error) {
 // ParseDTD imports an XML DTD (element content models, attribute lists,
 // ID/IDREF as referential constraints).
 func ParseDTD(schemaName, doc string) (*Schema, error) { return dtd.Parse(schemaName, doc) }
+
+// ParseJSONSchema imports a JSON Schema document (draft-07 subset:
+// objects/properties/required, $defs+$ref shared definitions with cycle
+// cutting, arrays, enums, type unions).
+func ParseJSONSchema(schemaName string, doc []byte) (*Schema, error) {
+	return jsonschema.Parse(schemaName, doc)
+}
+
+// ParseAvro imports an Avro schema declaration (records, enums, arrays,
+// maps, unions, fixed, named-type references, common logical types).
+func ParseAvro(schemaName string, doc []byte) (*Schema, error) {
+	return avro.Parse(schemaName, doc)
+}
 
 // ReadSchemaJSON parses a schema from the native JSON format.
 func ReadSchemaJSON(r io.Reader) (*Schema, error) { return model.ReadJSON(r) }

@@ -180,7 +180,15 @@ func TestPublicParseSchema(t *testing.T) {
 	if _, err := cupid.ParseSchema("T", "yaml", nil); err == nil {
 		t.Error("unknown format accepted")
 	}
-	if len(cupid.SchemaFormats()) != 4 {
+	if len(cupid.SchemaFormats()) != 6 {
 		t.Errorf("SchemaFormats = %v", cupid.SchemaFormats())
+	}
+	// Every advertised format must round-trip through ParseSchema without
+	// the "unknown schema format" rejection (doc conformance, one way).
+	for _, f := range cupid.SchemaFormats() {
+		if _, err := cupid.ParseSchema("T", f, []byte("x")); err != nil &&
+			strings.Contains(err.Error(), "unknown schema format") {
+			t.Errorf("advertised format %q rejected as unknown", f)
+		}
 	}
 }

@@ -1,0 +1,14 @@
+CREATE TABLE AgricultureMaster (
+    CropYield INT,
+    FieldHectares VARCHAR(80),
+    IrrigationRate DOUBLE,
+    HarvestDate DATE,
+    SoilAcidity TIMESTAMP
+);
+CREATE TABLE AgricultureDetail (
+    SeedVariety BOOLEAN,
+    FertilizerKg INT,
+    LivestockCount VARCHAR(80),
+    RainfallMm DOUBLE,
+    GreenhouseZone DATE
+);

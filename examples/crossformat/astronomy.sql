@@ -1,0 +1,14 @@
+CREATE TABLE AstronomyMaster (
+    RightAscension INT,
+    Declination VARCHAR(80),
+    Magnitude DOUBLE,
+    Redshift DATE,
+    Telescope TIMESTAMP
+);
+CREATE TABLE AstronomyDetail (
+    ExposureSeconds BOOLEAN,
+    Spectrum INT,
+    Parallax VARCHAR(80),
+    GalaxyType DOUBLE,
+    ObservationNight DATE
+);

@@ -1,0 +1,14 @@
+CREATE TABLE FinanceMaster (
+    AccountNumber INT,
+    Balance VARCHAR(80),
+    InterestRate DOUBLE,
+    BranchCode DATE,
+    TransactionDate TIMESTAMP
+);
+CREATE TABLE FinanceDetail (
+    Currency BOOLEAN,
+    CreditLimit INT,
+    IBAN VARCHAR(80),
+    Portfolio DOUBLE,
+    MaturityDate DATE
+);

@@ -1,0 +1,14 @@
+CREATE TABLE HealthcareMaster (
+    PatientName INT,
+    Diagnosis VARCHAR(80),
+    AdmissionDate DOUBLE,
+    Ward DATE,
+    Physician TIMESTAMP
+);
+CREATE TABLE HealthcareDetail (
+    BloodType BOOLEAN,
+    Dosage INT,
+    Allergy VARCHAR(80),
+    InsurancePolicy DOUBLE,
+    DischargeDate DATE
+);

@@ -1,0 +1,14 @@
+CREATE TABLE HumanResourcesMaster (
+    EmployeeName INT,
+    Salary VARCHAR(80),
+    Department DOUBLE,
+    HireDate DATE,
+    JobTitle TIMESTAMP
+);
+CREATE TABLE HumanResourcesDetail (
+    ManagerName BOOLEAN,
+    VacationDays INT,
+    PayGrade VARCHAR(80),
+    Certification DOUBLE,
+    TerminationDate DATE
+);

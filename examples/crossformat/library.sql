@@ -1,0 +1,14 @@
+CREATE TABLE LibraryMaster (
+    BookTitle INT,
+    AuthorName VARCHAR(80),
+    ISBN DOUBLE,
+    PublisherName DATE,
+    LoanDate TIMESTAMP
+);
+CREATE TABLE LibraryDetail (
+    ReturnDue BOOLEAN,
+    ShelfLocation INT,
+    EditionYear VARCHAR(80),
+    BorrowerCard DOUBLE,
+    CatalogEntry DATE
+);

@@ -1,0 +1,14 @@
+CREATE TABLE LogisticsMaster (
+    ShipmentWeight INT,
+    ContainerNumber VARCHAR(80),
+    PortOfLoading DOUBLE,
+    VesselName DATE,
+    ArrivalEstimate TIMESTAMP
+);
+CREATE TABLE LogisticsDetail (
+    FreightCharge BOOLEAN,
+    PalletCount INT,
+    CustomsCode VARCHAR(80),
+    RouteSegment DOUBLE,
+    DeliveryWindow DATE
+);

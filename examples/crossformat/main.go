@@ -1,0 +1,175 @@
+// Cross-format fan-in tour: the same logical "Finance" schema expressed
+// as SQL DDL, JSON Schema (draft-07 subset) and Avro all import into the
+// one generic model, so repository retrieval finds a schema's renderings
+// in other formats — and sampled instance data breaks ties that names and
+// declared types leave ambiguous. The sibling *.sql / *.jsonschema /
+// *.avsc files in this directory are the full ten-domain corpus the
+// conformance suite and the cupidbench crossformat experiment gate.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	cupid "repro"
+)
+
+const financeSQL = `
+CREATE TABLE FinanceMaster (
+    AccountNumber INT,
+    Balance VARCHAR(80),
+    InterestRate DOUBLE,
+    BranchCode DATE,
+    TransactionDate TIMESTAMP
+);
+CREATE TABLE FinanceDetail (
+    Currency BOOLEAN,
+    CreditLimit INT,
+    IBAN VARCHAR(80),
+    Portfolio DOUBLE,
+    MaturityDate DATE
+);
+`
+
+const financeJSONSchema = `{
+  "title": "Finance",
+  "type": "object",
+  "properties": {
+    "FinanceMaster": {
+      "type": "object",
+      "properties": {
+        "AccountNumber": {"type": "integer"},
+        "Balance": {"type": "string"},
+        "InterestRate": {"type": "number"},
+        "BranchCode": {"type": "string", "format": "date"},
+        "TransactionDate": {"type": "string", "format": "date-time"}
+      }
+    },
+    "FinanceDetail": {
+      "type": "object",
+      "properties": {
+        "Currency": {"type": "boolean"},
+        "CreditLimit": {"type": "integer"},
+        "IBAN": {"type": "string"},
+        "Portfolio": {"type": "number"},
+        "MaturityDate": {"type": "string", "format": "date"}
+      }
+    }
+  }
+}`
+
+const financeAvro = `{
+  "type": "record",
+  "name": "Finance",
+  "fields": [
+    {"name": "FinanceMaster", "type": {
+      "type": "record",
+      "name": "FinanceMasterType",
+      "fields": [
+        {"name": "AccountNumber", "type": "long"},
+        {"name": "Balance", "type": "string"},
+        {"name": "InterestRate", "type": "double"},
+        {"name": "BranchCode", "type": {"type": "int", "logicalType": "date"}},
+        {"name": "TransactionDate", "type": {"type": "long", "logicalType": "timestamp-millis"}}
+      ]
+    }},
+    {"name": "FinanceDetail", "type": {
+      "type": "record",
+      "name": "FinanceDetailType",
+      "fields": [
+        {"name": "Currency", "type": "boolean"},
+        {"name": "CreditLimit", "type": "long"},
+        {"name": "IBAN", "type": "string"},
+        {"name": "Portfolio", "type": "double"},
+        {"name": "MaturityDate", "type": {"type": "int", "logicalType": "date"}}
+      ]
+    }}
+  ]
+}`
+
+// Two deliberately ambiguous schemas: identical names, identical declared
+// types. Only their sampled values tell them apart.
+const ambiguousSQL = `CREATE TABLE Records (FieldA VARCHAR(64), FieldB VARCHAR(64));`
+
+func main() {
+	// 1. One logical schema, three formats, one generic model.
+	sql, err := cupid.ParseSQL("Finance", financeSQL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	js, err := cupid.ParseJSONSchema("Finance", []byte(financeJSONSchema))
+	if err != nil {
+		log.Fatal(err)
+	}
+	av, err := cupid.ParseAvro("Finance", []byte(financeAvro))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("imported: sql=%d elements, jsonschema=%d, avro=%d\n\n", sql.Len(), js.Len(), av.Len())
+
+	// 2. Register all three; probe with the JSON Schema rendering.
+	reg, err := cupid.NewRegistry(cupid.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for name, s := range map[string]*cupid.Schema{"finance_sql": sql, "finance_avro": av} {
+		if _, _, err := reg.Register(name, s); err != nil {
+			log.Fatal(err)
+		}
+	}
+	probe, err := reg.Matcher().Prepare(js)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ranked, err := reg.MatchAll(probe, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("jsonschema probe against the repository:")
+	for _, r := range ranked {
+		fmt.Printf("  %-14s score %.3f\n", r.Entry.Name, r.Score)
+	}
+
+	// 3. Instance-aware tie-breaking: two schemas with identical names and
+	// declared types, distinguished only by their sampled values.
+	tie, err := cupid.NewRegistry(cupid.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for name, inst := range map[string]string{
+		"numbers": `{"Records.FieldA": [1, 2, 3, 4], "Records.FieldB": [9.5, 8.25, 7.75, 6.5]}`,
+		"dates":   `{"Records.FieldA": ["2024-01-02", "2024-03-04"], "Records.FieldB": ["alpha", "beta", "gamma"]}`,
+	} {
+		s, err := cupid.ParseSQL(name, ambiguousSQL)
+		if err != nil {
+			log.Fatal(err)
+		}
+		samples, err := cupid.ParseInstanceSamples([]byte(inst))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, _, err := tie.RegisterInstances(name, s, samples); err != nil {
+			log.Fatal(err)
+		}
+	}
+	ps, err := cupid.ParseSQL("probe", ambiguousSQL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	samples, err := cupid.ParseInstanceSamples([]byte(`{"Records.FieldA": [5, 6, 7], "Records.FieldB": [5.5, 4.25]}`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	pp, err := tie.Matcher().PrepareWithInstances(ps, samples)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tied, err := tie.MatchAll(pp, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nnumeric-valued probe against ambiguous twins (instances attached):")
+	for _, r := range tied {
+		fmt.Printf("  %-8s score %.3f\n", r.Entry.Name, r.Score)
+	}
+}

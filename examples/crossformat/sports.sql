@@ -1,0 +1,14 @@
+CREATE TABLE SportsMaster (
+    PlayerName INT,
+    TeamName VARCHAR(80),
+    GoalsScored DOUBLE,
+    MatchAttendance DATE,
+    LeaguePosition TIMESTAMP
+);
+CREATE TABLE SportsDetail (
+    CoachName BOOLEAN,
+    StadiumCapacity INT,
+    SeasonYear VARCHAR(80),
+    PenaltyCount DOUBLE,
+    TransferFee DATE
+);

@@ -1,0 +1,14 @@
+CREATE TABLE TelemetryMaster (
+    SensorReading INT,
+    Voltage VARCHAR(80),
+    Temperature DOUBLE,
+    Humidity DATE,
+    FirmwareVersion TIMESTAMP
+);
+CREATE TABLE TelemetryDetail (
+    BatteryLevel BOOLEAN,
+    SignalStrength INT,
+    SampleEpoch VARCHAR(80),
+    GatewayAddress DOUBLE,
+    CalibrationOffset DATE
+);

@@ -1,0 +1,14 @@
+CREATE TABLE TravelMaster (
+    FlightNumber INT,
+    DepartureGate VARCHAR(80),
+    SeatAssignment DOUBLE,
+    FareClass DATE,
+    LayoverMinutes TIMESTAMP
+);
+CREATE TABLE TravelDetail (
+    BaggageAllowance BOOLEAN,
+    BookingReference INT,
+    PassportNumber VARCHAR(80),
+    Itinerary DOUBLE,
+    BoardingTime DATE
+);

@@ -1,0 +1,303 @@
+// Package avro imports Avro schema declarations (the JSON form: records,
+// enums, arrays, maps, unions, fixed, named-type references and the common
+// logical types) into the generic schema model, joining the sqlddl,
+// xsdlite, dtd and jsonschema fan-in. Records become KindType elements
+// referenced via IsDerivedFrom — a field typed by a previously defined
+// record shares its structure the way an XSD element shares a complex
+// type — and recursive records (a record whose field references a record
+// still being defined) are cut with an opaque DTComplex leaf, because
+// schema-tree expansion rejects derivation cycles.
+//
+// Primitive and logical type names ("long", "bytes", "timestamp-millis",
+// "decimal", ...) are normalized through model.ParseDataType, the shared
+// broad-type table every importer uses.
+package avro
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/model"
+)
+
+type builder struct {
+	s *model.Schema
+	// records maps a defined record's (full and bare) name to its KindType
+	// element.
+	records map[string]*model.Element
+	// scalars maps a defined enum/fixed name to its broad type: those named
+	// types carry no structure, so references just copy the type.
+	scalars map[string]model.DataType
+	// building marks record names whose fields are being expanded: a
+	// reference to one of these would close a derivation cycle.
+	building map[string]bool
+}
+
+// Parse converts an Avro schema declaration into a model schema named
+// name. A top-level record merges into the root: the root derives from the
+// record's type element, so the record's fields become the root's members
+// (an N-field top record has the same tree shape as a DDL script of N
+// tables when those fields are record-typed). Any other top-level type
+// becomes a single child named "value".
+func Parse(name string, data []byte) (*model.Schema, error) {
+	var top any
+	if err := json.Unmarshal(data, &top); err != nil {
+		return nil, fmt.Errorf("avro: %w", err)
+	}
+	b := &builder{
+		s:        model.New(name),
+		records:  map[string]*model.Element{},
+		scalars:  map[string]model.DataType{},
+		building: map[string]bool{},
+	}
+	if obj, ok := top.(map[string]any); ok {
+		if t, _ := obj["type"].(string); t == "record" || t == "error" {
+			te, err := b.record(obj, "")
+			if err != nil {
+				return nil, err
+			}
+			if err := b.s.DeriveFrom(b.s.Root(), te); err != nil {
+				return nil, err
+			}
+			if doc, _ := obj["doc"].(string); doc != "" {
+				b.s.Root().Description = doc
+			}
+			if err := b.s.Validate(); err != nil {
+				return nil, fmt.Errorf("avro: %w", err)
+			}
+			return b.s, nil
+		}
+	}
+	e := b.s.AddChild(b.s.Root(), "value", model.KindElement)
+	if err := b.fill(e, top, ""); err != nil {
+		return nil, err
+	}
+	if err := b.s.Validate(); err != nil {
+		return nil, fmt.Errorf("avro: %w", err)
+	}
+	return b.s, nil
+}
+
+// avroPrimitives are the eight primitive type names of the specification.
+var avroPrimitives = map[string]bool{
+	"null": true, "boolean": true, "int": true, "long": true,
+	"float": true, "double": true, "bytes": true, "string": true,
+}
+
+// fill populates element e from the Avro type t (string reference, union
+// list, or object form), resolving names against namespace ns.
+func (b *builder) fill(e *model.Element, t any, ns string) error {
+	switch v := t.(type) {
+	case string:
+		return b.reference(e, v, ns)
+	case []any:
+		return b.union(e, v, ns)
+	case map[string]any:
+		return b.object(e, v, ns)
+	default:
+		return fmt.Errorf("avro: invalid type %v (want a name, union array, or type object)", t)
+	}
+}
+
+// reference resolves a type name: a primitive, or a previously defined
+// record/enum/fixed (tried as given, then namespace-qualified).
+func (b *builder) reference(e *model.Element, name, ns string) error {
+	if avroPrimitives[name] {
+		e.Type = model.ParseDataType(name)
+		return nil
+	}
+	for _, n := range []string{name, qualify(ns, name)} {
+		if dt, ok := b.scalars[n]; ok {
+			e.Type = dt
+			return nil
+		}
+		if te, ok := b.records[n]; ok {
+			if b.building[n] {
+				// Recursive record: the referenced definition is an
+				// ancestor of this expansion. Cut with an opaque leaf.
+				e.Type = model.DTComplex
+				return nil
+			}
+			return b.s.DeriveFrom(e, te)
+		}
+	}
+	return fmt.Errorf("avro: undefined type %q (named types must be defined before use)", name)
+}
+
+// union handles the JSON-array form: ["null", T] marks optionality; a
+// single branch collapses; anything wider becomes DTAny.
+func (b *builder) union(e *model.Element, branches []any, ns string) error {
+	var rest []any
+	for _, br := range branches {
+		if s, ok := br.(string); ok && s == "null" {
+			e.Optional = true
+			continue
+		}
+		rest = append(rest, br)
+	}
+	switch len(rest) {
+	case 0:
+		e.Type = model.DTNone
+		return nil
+	case 1:
+		return b.fill(e, rest[0], ns)
+	default:
+		e.Type = model.DTAny
+		return nil
+	}
+}
+
+// object handles the JSON-object form: records, enums, fixed, arrays,
+// maps, and primitives possibly annotated with a logicalType.
+func (b *builder) object(e *model.Element, obj map[string]any, ns string) error {
+	if doc, _ := obj["doc"].(string); doc != "" {
+		e.Description = doc
+	}
+	t, _ := obj["type"].(string)
+	if lt, _ := obj["logicalType"].(string); lt != "" {
+		// Logical types (decimal, date, timestamp-millis, uuid, ...) carry
+		// the semantic class; the physical carrier type is irrelevant to
+		// broad-class compatibility.
+		e.Type = model.ParseDataType(lt)
+		return nil
+	}
+	switch t {
+	case "record", "error":
+		te, err := b.record(obj, ns)
+		if err != nil {
+			return err
+		}
+		return b.s.DeriveFrom(e, te)
+	case "enum":
+		if _, err := b.defineScalar(obj, ns, model.DTEnum); err != nil {
+			return err
+		}
+		e.Type = model.DTEnum
+		return nil
+	case "fixed":
+		if _, err := b.defineScalar(obj, ns, model.DTBinary); err != nil {
+			return err
+		}
+		e.Type = model.DTBinary
+		return nil
+	case "array":
+		items, ok := obj["items"]
+		if !ok {
+			return fmt.Errorf("avro: array without items")
+		}
+		// The element stands for the repeated item.
+		return b.fill(e, items, ns)
+	case "map":
+		values, ok := obj["values"]
+		if !ok {
+			return fmt.Errorf("avro: map without values")
+		}
+		// The element stands for the mapped value (keys are always strings).
+		return b.fill(e, values, ns)
+	case "":
+		return fmt.Errorf("avro: type object without a \"type\" field")
+	default:
+		// {"type": "string"} and friends — also the escape hatch the spec
+		// allows for annotated primitives and named references.
+		return b.fill(e, t, ns)
+	}
+}
+
+// record defines a record type: a KindType element whose children are the
+// record's fields, registered under its (qualified) name before the fields
+// expand so that recursion is detectable.
+func (b *builder) record(obj map[string]any, ns string) (*model.Element, error) {
+	name, full, ns, err := b.declName(obj, ns)
+	if err != nil {
+		return nil, err
+	}
+	te := b.s.NewElement(name, model.KindType)
+	b.records[full] = te
+	if name != full {
+		if _, dup := b.records[name]; !dup {
+			b.records[name] = te
+		}
+	}
+	b.building[full] = true
+	defer delete(b.building, full)
+	if name != full {
+		b.building[name] = true
+		defer delete(b.building, name)
+	}
+	fields, ok := obj["fields"].([]any)
+	if !ok {
+		return nil, fmt.Errorf("avro: record %q without a fields array", name)
+	}
+	for i, f := range fields {
+		fo, ok := f.(map[string]any)
+		if !ok {
+			return nil, fmt.Errorf("avro: record %q field %d is not an object", name, i)
+		}
+		fname, _ := fo["name"].(string)
+		if fname == "" {
+			return nil, fmt.Errorf("avro: record %q field %d has no name", name, i)
+		}
+		ft, ok := fo["type"]
+		if !ok {
+			return nil, fmt.Errorf("avro: record %q field %q has no type", name, fname)
+		}
+		c := b.s.AddChild(te, fname, model.KindElement)
+		if doc, _ := fo["doc"].(string); doc != "" {
+			c.Description = doc
+		}
+		if err := b.fill(c, ft, ns); err != nil {
+			return nil, err
+		}
+	}
+	return te, nil
+}
+
+// defineScalar registers a named enum/fixed definition, whose references
+// are plain broad types.
+func (b *builder) defineScalar(obj map[string]any, ns string, dt model.DataType) (string, error) {
+	name, full, _, err := b.declName(obj, ns)
+	if err != nil {
+		return "", err
+	}
+	b.scalars[full] = dt
+	if name != full {
+		if _, dup := b.scalars[name]; !dup {
+			b.scalars[name] = dt
+		}
+	}
+	return full, nil
+}
+
+// declName extracts and validates a named type's name/namespace, returning
+// the bare name, the full (qualified) name, and the namespace child
+// definitions inherit.
+func (b *builder) declName(obj map[string]any, ns string) (name, full, childNS string, err error) {
+	name, _ = obj["name"].(string)
+	if name == "" {
+		return "", "", "", fmt.Errorf("avro: named type without a name")
+	}
+	if v, ok := obj["namespace"].(string); ok && v != "" {
+		ns = v
+	}
+	full = qualify(ns, name)
+	if _, dup := b.records[full]; dup {
+		return "", "", "", fmt.Errorf("avro: duplicate definition of %q", full)
+	}
+	if _, dup := b.scalars[full]; dup {
+		return "", "", "", fmt.Errorf("avro: duplicate definition of %q", full)
+	}
+	return name, full, ns, nil
+}
+
+// qualify joins a namespace and a bare name; full names pass through.
+func qualify(ns, name string) string {
+	if ns == "" {
+		return name
+	}
+	for _, r := range name {
+		if r == '.' {
+			return name // already a full name
+		}
+	}
+	return ns + "." + name
+}

@@ -1,0 +1,221 @@
+package avro
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/schematree"
+)
+
+// leafByName returns the expanded-tree leaves carrying the given element
+// name, which follows IsDerivedFrom expansion (the place record structure
+// becomes visible).
+func leafTypes(t *testing.T, s *model.Schema, name string) []model.DataType {
+	t.Helper()
+	tr, err := schematree.Build(s, schematree.DefaultOptions())
+	if err != nil {
+		t.Fatalf("expanding %q: %v", s.Name, err)
+	}
+	var out []model.DataType
+	for _, n := range tr.Nodes {
+		if n.Elem.Name == name {
+			out = append(out, n.Elem.Type)
+		}
+	}
+	return out
+}
+
+func TestTopLevelRecord(t *testing.T) {
+	doc := `{
+		"type": "record", "name": "Order",
+		"fields": [
+			{"name": "OrderID", "type": "long"},
+			{"name": "Amount", "type": "double"},
+			{"name": "Customer", "type": "string"},
+			{"name": "OrderDate", "type": {"type": "int", "logicalType": "date"}},
+			{"name": "Updated", "type": {"type": "long", "logicalType": "timestamp-millis"}},
+			{"name": "Total", "type": {"type": "bytes", "logicalType": "decimal", "precision": 10, "scale": 2}},
+			{"name": "Payload", "type": "bytes"}
+		]
+	}`
+	s, err := Parse("orders", []byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]model.DataType{
+		"OrderID":   model.DTInt,
+		"Amount":    model.DTFloat,
+		"Customer":  model.DTString,
+		"OrderDate": model.DTDate,
+		"Updated":   model.DTDateTime,
+		"Total":     model.DTDecimal,
+		"Payload":   model.DTBinary,
+	}
+	for name, dt := range want {
+		got := leafTypes(t, s, name)
+		if len(got) != 1 || got[0] != dt {
+			t.Errorf("%s: leaf types %v, want one %v", name, got, dt)
+		}
+	}
+}
+
+func TestNamedRecordReuse(t *testing.T) {
+	doc := `{
+		"type": "record", "name": "PO",
+		"fields": [
+			{"name": "BillTo", "type": {"type": "record", "name": "Address", "fields": [
+				{"name": "Street", "type": "string"},
+				{"name": "City", "type": "string"}
+			]}},
+			{"name": "ShipTo", "type": "Address"}
+		]
+	}`
+	s, err := Parse("po", []byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both fields share the Address type element; the tree expands a City
+	// context under each.
+	if got := leafTypes(t, s, "City"); len(got) != 2 {
+		t.Errorf("City contexts = %d, want 2 (shared record expands per use)", len(got))
+	}
+}
+
+func TestRecursiveRecordCut(t *testing.T) {
+	doc := `{
+		"type": "record", "name": "Node",
+		"fields": [
+			{"name": "Value", "type": "int"},
+			{"name": "Next", "type": ["null", "Node"]}
+		]
+	}`
+	s, err := Parse("list", []byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := schematree.Build(s, schematree.DefaultOptions()); err != nil {
+		t.Fatalf("recursive record did not expand: %v", err)
+	}
+	next := leafTypes(t, s, "Next")
+	if len(next) != 1 || next[0] != model.DTComplex {
+		t.Errorf("recursive field Next = %v, want one opaque complex leaf", next)
+	}
+}
+
+func TestUnionsEnumsContainers(t *testing.T) {
+	doc := `{
+		"type": "record", "name": "Rec",
+		"fields": [
+			{"name": "Note", "type": ["null", "string"]},
+			{"name": "Mixed", "type": ["int", "string"]},
+			{"name": "Suit", "type": {"type": "enum", "name": "SuitKind", "symbols": ["H", "S"]}},
+			{"name": "Hash", "type": {"type": "fixed", "name": "MD5", "size": 16}},
+			{"name": "Tags", "type": {"type": "array", "items": "string"}},
+			{"name": "Counts", "type": {"type": "map", "values": "long"}},
+			{"name": "Suit2", "type": "SuitKind"},
+			{"name": "Hash2", "type": "MD5"}
+		]
+	}`
+	s, err := Parse("rec", []byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := func(name string) model.DataType {
+		got := leafTypes(t, s, name)
+		if len(got) != 1 {
+			t.Fatalf("%s: %d leaves, want 1", name, len(got))
+		}
+		return got[0]
+	}
+	if dt := one("Note"); dt != model.DTString {
+		t.Errorf("nullable union = %v, want string", dt)
+	}
+	if dt := one("Mixed"); dt != model.DTAny {
+		t.Errorf("wide union = %v, want any", dt)
+	}
+	if dt := one("Suit"); dt != model.DTEnum {
+		t.Errorf("enum = %v, want enum", dt)
+	}
+	if dt := one("Suit2"); dt != model.DTEnum {
+		t.Errorf("enum reference = %v, want enum", dt)
+	}
+	if dt := one("Hash"); dt != model.DTBinary {
+		t.Errorf("fixed = %v, want binary", dt)
+	}
+	if dt := one("Hash2"); dt != model.DTBinary {
+		t.Errorf("fixed reference = %v, want binary", dt)
+	}
+	if dt := one("Tags"); dt != model.DTString {
+		t.Errorf("array of string = %v, want string", dt)
+	}
+	if dt := one("Counts"); dt != model.DTInt {
+		t.Errorf("map of long = %v, want int", dt)
+	}
+	var note *model.Element
+	model.PreOrder(s.Root(), func(e *model.Element) {
+		if e.Name == "Note" {
+			note = e
+		}
+	})
+	if note == nil {
+		// Note lives under the record's type element, not the root walk.
+		for _, e := range s.Elements() {
+			if e.Name == "Note" {
+				note = e
+			}
+		}
+	}
+	if note == nil || !note.Optional {
+		t.Error("nullable union field Note not marked optional")
+	}
+}
+
+func TestNamespaces(t *testing.T) {
+	doc := `{
+		"type": "record", "name": "Outer", "namespace": "com.example",
+		"fields": [
+			{"name": "A", "type": {"type": "record", "name": "Inner", "fields": [
+				{"name": "X", "type": "int"}
+			]}},
+			{"name": "B", "type": "com.example.Inner"},
+			{"name": "C", "type": "Inner"}
+		]
+	}`
+	s, err := Parse("ns", []byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := leafTypes(t, s, "X"); len(got) != 3 {
+		t.Errorf("X contexts = %d, want 3 (bare and qualified references resolve)", len(got))
+	}
+}
+
+func TestScalarTopLevel(t *testing.T) {
+	s, err := Parse("scalar", []byte(`"string"`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := leafTypes(t, s, "value"); len(got) != 1 || got[0] != model.DTString {
+		t.Errorf("top-level primitive = %v, want one string leaf", got)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := map[string]string{
+		"invalid json":     `{"type":`,
+		"undefined type":   `{"type": "record", "name": "R", "fields": [{"name": "a", "type": "Missing"}]}`,
+		"duplicate name":   `{"type": "record", "name": "R", "fields": [{"name": "a", "type": {"type": "record", "name": "R", "fields": []}}]}`,
+		"field w/o type":   `{"type": "record", "name": "R", "fields": [{"name": "a"}]}`,
+		"record w/o name":  `{"type": "record", "fields": []}`,
+		"array w/o items":  `{"type": "record", "name": "R", "fields": [{"name": "a", "type": {"type": "array"}}]}`,
+		"invalid type val": `{"type": "record", "name": "R", "fields": [{"name": "a", "type": 42}]}`,
+	}
+	for name, doc := range cases {
+		if _, err := Parse("x", []byte(doc)); err == nil {
+			t.Errorf("%s: expected error, got none", name)
+		} else if !strings.Contains(err.Error(), "avro") {
+			t.Errorf("%s: error %q does not name the package", name, err)
+		}
+	}
+}

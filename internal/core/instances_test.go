@@ -1,0 +1,184 @@
+package core
+
+// Instance-aware preparation coverage: the zero-instances path must be
+// bit-identical to plain Prepare (probe by probe, asserted over real
+// workloads), profile-blended matching must be deterministic across
+// repeated and concurrent runs (run with -race), and the profile hash must
+// extend — never replace — the schema fingerprint.
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/instance"
+	"repro/internal/sqlddl"
+	"repro/internal/workloads"
+)
+
+func mustSamples(t *testing.T, doc string) instance.Samples {
+	t.Helper()
+	s, err := instance.ParseSamples([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestZeroInstancesBitIdentical: PrepareWithInstances with nil, empty, and
+// entirely unresolvable samples must produce artifacts whose match output
+// is bit-identical to plain Prepare — the regression gate guaranteeing the
+// instance subsystem costs existing users nothing.
+func TestZeroInstancesBitIdentical(t *testing.T) {
+	m, err := NewMatcher(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	unresolvable := mustSamples(t, `{"no.such.leaf": [1, 2, 3]}`)
+	for _, w := range []workloads.Workload{
+		workloads.Figure2(),
+		workloads.CIDXExcel(),
+		workloads.University(),
+	} {
+		ps, err := m.Prepare(w.Source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pd, err := m.Prepare(w.Target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := m.MatchPrepared(ps, pd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, samples := range map[string]instance.Samples{
+			"nil": nil, "empty": {}, "unresolvable": unresolvable,
+		} {
+			qs, err := m.PrepareWithInstances(w.Source, samples)
+			if err != nil {
+				t.Fatal(err)
+			}
+			qd, err := m.PrepareWithInstances(w.Target, samples)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if qs.HasProfiles() || qd.HasProfiles() {
+				t.Fatalf("%s/%s: artifact unexpectedly carries profiles", w.Name, name)
+			}
+			if qs.Fingerprint() != ps.Fingerprint() {
+				t.Fatalf("%s/%s: fingerprint changed without resolvable samples", w.Name, name)
+			}
+			got, err := m.MatchPrepared(qs, qd)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameResult(t, w.Name+"/"+name, want, got)
+		}
+	}
+}
+
+// tieBreakArtifacts prepares two profile-carrying artifacts from the
+// workloads tie-break corpus: the shared generic SQL schema with two
+// different instance payloads.
+func tieBreakArtifacts(t *testing.T, m *Matcher) (src, dst *Prepared) {
+	t.Helper()
+	targets := workloads.TieBreakTargets(2)
+	prep := func(d workloads.TieBreakDoc) *Prepared {
+		s, err := sqlddl.Parse(d.Name, d.SQL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := m.PrepareWithInstances(s, mustSamples(t, d.Instances))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	src, dst = prep(targets[0]), prep(targets[1])
+	if !src.HasProfiles() || !dst.HasProfiles() {
+		t.Fatalf("tie-break artifacts missing profiles: %d / %d leaves", src.ProfiledLeaves(), dst.ProfiledLeaves())
+	}
+	return src, dst
+}
+
+// TestInstanceBlendDeterministic runs the profile-blended match repeatedly
+// and concurrently: every run must produce bit-identical similarity
+// matrices and mapping output. Under -race this also proves the
+// leaf-compat hook shares no mutable state across calls.
+func TestInstanceBlendDeterministic(t *testing.T) {
+	m, err := NewMatcher(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, dst := tieBreakArtifacts(t, m)
+	want, err := m.MatchPrepared(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const runs = 8
+	results := make([]*Result, runs)
+	var wg sync.WaitGroup
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := m.MatchPrepared(src, dst)
+			if err != nil {
+				t.Errorf("run %d: %v", i, err)
+				return
+			}
+			results[i] = r
+		}(i)
+	}
+	wg.Wait()
+	for i, r := range results {
+		if r == nil {
+			t.Fatalf("run %d produced no result", i)
+		}
+		assertSameResult(t, fmt.Sprintf("blend run %d", i), want, r)
+	}
+}
+
+// TestProfiledFingerprintExtends: attaching resolvable samples suffixes
+// the schema fingerprint (schema hash unchanged as prefix), identical
+// samples reproduce the same suffix, different samples a different one.
+func TestProfiledFingerprintExtends(t *testing.T) {
+	m, err := NewMatcher(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := workloads.TieBreakTargets(2)
+	s, err := sqlddl.Parse("plain", targets[0].SQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := m.Prepare(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	with := func(doc string) string {
+		sch, err := sqlddl.Parse("plain", targets[0].SQL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := m.PrepareWithInstances(sch, mustSamples(t, doc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p.Fingerprint()
+	}
+	a := with(targets[0].Instances)
+	b := with(targets[0].Instances)
+	c := with(targets[1].Instances)
+	if !strings.HasPrefix(a, plain.Fingerprint()+"+") {
+		t.Errorf("profiled fingerprint %q does not extend schema fingerprint %q", a, plain.Fingerprint())
+	}
+	if a != b {
+		t.Errorf("identical samples produced different fingerprints: %q vs %q", a, b)
+	}
+	if a == c {
+		t.Errorf("different samples produced the same fingerprint %q", a)
+	}
+}

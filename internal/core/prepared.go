@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/instance"
 	"repro/internal/linguistic"
 	"repro/internal/mapping"
 	"repro/internal/model"
@@ -49,6 +50,16 @@ type Prepared struct {
 	// pays the token-bag sweep.
 	sigOnce sync.Once
 	sig     model.Signature
+
+	// profiles holds the per-leaf instance profiles when the schema was
+	// prepared with sampled instance data (PrepareWithInstances); nil
+	// otherwise. profileHash is the stable content hash of the resolved
+	// profiles, mixed into Fingerprint so instance data participates in
+	// repository entry identity. The retrieval Signature is deliberately
+	// NOT affected: pruning, the inverted index, the planner and family
+	// routing all see the same tokens with or without instances.
+	profiles    map[*model.Element]*instance.Profile
+	profileHash string
 }
 
 // Schema returns the underlying schema graph.
@@ -60,10 +71,19 @@ func (p *Prepared) Tree() *schematree.Tree { return p.tree }
 // Info returns the linguistic analysis (token sets, categories).
 func (p *Prepared) Info() *linguistic.SchemaInfo { return p.info }
 
-// Fingerprint returns the content hash of the schema (model.Fingerprint),
-// the identity the registry keys entries by. Computed on first use.
+// Fingerprint returns the content hash of the artifact, the identity the
+// registry keys entries by: model.Fingerprint of the schema, suffixed with
+// the instance-profile hash when the artifact carries sampled instance
+// data ("<schema-hash>+<profile-hash>"), so the same schema registered
+// with different samples replaces the entry while identical samples stay
+// idempotent. Computed on first use.
 func (p *Prepared) Fingerprint() string {
-	p.fpOnce.Do(func() { p.fp = model.Fingerprint(p.schema) })
+	p.fpOnce.Do(func() {
+		p.fp = model.Fingerprint(p.schema)
+		if p.profileHash != "" {
+			p.fp += "+" + p.profileHash
+		}
+	})
 	return p.fp
 }
 
@@ -150,11 +170,21 @@ func (m *Matcher) MatchPrepared(src, dst *Prepared) (*Result, error) {
 	}
 	res.LSim = liftToNodes(src.tree, dst.tree, elemLSim)
 
-	res.Struct = structural.TreeMatch(src.tree, dst.tree, res.LSim, m.cfg.Structural)
+	// Instance-aware leaf initialization: when BOTH artifacts carry value
+	// profiles, leaf pairs profiled on both sides blend observed-value
+	// compatibility into the declared-type table lookup (tie-breaking
+	// evidence, internal/instance). The hook rides on a per-call copy of
+	// the structural parameters; with either side profile-free the copy is
+	// hook-less and the pipeline is bit-identical to the profile-free path.
+	sp := m.cfg.Structural
+	if len(src.profiles) > 0 && len(dst.profiles) > 0 {
+		sp.LeafCompat = leafCompatFn(src.profiles, dst.profiles, sp.Compat)
+	}
+	res.Struct = structural.TreeMatch(src.tree, dst.tree, res.LSim, sp)
 	if m.cfg.Mapping.NonLeaves {
 		// Second post-order traversal (§7): leaf similarity updates during
 		// TreeMatch may have changed non-leaf structural similarity.
-		structural.SecondPass(res.Struct, src.tree, dst.tree, res.LSim, m.cfg.Structural)
+		structural.SecondPass(res.Struct, src.tree, dst.tree, res.LSim, sp)
 	}
 	res.WSim = res.Struct.WSim
 	res.Mapping = mapping.Generate(src.tree, dst.tree, res.Struct, res.LSim, m.cfg.Mapping)

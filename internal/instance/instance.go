@@ -1,0 +1,411 @@
+// Package instance computes per-leaf value profiles from sampled instance
+// data attached at schema registration, and the profile-compatibility
+// score that sharpens leaf matching beyond declared datatypes — the
+// "instance-level matching" the paper's future-work section points at and
+// the heterogeneous-database scenario needs (two columns both declared
+// VARCHAR still differ observably when one holds ISO dates and the other
+// free text).
+//
+// A profile summarizes one leaf's sample column: inferred broad type, null
+// rate, mean value length, numeric moments, distinct count and a top-k
+// value sketch. Profiles are deliberately order-independent — samples are
+// sorted canonically before any accumulation, so every permutation of the
+// same multiset produces a bit-identical profile (and hence a stable
+// Hash, which participates in registry entry identity).
+package instance
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/model"
+)
+
+// Caps on the accepted instance payload. Registrations exceeding them are
+// rejected at the door (and hence never journaled): the WAL stores the
+// payload verbatim, so the caps bound both the record size and the
+// recovery-time profiling cost.
+const (
+	// MaxLeaves is the maximum number of leaf paths one payload may carry.
+	MaxLeaves = 256
+	// MaxSamplesPerLeaf is the maximum sample count per leaf.
+	MaxSamplesPerLeaf = 1024
+	// MaxValueBytes is the maximum canonical length of a single value.
+	MaxValueBytes = 256
+	// TopK is how many most-frequent values a profile sketches.
+	TopK = 8
+)
+
+// BlendWeight is the share of the profile-compatibility term in the
+// blended leaf initialization: blended = (1-w)·table + w·(0.5·profile).
+// At 0.5 the declared-type table and the observed-value profile carry
+// equal weight — enough for profiles to break name-and-type ties without
+// overruling a strong declared-type disagreement.
+const BlendWeight = 0.5
+
+// Sample is one sampled value in canonical text form. Numbers keep their
+// JSON literal text, booleans are "true"/"false".
+type Sample struct {
+	// Null marks an explicit null sample (Text is empty).
+	Null bool
+	// Text is the canonical text of the value.
+	Text string
+}
+
+// Samples maps a leaf's containment path (with or without the schema-name
+// prefix, e.g. "Orders.Amount") to its sampled column.
+type Samples map[string][]Sample
+
+// ParseSamples decodes and validates an instances payload: a JSON object
+// mapping leaf paths to arrays of scalar samples (strings, numbers,
+// booleans, nulls), e.g.
+//
+//	{"Orders.Amount": [12.5, 99, null], "Orders.Status": ["open", "shipped"]}
+//
+// The caps (MaxLeaves, MaxSamplesPerLeaf, MaxValueBytes) are enforced
+// here, so a payload that parsed once parses forever — the WAL journals it
+// verbatim and recovery re-parses it. Empty input yields nil Samples.
+func ParseSamples(data []byte) (Samples, error) {
+	if len(data) == 0 {
+		return nil, nil
+	}
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.UseNumber()
+	var raw map[string][]any
+	if err := dec.Decode(&raw); err != nil {
+		return nil, fmt.Errorf("instance: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("instance: trailing data after payload")
+	}
+	if len(raw) > MaxLeaves {
+		return nil, fmt.Errorf("instance: %d leaf paths exceed the cap of %d", len(raw), MaxLeaves)
+	}
+	out := make(Samples, len(raw))
+	for path, col := range raw {
+		if len(col) > MaxSamplesPerLeaf {
+			return nil, fmt.Errorf("instance: %d samples for %q exceed the cap of %d", len(col), path, MaxSamplesPerLeaf)
+		}
+		ss := make([]Sample, 0, len(col))
+		for i, v := range col {
+			s, err := canonical(v)
+			if err != nil {
+				return nil, fmt.Errorf("instance: %q sample %d: %w", path, i, err)
+			}
+			if len(s.Text) > MaxValueBytes {
+				return nil, fmt.Errorf("instance: %q sample %d exceeds %d bytes", path, i, MaxValueBytes)
+			}
+			ss = append(ss, s)
+		}
+		out[path] = ss
+	}
+	return out, nil
+}
+
+// canonical converts one decoded JSON value into its canonical sample.
+func canonical(v any) (Sample, error) {
+	switch t := v.(type) {
+	case nil:
+		return Sample{Null: true}, nil
+	case string:
+		return Sample{Text: t}, nil
+	case json.Number:
+		return Sample{Text: t.String()}, nil
+	case bool:
+		if t {
+			return Sample{Text: "true"}, nil
+		}
+		return Sample{Text: "false"}, nil
+	default:
+		return Sample{}, fmt.Errorf("value %v is not a scalar (objects and arrays are not sampleable)", v)
+	}
+}
+
+// ValueCount is one entry of a profile's top-k sketch.
+type ValueCount struct {
+	Value string
+	Count int
+}
+
+// Profile summarizes one leaf's sample column. All fields are derived from
+// the sample multiset only — never from sample order.
+type Profile struct {
+	// Count is the total number of samples, nulls included.
+	Count int
+	// Nulls is the number of explicit null samples.
+	Nulls int
+	// Type is the broad type inferred from the non-null values.
+	Type model.DataType
+	// Distinct is the number of distinct non-null values.
+	Distinct int
+	// MeanLen is the mean canonical-text length of non-null values.
+	MeanLen float64
+	// NumFrac is the fraction of non-null values that parse as numbers.
+	NumFrac float64
+	// MeanNum and StdNum are the moments of the numeric-parsing values.
+	MeanNum, StdNum float64
+	// Top holds the most frequent values, by descending count then value.
+	Top []ValueCount
+}
+
+// NullRate returns the fraction of samples that were null.
+func (p *Profile) NullRate() float64 {
+	if p.Count == 0 {
+		return 0
+	}
+	return float64(p.Nulls) / float64(p.Count)
+}
+
+// Build computes the profile of one sample column. Order-independent by
+// construction: the non-null values are sorted before any accumulation,
+// so float summation order is a function of the multiset alone.
+func Build(samples []Sample) *Profile {
+	p := &Profile{Count: len(samples)}
+	vals := make([]string, 0, len(samples))
+	for _, s := range samples {
+		if s.Null {
+			p.Nulls++
+			continue
+		}
+		vals = append(vals, s.Text)
+	}
+	sort.Strings(vals)
+	if len(vals) == 0 {
+		return p
+	}
+
+	var typeCounts [model.NumDataTypes]int
+	var lenSum float64
+	var nums []float64
+	counts := map[string]int{}
+	for _, v := range vals {
+		typeCounts[classify(v)]++
+		lenSum += float64(len(v))
+		if f, err := strconv.ParseFloat(v, 64); err == nil {
+			nums = append(nums, f)
+		}
+		counts[v]++
+	}
+	p.Distinct = len(counts)
+	p.MeanLen = lenSum / float64(len(vals))
+	p.NumFrac = float64(len(nums)) / float64(len(vals))
+	if len(nums) > 0 {
+		var sum float64
+		for _, f := range nums {
+			sum += f
+		}
+		p.MeanNum = sum / float64(len(nums))
+		var sq float64
+		for _, f := range nums {
+			d := f - p.MeanNum
+			sq += d * d
+		}
+		p.StdNum = math.Sqrt(sq / float64(len(nums)))
+	}
+
+	best, bestN := model.DTString, 0
+	for dt := model.DataType(0); dt < model.NumDataTypes; dt++ {
+		if typeCounts[dt] > bestN {
+			best, bestN = dt, typeCounts[dt]
+		}
+	}
+	p.Type = best
+	// A short, heavily repeated vocabulary of strings is an enumeration in
+	// all but declaration ("open"/"closed"/"shipped" status columns).
+	if p.Type == model.DTString && p.Distinct <= 16 && p.Distinct*4 <= len(vals) {
+		p.Type = model.DTEnum
+	}
+
+	top := make([]ValueCount, 0, len(counts))
+	for v, n := range counts {
+		top = append(top, ValueCount{Value: v, Count: n})
+	}
+	sort.Slice(top, func(i, j int) bool {
+		if top[i].Count != top[j].Count {
+			return top[i].Count > top[j].Count
+		}
+		return top[i].Value < top[j].Value
+	})
+	if len(top) > TopK {
+		top = top[:TopK]
+	}
+	p.Top = top
+	return p
+}
+
+// classify infers the broad type of one canonical value.
+func classify(v string) model.DataType {
+	if v == "true" || v == "false" {
+		return model.DTBool
+	}
+	if _, err := strconv.ParseInt(v, 10, 64); err == nil {
+		return model.DTInt
+	}
+	if _, err := strconv.ParseFloat(v, 64); err == nil {
+		return model.DTFloat
+	}
+	for _, layout := range []string{"2006-01-02"} {
+		if _, err := time.Parse(layout, v); err == nil {
+			return model.DTDate
+		}
+	}
+	for _, layout := range []string{time.RFC3339, "2006-01-02 15:04:05", "2006-01-02T15:04:05"} {
+		if _, err := time.Parse(layout, v); err == nil {
+			return model.DTDateTime
+		}
+	}
+	if _, err := time.Parse("15:04:05", v); err == nil {
+		return model.DTTime
+	}
+	return model.DTString
+}
+
+// Profiles maps leaf paths to their computed profiles.
+type Profiles map[string]*Profile
+
+// BuildProfiles profiles every sampled column.
+func BuildProfiles(s Samples) Profiles {
+	if len(s) == 0 {
+		return nil
+	}
+	out := make(Profiles, len(s))
+	for path, col := range s {
+		out[path] = Build(col)
+	}
+	return out
+}
+
+// Compat scores how compatible two observed value distributions look, in
+// [0,1]: inferred-type agreement, null-rate proximity, mean-length ratio,
+// numeric-moment proximity, and top-k value overlap. It is symmetric and
+// deterministic (pure float arithmetic over profile fields).
+func Compat(a, b *Profile) float64 {
+	if a == nil || b == nil || a.Count == 0 || b.Count == 0 {
+		return 0
+	}
+	typeSim := 0.15
+	switch {
+	case a.Type == b.Type:
+		typeSim = 1
+	case a.Type.IsNumeric() && b.Type.IsNumeric():
+		typeSim = 0.75
+	case a.Type.IsTemporal() && b.Type.IsTemporal():
+		typeSim = 0.75
+	case (a.Type == model.DTEnum && b.Type == model.DTString) ||
+		(a.Type == model.DTString && b.Type == model.DTEnum):
+		typeSim = 0.6
+	}
+	nullSim := 1 - math.Abs(a.NullRate()-b.NullRate())
+	lenSim := ratio(a.MeanLen+1, b.MeanLen+1)
+	numSim := lenSim
+	if a.NumFrac > 0.5 && b.NumFrac > 0.5 {
+		scale := math.Max(math.Max(math.Abs(a.MeanNum), math.Abs(b.MeanNum)),
+			math.Max(a.StdNum, b.StdNum))
+		if scale < 1 {
+			scale = 1
+		}
+		numSim = 1 / (1 + math.Abs(a.MeanNum-b.MeanNum)/scale)
+	}
+	topSim := jaccard(a.Top, b.Top)
+	return 0.35*typeSim + 0.15*nullSim + 0.15*lenSim + 0.15*numSim + 0.20*topSim
+}
+
+func ratio(a, b float64) float64 {
+	if a > b {
+		a, b = b, a
+	}
+	if b == 0 {
+		return 1
+	}
+	return a / b
+}
+
+func jaccard(a, b []ValueCount) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	set := make(map[string]bool, len(a))
+	for _, v := range a {
+		set[v.Value] = true
+	}
+	inter := 0
+	for _, v := range b {
+		if set[v.Value] {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// BlendCompat mixes the declared-type table compatibility (in [0, 0.5])
+// with a profile compatibility (in [0, 1]) into a blended leaf
+// initialization, still in [0, 0.5].
+func BlendCompat(table, profile float64) float64 {
+	return (1-BlendWeight)*table + BlendWeight*(0.5*profile)
+}
+
+// Hash returns a stable content hash of a profile set: sorted by path,
+// every derived field written in a canonical binary form. Because Build is
+// order-independent, any permutation of the same sample multiset hashes
+// identically; the registry mixes this hash into entry identity so that
+// re-registering the same schema with the same samples stays idempotent
+// while changed samples replace the entry.
+func (ps Profiles) Hash() string {
+	if len(ps) == 0 {
+		return ""
+	}
+	paths := make([]string, 0, len(ps))
+	for p := range ps {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	h := sha256.New()
+	for _, path := range paths {
+		p := ps[path]
+		writeStr(h, path)
+		writeInt(h, p.Count)
+		writeInt(h, p.Nulls)
+		writeInt(h, int(p.Type))
+		writeInt(h, p.Distinct)
+		writeFloat(h, p.MeanLen)
+		writeFloat(h, p.NumFrac)
+		writeFloat(h, p.MeanNum)
+		writeFloat(h, p.StdNum)
+		writeInt(h, len(p.Top))
+		for _, vc := range p.Top {
+			writeStr(h, vc.Value)
+			writeInt(h, vc.Count)
+		}
+	}
+	sum := h.Sum(nil)
+	return hex.EncodeToString(sum[:16])
+}
+
+func writeStr(h hash.Hash, s string) {
+	writeInt(h, len(s))
+	h.Write([]byte(s))
+}
+
+func writeInt(h hash.Hash, v int) {
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(uint64(int64(v)) >> (8 * i))
+	}
+	h.Write(b[:])
+}
+
+func writeFloat(h hash.Hash, f float64) {
+	writeInt(h, int(int64(math.Float64bits(f))))
+}

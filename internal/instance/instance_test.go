@@ -1,0 +1,177 @@
+package instance
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestParseSamples(t *testing.T) {
+	data := []byte(`{
+		"Orders.Amount": [12.5, 99, null, 7],
+		"Orders.Status": ["open", "shipped", "open"],
+		"Orders.Active": [true, false]
+	}`)
+	s, err := ParseSamples(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 3 {
+		t.Fatalf("parsed %d columns, want 3", len(s))
+	}
+	amt := s["Orders.Amount"]
+	if len(amt) != 4 || !amt[2].Null || amt[0].Text != "12.5" {
+		t.Errorf("Orders.Amount = %+v", amt)
+	}
+	if got := s["Orders.Active"][0].Text; got != "true" {
+		t.Errorf("bool canonical text = %q, want true", got)
+	}
+	if got, err := ParseSamples(nil); got != nil || err != nil {
+		t.Errorf("empty payload: got %v, %v", got, err)
+	}
+}
+
+func TestParseSamplesCaps(t *testing.T) {
+	// One column over the per-leaf sample cap.
+	var b strings.Builder
+	b.WriteString(`{"c": [`)
+	for i := 0; i <= MaxSamplesPerLeaf; i++ {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		b.WriteString("1")
+	}
+	b.WriteString(`]}`)
+	if _, err := ParseSamples([]byte(b.String())); err == nil {
+		t.Error("over-cap sample count accepted")
+	}
+	// A single oversized value.
+	long := strings.Repeat("x", MaxValueBytes+1)
+	if _, err := ParseSamples([]byte(`{"c": ["` + long + `"]}`)); err == nil {
+		t.Error("over-cap value length accepted")
+	}
+	// Non-scalar sample.
+	if _, err := ParseSamples([]byte(`{"c": [{"nested": 1}]}`)); err == nil {
+		t.Error("non-scalar sample accepted")
+	}
+	// Too many leaves.
+	b.Reset()
+	b.WriteString("{")
+	for i := 0; i <= MaxLeaves; i++ {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		b.WriteString(`"c`)
+		for d := i; d > 0; d /= 10 {
+			b.WriteByte(byte('0' + d%10))
+		}
+		b.WriteString(`": [1]`)
+	}
+	b.WriteString("}")
+	if _, err := ParseSamples([]byte(b.String())); err == nil {
+		t.Error("over-cap leaf count accepted")
+	}
+}
+
+func TestBuildInference(t *testing.T) {
+	cases := []struct {
+		name string
+		col  []Sample
+		want model.DataType
+	}{
+		{"ints", []Sample{{Text: "1"}, {Text: "42"}, {Text: "-7"}}, model.DTInt},
+		{"floats", []Sample{{Text: "1.5"}, {Text: "2.25"}, {Text: "3"}}, model.DTFloat},
+		{"bools", []Sample{{Text: "true"}, {Text: "false"}}, model.DTBool},
+		{"dates", []Sample{{Text: "2024-01-02"}, {Text: "2023-12-31"}}, model.DTDate},
+		{"datetimes", []Sample{{Text: "2024-01-02T10:00:00Z"}, {Text: "2024-01-02 10:00:00"}}, model.DTDateTime},
+		{"times", []Sample{{Text: "10:00:00"}, {Text: "23:59:59"}}, model.DTTime},
+		{"strings", []Sample{{Text: "alpha"}, {Text: "beta"}, {Text: "gamma"}}, model.DTString},
+	}
+	for _, c := range cases {
+		if got := Build(c.col).Type; got != c.want {
+			t.Errorf("%s: inferred %v, want %v", c.name, got, c.want)
+		}
+	}
+	// A tiny repeated vocabulary reads as an enumeration.
+	var status []Sample
+	for i := 0; i < 40; i++ {
+		status = append(status, Sample{Text: []string{"open", "closed", "shipped"}[i%3]})
+	}
+	if got := Build(status).Type; got != model.DTEnum {
+		t.Errorf("status vocabulary inferred %v, want enum", got)
+	}
+}
+
+// TestBuildOrderIndependent is the order-independence property: every
+// permutation of the same sample multiset yields a bit-identical profile.
+func TestBuildOrderIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	base := []Sample{
+		{Text: "12.5"}, {Text: "99"}, {Null: true}, {Text: "7"}, {Text: "12.5"},
+		{Text: "0.001"}, {Null: true}, {Text: "-4"}, {Text: "1e3"}, {Text: "99"},
+	}
+	ref := Build(base)
+	for trial := 0; trial < 50; trial++ {
+		perm := make([]Sample, len(base))
+		copy(perm, base)
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		got := Build(perm)
+		if !reflect.DeepEqual(ref, got) {
+			t.Fatalf("trial %d: profile differs under permutation:\nref %+v\ngot %+v", trial, ref, got)
+		}
+	}
+	// Hash stability follows.
+	a := Profiles{"p": ref}
+	b := Profiles{"p": Build(base)}
+	if a.Hash() != b.Hash() {
+		t.Error("hash differs for identical profiles")
+	}
+	if a.Hash() == "" {
+		t.Error("non-empty profiles hash to empty string")
+	}
+	if (Profiles{}).Hash() != "" {
+		t.Error("empty profiles should hash to empty string")
+	}
+}
+
+func TestCompat(t *testing.T) {
+	ints := Build([]Sample{{Text: "10"}, {Text: "20"}, {Text: "30"}})
+	ints2 := Build([]Sample{{Text: "12"}, {Text: "18"}, {Text: "33"}})
+	dates := Build([]Sample{{Text: "2024-01-02"}, {Text: "2023-05-06"}})
+	words := Build([]Sample{{Text: "alpha"}, {Text: "beta"}, {Text: "gamma"}})
+
+	if got := Compat(ints, ints2); got <= Compat(ints, words) {
+		t.Errorf("similar numeric columns (%f) should beat numeric-vs-text (%f)", got, Compat(ints, words))
+	}
+	if got := Compat(dates, words); got >= Compat(dates, dates) {
+		t.Errorf("dates-vs-text (%f) should trail dates-vs-dates (%f)", got, Compat(dates, dates))
+	}
+	if a, b := Compat(ints, words), Compat(words, ints); a != b {
+		t.Errorf("Compat not symmetric: %f vs %f", a, b)
+	}
+	if got := Compat(nil, ints); got != 0 {
+		t.Errorf("nil profile compat = %f, want 0", got)
+	}
+	if got := Compat(ints, ints); got < 0.9 || got > 1 {
+		t.Errorf("self compat = %f, want close to 1", got)
+	}
+}
+
+func TestBlendCompatRange(t *testing.T) {
+	for _, table := range []float64{0, 0.25, 0.5} {
+		for _, prof := range []float64{0, 0.5, 1} {
+			v := BlendCompat(table, prof)
+			if v < 0 || v > 0.5 {
+				t.Errorf("BlendCompat(%f, %f) = %f out of [0, 0.5]", table, prof, v)
+			}
+		}
+	}
+	// Higher profile compatibility must strictly increase the blend — the
+	// tie-breaking property.
+	if BlendCompat(0.3, 0.9) <= BlendCompat(0.3, 0.1) {
+		t.Error("profile compatibility does not break ties")
+	}
+}

@@ -1,0 +1,315 @@
+// Package jsonschema imports JSON Schema documents (a practical draft-07
+// subset) into the generic schema model, the same fan-in path as the
+// sqlddl, xsdlite and dtd importers: objects with properties/required,
+// $defs / definitions with $ref (shared definitions become KindType
+// elements referenced via IsDerivedFrom, so two properties sharing one
+// definition share structure the way two XSD elements share a complex
+// type), arrays, enums, and type unions. Recursive $ref chains are cut by
+// emitting an opaque DTComplex leaf at the point where a definition
+// references itself (directly or transitively), because the schema-tree
+// expansion deliberately rejects derivation cycles (the paper defers
+// cyclic schemas to future work).
+//
+// Concrete type spellings ("integer", "number", "string" + "format", ...)
+// are normalized through model.ParseDataType, the shared broad-type table
+// every importer uses — which is what makes the datatype-compatibility
+// signal comparable across formats.
+package jsonschema
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/model"
+)
+
+// node is the decoded form of one (sub)schema object. Only the subset the
+// importer understands is decoded; unknown keywords are ignored, matching
+// JSON Schema's own open-world semantics.
+type node struct {
+	Ref         string           `json:"$ref"`
+	Type        any              `json:"type"` // string or []string
+	Format      string           `json:"format"`
+	Enum        []any            `json:"enum"`
+	Properties  map[string]*node `json:"properties"`
+	Required    []string         `json:"required"`
+	Items       json.RawMessage  `json:"items"` // node or [node, ...]
+	Defs        map[string]*node `json:"$defs"`
+	Definitions map[string]*node `json:"definitions"`
+	Title       string           `json:"title"`
+	Description string           `json:"description"`
+}
+
+type builder struct {
+	s *model.Schema
+	// defs maps a JSON pointer ("#/$defs/Name") to its definition node.
+	defs map[string]*node
+	// types maps the same pointers to their KindType elements.
+	types map[string]*model.Element
+	// building marks pointers whose bodies are being expanded: a $ref to
+	// one of these would close a derivation cycle and is cut instead.
+	building map[string]bool
+	// built marks pointers whose bodies are complete.
+	built map[string]bool
+}
+
+// Parse converts a JSON Schema document into a model schema named name.
+// A top-level object schema merges into the root: its properties become
+// the root's children (so a document of N top properties has the same
+// tree shape as a DDL script of N tables). Any other top-level schema
+// becomes a single child named after the document title (or "value").
+func Parse(name string, data []byte) (*model.Schema, error) {
+	var top node
+	if err := json.Unmarshal(data, &top); err != nil {
+		return nil, fmt.Errorf("jsonschema: %w", err)
+	}
+	b := &builder{
+		s:        model.New(name),
+		defs:     map[string]*node{},
+		types:    map[string]*model.Element{},
+		building: map[string]bool{},
+		built:    map[string]bool{},
+	}
+	// Pre-declare every definition as a free-standing KindType element so
+	// forward references resolve; bodies expand on demand (buildDef), which
+	// is where cycles are detected.
+	for _, grp := range []struct {
+		prefix string
+		defs   map[string]*node
+	}{{"#/$defs/", top.Defs}, {"#/definitions/", top.Definitions}} {
+		names := make([]string, 0, len(grp.defs))
+		for dn := range grp.defs {
+			names = append(names, dn)
+		}
+		sort.Strings(names)
+		for _, dn := range names {
+			ptr := grp.prefix + dn
+			b.defs[ptr] = grp.defs[dn]
+			b.types[ptr] = b.s.NewElement(dn, model.KindType)
+		}
+	}
+	// Expand every definition body, even ones nothing references yet.
+	ptrs := make([]string, 0, len(b.defs))
+	for ptr := range b.defs {
+		ptrs = append(ptrs, ptr)
+	}
+	sort.Strings(ptrs)
+	for _, ptr := range ptrs {
+		if err := b.buildDef(ptr); err != nil {
+			return nil, err
+		}
+	}
+	if err := b.top(&top); err != nil {
+		return nil, err
+	}
+	if err := b.s.Validate(); err != nil {
+		return nil, fmt.Errorf("jsonschema: %w", err)
+	}
+	return b.s, nil
+}
+
+// top grafts the document's top-level schema onto the root.
+func (b *builder) top(n *node) error {
+	types, _, err := typeList(n.Type)
+	if err != nil {
+		return err
+	}
+	if isObject(types, n) {
+		if n.Description != "" {
+			b.s.Root().Description = n.Description
+		}
+		return b.properties(b.s.Root(), n)
+	}
+	name := n.Title
+	if name == "" {
+		name = "value"
+	}
+	e := b.s.AddChild(b.s.Root(), name, model.KindElement)
+	return b.fill(e, n)
+}
+
+// buildDef expands the body of the definition at ptr into its pre-declared
+// type element, exactly once.
+func (b *builder) buildDef(ptr string) error {
+	if b.built[ptr] || b.building[ptr] {
+		return nil
+	}
+	b.building[ptr] = true
+	err := b.fill(b.types[ptr], b.defs[ptr])
+	delete(b.building, ptr)
+	b.built[ptr] = true
+	return err
+}
+
+// fill populates element e from schema node n: data type, description,
+// children for objects/arrays, IsDerivedFrom for $refs.
+func (b *builder) fill(e *model.Element, n *node) error {
+	if n.Description != "" {
+		e.Description = n.Description
+	}
+	if n.Ref != "" {
+		te, ok := b.types[n.Ref]
+		if !ok {
+			return fmt.Errorf("jsonschema: unresolved $ref %q (only #/$defs/... and #/definitions/... are supported)", n.Ref)
+		}
+		if b.building[n.Ref] {
+			// Cycle: the referenced definition is an ancestor of this very
+			// expansion. Cut with an opaque structured leaf.
+			e.Type = model.DTComplex
+			return nil
+		}
+		if err := b.buildDef(n.Ref); err != nil {
+			return err
+		}
+		return b.s.DeriveFrom(e, te)
+	}
+	types, nullable, err := typeList(n.Type)
+	if err != nil {
+		return err
+	}
+	if nullable {
+		e.Optional = true
+	}
+	switch {
+	case len(types) > 1:
+		// A genuine type union ("type": ["string", "integer"]): no single
+		// broad class fits, so the most permissive one does.
+		e.Type = model.DTAny
+		return nil
+	case isObject(types, n):
+		return b.properties(e, n)
+	case isArray(types, n):
+		return b.array(e, n)
+	case len(n.Enum) > 0:
+		e.Type = model.DTEnum
+		return nil
+	case len(types) == 1:
+		e.Type = scalarType(types[0], n.Format)
+		return nil
+	default:
+		// Empty schema {}: accepts any instance.
+		e.Type = model.DTAny
+		return nil
+	}
+}
+
+// properties expands an object schema's properties (sorted by name for
+// determinism — JSON objects are unordered) as children of e; properties
+// absent from "required" are optional.
+func (b *builder) properties(e *model.Element, n *node) error {
+	required := make(map[string]bool, len(n.Required))
+	for _, r := range n.Required {
+		required[r] = true
+	}
+	names := make([]string, 0, len(n.Properties))
+	for pn := range n.Properties {
+		names = append(names, pn)
+	}
+	sort.Strings(names)
+	for _, pn := range names {
+		c := b.s.AddChild(e, pn, model.KindElement)
+		if !required[pn] {
+			c.Optional = true
+		}
+		if err := b.fill(c, n.Properties[pn]); err != nil {
+			return err
+		}
+		if required[pn] {
+			// fill may set Optional for nullable unions; an explicitly
+			// required property stays required.
+			c.Optional = false
+		}
+	}
+	if len(names) == 0 {
+		e.Type = model.DTComplex
+	}
+	return nil
+}
+
+// array expands an array schema: the element stands for the repeated item,
+// so single-schema items merge into e itself and tuple items become
+// children item1..itemN.
+func (b *builder) array(e *model.Element, n *node) error {
+	if len(n.Items) == 0 {
+		e.Type = model.DTComplex
+		return nil
+	}
+	var one node
+	if err := json.Unmarshal(n.Items, &one); err == nil {
+		return b.fill(e, &one)
+	}
+	var tuple []*node
+	if err := json.Unmarshal(n.Items, &tuple); err != nil {
+		return fmt.Errorf("jsonschema: items must be a schema or an array of schemas: %w", err)
+	}
+	for i, it := range tuple {
+		if it == nil {
+			return fmt.Errorf("jsonschema: null tuple item %d", i)
+		}
+		c := b.s.AddChild(e, fmt.Sprintf("item%d", i+1), model.KindElement)
+		if err := b.fill(c, it); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// typeList normalizes the "type" keyword: a string, a list of strings, or
+// absent. "null" members are stripped and reported as nullability.
+func typeList(t any) (types []string, nullable bool, err error) {
+	switch v := t.(type) {
+	case nil:
+		return nil, false, nil
+	case string:
+		if v == "null" {
+			return nil, true, nil
+		}
+		return []string{v}, false, nil
+	case []any:
+		for _, m := range v {
+			s, ok := m.(string)
+			if !ok {
+				return nil, false, fmt.Errorf("jsonschema: type union member %v is not a string", m)
+			}
+			if s == "null" {
+				nullable = true
+				continue
+			}
+			types = append(types, s)
+		}
+		sort.Strings(types)
+		return types, nullable, nil
+	default:
+		return nil, false, fmt.Errorf("jsonschema: \"type\" must be a string or array of strings, got %T", t)
+	}
+}
+
+// isObject reports whether the node describes an object: declared type, or
+// no type but a properties map (common shorthand).
+func isObject(types []string, n *node) bool {
+	if len(types) == 1 && types[0] == "object" {
+		return true
+	}
+	return len(types) == 0 && len(n.Properties) > 0
+}
+
+// isArray reports whether the node describes an array.
+func isArray(types []string, n *node) bool {
+	if len(types) == 1 && types[0] == "array" {
+		return true
+	}
+	return len(types) == 0 && len(n.Items) > 0 && len(n.Properties) == 0
+}
+
+// scalarType maps a scalar type name plus optional "format" annotation to
+// the broad class; temporal formats sharpen plain strings.
+func scalarType(t, format string) model.DataType {
+	if t == "string" {
+		switch format {
+		case "date", "date-time", "time":
+			return model.ParseDataType(format)
+		}
+	}
+	return model.ParseDataType(t)
+}

@@ -1,0 +1,234 @@
+package jsonschema
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/schematree"
+)
+
+// find returns the first element whose containment path equals path.
+func find(t *testing.T, s *model.Schema, path string) *model.Element {
+	t.Helper()
+	var out *model.Element
+	model.PreOrder(s.Root(), func(e *model.Element) {
+		if out == nil && e.Path() == path {
+			out = e
+		}
+	})
+	if out == nil {
+		t.Fatalf("no element at path %q in:\n%s", path, s.Dump())
+	}
+	return out
+}
+
+func TestObjectProperties(t *testing.T) {
+	doc := `{
+		"type": "object",
+		"title": "Order",
+		"required": ["OrderID", "Amount"],
+		"properties": {
+			"OrderID": {"type": "integer"},
+			"Amount": {"type": "number"},
+			"Customer": {"type": "string"},
+			"OrderDate": {"type": "string", "format": "date"},
+			"Updated": {"type": "string", "format": "date-time"},
+			"Active": {"type": "boolean"}
+		}
+	}`
+	s, err := Parse("orders", []byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for path, want := range map[string]model.DataType{
+		"orders.OrderID":   model.DTInt,
+		"orders.Amount":    model.DTFloat,
+		"orders.Customer":  model.DTString,
+		"orders.OrderDate": model.DTDate,
+		"orders.Updated":   model.DTDateTime,
+		"orders.Active":    model.DTBool,
+	} {
+		if got := find(t, s, path).Type; got != want {
+			t.Errorf("%s: type %v, want %v", path, got, want)
+		}
+	}
+	if find(t, s, "orders.OrderID").Optional {
+		t.Error("required property OrderID marked optional")
+	}
+	if !find(t, s, "orders.Customer").Optional {
+		t.Error("non-required property Customer not optional")
+	}
+}
+
+func TestSharedDefsDeriveFrom(t *testing.T) {
+	doc := `{
+		"type": "object",
+		"$defs": {
+			"Address": {
+				"type": "object",
+				"required": ["Street", "City"],
+				"properties": {
+					"Street": {"type": "string"},
+					"City": {"type": "string"}
+				}
+			}
+		},
+		"properties": {
+			"BillTo": {"$ref": "#/$defs/Address"},
+			"ShipTo": {"$ref": "#/$defs/Address"}
+		}
+	}`
+	s, err := Parse("po", []byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bill := find(t, s, "po.BillTo")
+	ship := find(t, s, "po.ShipTo")
+	if len(bill.DerivedFrom()) != 1 || len(ship.DerivedFrom()) != 1 {
+		t.Fatalf("BillTo/ShipTo should each derive from the shared Address type")
+	}
+	if bill.DerivedFrom()[0] != ship.DerivedFrom()[0] {
+		t.Error("BillTo and ShipTo derive from different type elements; the definition should be shared")
+	}
+	// The shared type expands per context in the schema tree.
+	tr, err := schematree.Build(s, schematree.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cities int
+	for _, n := range tr.Nodes {
+		if n.Elem.Name == "City" {
+			cities++
+		}
+	}
+	if cities != 2 {
+		t.Errorf("expanded tree has %d City contexts, want 2", cities)
+	}
+}
+
+func TestRecursiveRefCut(t *testing.T) {
+	doc := `{
+		"type": "object",
+		"$defs": {
+			"Node": {
+				"type": "object",
+				"properties": {
+					"Value": {"type": "integer"},
+					"Next": {"$ref": "#/$defs/Node"}
+				}
+			}
+		},
+		"properties": {"Head": {"$ref": "#/$defs/Node"}}
+	}`
+	s, err := Parse("list", []byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The recursive back-reference must be cut into an opaque leaf so the
+	// tree expansion (which rejects derivation cycles) still succeeds.
+	if _, err := schematree.Build(s, schematree.DefaultOptions()); err != nil {
+		t.Fatalf("recursive schema did not expand: %v", err)
+	}
+}
+
+func TestMutualRecursionCut(t *testing.T) {
+	doc := `{
+		"type": "object",
+		"definitions": {
+			"A": {"type": "object", "properties": {"b": {"$ref": "#/definitions/B"}}},
+			"B": {"type": "object", "properties": {"a": {"$ref": "#/definitions/A"}}}
+		},
+		"properties": {"root": {"$ref": "#/definitions/A"}}
+	}`
+	s, err := Parse("mutual", []byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := schematree.Build(s, schematree.DefaultOptions()); err != nil {
+		t.Fatalf("mutually recursive schema did not expand: %v", err)
+	}
+}
+
+func TestArrays(t *testing.T) {
+	doc := `{
+		"type": "object",
+		"properties": {
+			"Tags": {"type": "array", "items": {"type": "string"}},
+			"Lines": {"type": "array", "items": {
+				"type": "object",
+				"properties": {"Qty": {"type": "integer"}, "SKU": {"type": "string"}}
+			}},
+			"Pair": {"type": "array", "items": [{"type": "integer"}, {"type": "string"}]}
+		}
+	}`
+	s, err := Parse("doc", []byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := find(t, s, "doc.Tags").Type; got != model.DTString {
+		t.Errorf("scalar-items array type %v, want string", got)
+	}
+	if got := find(t, s, "doc.Lines.Qty").Type; got != model.DTInt {
+		t.Errorf("object-items array child Qty type %v, want int", got)
+	}
+	if got := find(t, s, "doc.Pair.item2").Type; got != model.DTString {
+		t.Errorf("tuple item2 type %v, want string", got)
+	}
+}
+
+func TestUnionsEnumsNullable(t *testing.T) {
+	doc := `{
+		"type": "object",
+		"required": ["Status", "Mixed", "Note"],
+		"properties": {
+			"Status": {"enum": ["open", "closed"]},
+			"Mixed": {"type": ["integer", "string"]},
+			"Note": {"type": ["string", "null"]}
+		}
+	}`
+	s, err := Parse("doc", []byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := find(t, s, "doc.Status").Type; got != model.DTEnum {
+		t.Errorf("enum type %v, want enum", got)
+	}
+	if got := find(t, s, "doc.Mixed").Type; got != model.DTAny {
+		t.Errorf("union type %v, want any", got)
+	}
+	note := find(t, s, "doc.Note")
+	if note.Type != model.DTString {
+		t.Errorf("nullable string type %v, want string", note.Type)
+	}
+	// "required" wins over nullable-union optionality for the element flag.
+	if note.Optional {
+		t.Error("required nullable property marked optional")
+	}
+}
+
+func TestScalarTopLevel(t *testing.T) {
+	s, err := Parse("scalar", []byte(`{"type": "string", "title": "Code"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := find(t, s, "scalar.Code").Type; got != model.DTString {
+		t.Errorf("top-level scalar type %v, want string", got)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := map[string]string{
+		"invalid json":    `{"type":`,
+		"unresolved ref":  `{"type": "object", "properties": {"a": {"$ref": "#/$defs/Missing"}}}`,
+		"bad type kind":   `{"type": 42}`,
+		"bad union types": `{"type": ["string", 42]}`,
+	}
+	for name, doc := range cases {
+		if _, err := Parse("x", []byte(doc)); err == nil {
+			t.Errorf("%s: expected error, got none", name)
+		} else if !strings.Contains(err.Error(), "jsonschema") {
+			t.Errorf("%s: error %q does not name the package", name, err)
+		}
+	}
+}

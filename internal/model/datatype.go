@@ -108,9 +108,12 @@ func (d DataType) CategoryKeyword() string {
 }
 
 // ParseDataType maps a concrete type name from a native schema (SQL type
-// names, XSD simple types, common programming types) to its broad class.
-// Unknown names map to DTString, the most permissive leaf class, so that
-// importers never fail on vendor-specific types.
+// names, XSD simple types, JSON Schema primitive types, Avro primitive /
+// logical types, common programming types) to its broad class. Unknown
+// names map to DTString, the most permissive leaf class, so that importers
+// never fail on vendor-specific types. All importer packages (sqlddl,
+// xsdlite, dtd, jsonschema, avro) normalize through this one table, which
+// is what makes the datatype-compatibility signal work across formats.
 func ParseDataType(name string) DataType {
 	n := strings.ToLower(strings.TrimSpace(name))
 	if i := strings.IndexByte(n, '('); i >= 0 { // varchar(20) -> varchar
@@ -124,7 +127,8 @@ func ParseDataType(name string) DataType {
 		"nonnegativeinteger", "negativeinteger", "nonpositiveinteger",
 		"unsignedint", "unsignedlong", "unsignedshort", "unsignedbyte":
 		return DTInt
-	case "float", "real", "double", "double precision", "float4", "float8":
+	case "float", "real", "double", "double precision", "float4", "float8",
+		"number": // JSON Schema "number" admits fractions
 		return DTFloat
 	case "decimal", "numeric", "money", "smallmoney", "currency":
 		return DTDecimal
@@ -132,11 +136,16 @@ func ParseDataType(name string) DataType {
 		return DTBool
 	case "date":
 		return DTDate
-	case "time", "timetz":
+	case "time", "timetz",
+		"time-millis", "time-micros": // Avro logical types on int/long
 		return DTTime
-	case "datetime", "timestamp", "timestamptz", "smalldatetime", "datetime2":
+	case "datetime", "timestamp", "timestamptz", "smalldatetime", "datetime2",
+		"date-time", // JSON Schema "format": "date-time"
+		"timestamp-millis", "timestamp-micros",
+		"local-timestamp-millis", "local-timestamp-micros":
 		return DTDateTime
-	case "binary", "varbinary", "blob", "bytea", "image", "base64binary", "hexbinary":
+	case "binary", "varbinary", "blob", "bytea", "image", "base64binary", "hexbinary",
+		"bytes", "fixed", "duration": // Avro bytes/fixed; duration is fixed(12)
 		return DTBinary
 	case "enum", "set":
 		return DTEnum
@@ -146,6 +155,10 @@ func ParseDataType(name string) DataType {
 		return DTIDRef
 	case "anytype", "any":
 		return DTAny
+	case "null": // JSON Schema / Avro null: no instance data
+		return DTNone
+	case "object", "record", "map": // structured values whose shape stays opaque
+		return DTComplex
 	case "string", "varchar", "char", "nchar", "nvarchar", "text", "ntext",
 		"clob", "character", "character varying", "uuid", "guid",
 		"normalizedstring", "token", "anyuri", "qname", "language":

@@ -1,0 +1,200 @@
+package registry
+
+// Instance-aware registration coverage: sampled instances must break
+// name/type ties in repository retrieval, ride the WAL through restarts
+// (same profile-suffixed fingerprint, same rankings), and ship over the
+// replication stream so a follower rebuilds the same profiles.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/instance"
+	"repro/internal/sqlddl"
+	"repro/internal/workloads"
+)
+
+func tieBreakSamples(t *testing.T, doc string) instance.Samples {
+	t.Helper()
+	s, err := instance.ParseSamples([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestRegisterInstancesBreaksTies registers the tie-break corpus — n
+// byte-identical SQL schemas distinguishable only by sampled values — and
+// probes with each schema's value distribution in turn: with instances
+// attached on both sides the probe's own schema must rank first every
+// time, which name- and type-only matching cannot achieve (all n targets
+// tie exactly).
+func TestRegisterInstancesBreaksTies(t *testing.T) {
+	m, err := core.NewMatcher(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewWithMatcher(m)
+	targets := workloads.TieBreakTargets(6)
+	for _, d := range targets {
+		s, err := sqlddl.Parse(d.Name, d.SQL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, created, err := reg.RegisterInstances(d.Name, s, tieBreakSamples(t, d.Instances)); err != nil || !created {
+			t.Fatalf("registering %s: created=%v err=%v", d.Name, created, err)
+		}
+	}
+	for j, d := range targets {
+		probe := workloads.TieBreakProbe(j)
+		s, err := sqlddl.Parse(probe.Name, probe.SQL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := m.PrepareWithInstances(s, tieBreakSamples(t, probe.Instances))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ranked, err := reg.MatchAll(p, len(targets))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ranked) == 0 || ranked[0].Entry.Name != d.Name {
+			got := "none"
+			if len(ranked) > 0 {
+				got = ranked[0].Entry.Name
+			}
+			t.Errorf("probe %d: top-1 = %s, want %s", j, got, d.Name)
+		}
+	}
+}
+
+// TestRegisterInstancesIdempotent: same schema + same samples is a
+// repository no-op, changed samples replace the entry (new fingerprint).
+func TestRegisterInstancesIdempotent(t *testing.T) {
+	m, err := core.NewMatcher(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewWithMatcher(m)
+	targets := workloads.TieBreakTargets(2)
+	parse := func() *workloads.TieBreakDoc { return &targets[0] }
+	s1, err := sqlddl.Parse(parse().Name, parse().SQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, created, err := reg.RegisterInstances("t", s1, tieBreakSamples(t, targets[0].Instances))
+	if err != nil || !created {
+		t.Fatalf("first register: created=%v err=%v", created, err)
+	}
+	s2, err := sqlddl.Parse(parse().Name, parse().SQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, created, err := reg.RegisterInstances("t", s2, tieBreakSamples(t, targets[0].Instances))
+	if err != nil || created {
+		t.Fatalf("idempotent re-register: created=%v err=%v", created, err)
+	}
+	if e1.Fingerprint != e2.Fingerprint {
+		t.Errorf("idempotent re-register changed fingerprint: %q vs %q", e1.Fingerprint, e2.Fingerprint)
+	}
+	s3, err := sqlddl.Parse(parse().Name, parse().SQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e3, created, err := reg.RegisterInstances("t", s3, tieBreakSamples(t, targets[1].Instances))
+	if err != nil || !created {
+		t.Fatalf("changed-samples re-register: created=%v err=%v", created, err)
+	}
+	if e3.Fingerprint == e1.Fingerprint {
+		t.Errorf("changed samples kept fingerprint %q", e1.Fingerprint)
+	}
+}
+
+// TestInstancesWALRoundTrip: a RegisterSourceInstances entry must recover
+// after a restart with the same profile-suffixed fingerprint — the proof
+// that the instances payload was journaled and replayed, not dropped.
+func TestInstancesWALRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	targets := workloads.TieBreakTargets(2)
+	p1 := newWAL(t, dir, PersistOptions{})
+	e1, created, err := p1.RegisterSourceInstances("amb", "sql", []byte(targets[0].SQL), []byte(targets[0].Instances))
+	if err != nil || !created {
+		t.Fatalf("register: created=%v err=%v", created, err)
+	}
+	if !strings.Contains(e1.Fingerprint, "+") {
+		t.Fatalf("instance registration fingerprint %q has no profile suffix", e1.Fingerprint)
+	}
+	if d, ok := p1.Doc("amb"); !ok || d.Instances != targets[0].Instances {
+		t.Fatalf("persisted doc does not carry the instances payload: ok=%v", ok)
+	}
+	// A plain registration of the same bytes without instances must be a
+	// distinct identity (replace), not an idempotent no-op.
+	e2, created, err := p1.RegisterSource("amb2", "sql", []byte(targets[0].SQL))
+	if err != nil || !created {
+		t.Fatalf("plain register: created=%v err=%v", created, err)
+	}
+	if e2.Fingerprint == e1.Fingerprint {
+		t.Errorf("instance-free registration shares fingerprint %q", e1.Fingerprint)
+	}
+	if err := p1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	p2 := newWAL(t, dir, PersistOptions{})
+	defer p2.Close()
+	re, ok := p2.Get("amb")
+	if !ok {
+		t.Fatal("entry lost across restart")
+	}
+	if re.Fingerprint != e1.Fingerprint {
+		t.Errorf("recovered fingerprint %q, want %q (instances payload dropped in replay?)", re.Fingerprint, e1.Fingerprint)
+	}
+	if !re.Prepared.HasProfiles() {
+		t.Error("recovered entry carries no instance profiles")
+	}
+}
+
+// TestInstancesReplicate: a follower resyncing from a primary with an
+// instance-carrying entry must rebuild the same profiles (fingerprint
+// equality across the stream).
+func TestInstancesReplicate(t *testing.T) {
+	targets := workloads.TieBreakTargets(2)
+	primary := newWAL(t, t.TempDir(), PersistOptions{})
+	defer primary.Close()
+	e1, _, err := primary.RegisterSourceInstances("amb", "sql", []byte(targets[0].SQL), []byte(targets[0].Instances))
+	if err != nil {
+		t.Fatal(err)
+	}
+	follower := newWAL(t, t.TempDir(), PersistOptions{})
+	defer follower.Close()
+	docs := make([]Doc, 0, 1)
+	if d, ok := primary.Doc("amb"); ok {
+		docs = append(docs, d)
+	}
+	if err := follower.applyResync(docs); err != nil {
+		t.Fatal(err)
+	}
+	fe, ok := follower.Get("amb")
+	if !ok {
+		t.Fatal("follower did not apply the entry")
+	}
+	if fe.Fingerprint != e1.Fingerprint {
+		t.Errorf("follower fingerprint %q, want %q", fe.Fingerprint, e1.Fingerprint)
+	}
+	if !fe.Prepared.HasProfiles() {
+		t.Error("follower entry carries no instance profiles")
+	}
+	// The streamed-record path must carry instances too.
+	follower2 := newWAL(t, t.TempDir(), PersistOptions{})
+	defer follower2.Close()
+	if d, ok := primary.Doc("amb"); ok {
+		if err := follower2.applyReplRecord(putRecord(d)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fe2, ok := follower2.Get("amb")
+	if !ok || fe2.Fingerprint != e1.Fingerprint {
+		t.Errorf("streamed put lost instances: ok=%v fingerprint=%q want %q", ok, fe2.Fingerprint, e1.Fingerprint)
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/instance"
 	"repro/internal/model"
 )
 
@@ -200,7 +201,20 @@ func OpenPersistentOptions(dir string, m *core.Matcher, opts PersistOptions, par
 			famDoc = &d
 			continue
 		}
-		e, _, err := p.Registry.Register(l.Doc.Name, l.Schema)
+		// Recover the sampled-instances payload, when the document carries
+		// one, so restored entries rebuild the same value profiles (and
+		// the same profile-suffixed fingerprints) the primary registered
+		// with. A payload that no longer parses is dropped with a warning
+		// rather than failing recovery — the schema itself is still good.
+		var samples instance.Samples
+		if l.Doc.Instances != "" {
+			var serr error
+			samples, serr = instance.ParseSamples([]byte(l.Doc.Instances))
+			if serr != nil {
+				rec.Warnings = append(rec.Warnings, fmt.Sprintf("dropping instance payload of %q: %v", l.Doc.Name, serr))
+			}
+		}
+		e, _, err := p.Registry.RegisterInstances(l.Doc.Name, l.Schema, samples)
 		if err != nil {
 			st.Close()
 			return nil, rec.Warnings, fmt.Errorf("registry: restoring %q: %w", l.Doc.Name, err)
@@ -486,6 +500,15 @@ func errClosed() error { return fmt.Errorf("registry: persistent registry is clo
 // document bytes verbatim so a restart re-parses exactly what was
 // registered. This is the durable path the cupidd server uses.
 func (p *Persistent) RegisterSource(name, format string, content []byte) (*Entry, bool, error) {
+	return p.RegisterSourceInstances(name, format, content, nil)
+}
+
+// RegisterSourceInstances is RegisterSource with an optional sampled
+// instance payload (internal/instance JSON form). The instance bytes are
+// journaled alongside the source document, so a restart — and every
+// replication follower — rebuilds the same value profiles the primary
+// registered with. Empty instances degrade to plain RegisterSource.
+func (p *Persistent) RegisterSourceInstances(name, format string, content, instances []byte) (*Entry, bool, error) {
 	if name == FamiliesDocName || metaDoc(format) {
 		return nil, false, fmt.Errorf("registry: name %q / format %q is reserved for corpus clustering metadata", FamiliesDocName, FamiliesDocFormat)
 	}
@@ -493,8 +516,15 @@ func (p *Persistent) RegisterSource(name, format string, content []byte) (*Entry
 	if err != nil {
 		return nil, false, err
 	}
-	return p.register(name, s, func(e *Entry) (Doc, error) {
-		return Doc{Name: e.Name, Fingerprint: e.Fingerprint, Format: format, Content: string(content)}, nil
+	var samples instance.Samples
+	if len(instances) > 0 {
+		samples, err = instance.ParseSamples(instances)
+		if err != nil {
+			return nil, false, fmt.Errorf("registry: instances for %q: %w", name, err)
+		}
+	}
+	return p.register(name, s, samples, func(e *Entry) (Doc, error) {
+		return Doc{Name: e.Name, Fingerprint: e.Fingerprint, Format: format, Content: string(content), Instances: string(instances)}, nil
 	})
 }
 
@@ -502,7 +532,7 @@ func (p *Persistent) RegisterSource(name, format string, content []byte) (*Entry
 // serialization. See Store: the first reload of such an entry may
 // normalize its fingerprint; registering via RegisterSource avoids that.
 func (p *Persistent) Register(name string, s *model.Schema) (*Entry, bool, error) {
-	return p.register(name, s, func(e *Entry) (Doc, error) {
+	return p.register(name, s, nil, func(e *Entry) (Doc, error) {
 		b, err := e.Prepared.Schema().MarshalJSON()
 		if err != nil {
 			return Doc{}, fmt.Errorf("registry: serializing %q for persistence: %w", e.Name, err)
@@ -511,13 +541,13 @@ func (p *Persistent) Register(name string, s *model.Schema) (*Entry, bool, error
 	})
 }
 
-func (p *Persistent) register(name string, s *model.Schema, doc func(*Entry) (Doc, error)) (*Entry, bool, error) {
+func (p *Persistent) register(name string, s *model.Schema, samples instance.Samples, doc func(*Entry) (Doc, error)) (*Entry, bool, error) {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
 		return nil, false, errClosed()
 	}
-	e, created, err := p.Registry.Register(name, s)
+	e, created, err := p.Registry.RegisterInstances(name, s, samples)
 	if err != nil {
 		p.mu.Unlock()
 		return nil, false, err

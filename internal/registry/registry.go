@@ -66,6 +66,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/index"
+	"repro/internal/instance"
 	"repro/internal/model"
 	"repro/internal/par"
 )
@@ -158,6 +159,19 @@ func (r *Registry) Matcher() *core.Matcher { return r.matcher }
 // decided under the name's shard lock, so concurrent registrations agree
 // on which call actually created the entry.
 func (r *Registry) Register(name string, s *model.Schema) (e *Entry, created bool, err error) {
+	return r.RegisterInstances(name, s, nil)
+}
+
+// RegisterInstances is Register with sampled instance data attached: the
+// schema is prepared with per-leaf value profiles
+// (Matcher.PrepareWithInstances) that sharpen leaf matching against other
+// profile-carrying entries, and the entry fingerprint covers schema AND
+// profiles, so re-registering the same schema with changed samples
+// replaces the entry while identical samples stay idempotent. Empty
+// samples degrade to plain Register — including its cheap
+// fingerprint-before-Prepare idempotence fast path, which instance
+// registrations skip (profile resolution needs the prepared artifact).
+func (r *Registry) RegisterInstances(name string, s *model.Schema, samples instance.Samples) (e *Entry, created bool, err error) {
 	if s == nil {
 		return nil, false, fmt.Errorf("registry: nil schema")
 	}
@@ -167,26 +181,39 @@ func (r *Registry) Register(name string, s *model.Schema) (e *Entry, created boo
 	if name == "" {
 		return nil, false, fmt.Errorf("registry: schema has no name; register with an explicit one")
 	}
-	fp := model.Fingerprint(s)
-	sh := r.shard(name)
-	sh.mu.RLock()
-	cur, ok := sh.byName[name]
-	sh.mu.RUnlock()
-	if ok && cur.Fingerprint == fp {
-		return cur, false, nil
+	if len(samples) == 0 {
+		fp := model.Fingerprint(s)
+		sh := r.shard(name)
+		sh.mu.RLock()
+		cur, ok := sh.byName[name]
+		sh.mu.RUnlock()
+		if ok && cur.Fingerprint == fp {
+			return cur, false, nil
+		}
+		p, err := r.matcher.Prepare(s)
+		if err != nil {
+			return nil, false, fmt.Errorf("registry: preparing %q: %w", name, err)
+		}
+		return r.commit(name, fp, p)
 	}
-	p, err := r.matcher.Prepare(s)
+	p, err := r.matcher.PrepareWithInstances(s, samples)
 	if err != nil {
 		return nil, false, fmt.Errorf("registry: preparing %q: %w", name, err)
 	}
+	return r.commit(name, p.Fingerprint(), p)
+}
+
+// commit stores a freshly prepared entry under the name's shard lock,
+// keeping whichever identical-fingerprint entry a racing registration may
+// have landed first (idempotence).
+func (r *Registry) commit(name, fp string, p *core.Prepared) (*Entry, bool, error) {
 	// Derive the retrieval signature outside the lock: the token-bag sweep
 	// is the expensive part of index maintenance, and Signature() caches.
 	sig := p.Signature()
-	e = &Entry{Name: name, Fingerprint: fp, Prepared: p}
+	e := &Entry{Name: name, Fingerprint: fp, Prepared: p}
+	sh := r.shard(name)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	// A racing Register of identical content may have landed first; keep
-	// whichever entry is already there to stay idempotent.
 	if cur, ok := sh.byName[name]; ok && cur.Fingerprint == fp {
 		return cur, false, nil
 	}

@@ -595,7 +595,7 @@ func (p *Persistent) applyResync(docs []Doc) error {
 			}
 			continue
 		}
-		if _, _, err := p.RegisterSource(d.Name, d.Format, []byte(d.Content)); err != nil {
+		if _, _, err := p.RegisterSourceInstances(d.Name, d.Format, []byte(d.Content), []byte(d.Instances)); err != nil {
 			return fmt.Errorf("registry: resync applying %q: %w", d.Name, err)
 		}
 	}
@@ -612,7 +612,7 @@ func (p *Persistent) applyReplRecord(rec walRecord) error {
 			}
 			return nil
 		}
-		if _, _, err := p.RegisterSource(rec.Name, rec.Format, []byte(rec.Content)); err != nil {
+		if _, _, err := p.RegisterSourceInstances(rec.Name, rec.Format, []byte(rec.Content), []byte(rec.Instances)); err != nil {
 			return fmt.Errorf("registry: replaying replicated put %q: %w", rec.Name, err)
 		}
 	case walOpDel:

@@ -66,12 +66,19 @@ type ParseFunc func(name, format string, data []byte) (*model.Schema, error)
 type Doc struct {
 	// Name is the repository key the schema is registered under.
 	Name string `json:"name"`
-	// Fingerprint is the schema's content hash (model.Fingerprint).
+	// Fingerprint is the schema's content hash (model.Fingerprint),
+	// suffixed with the instance-profile hash when Instances is set.
 	Fingerprint string `json:"fingerprint"`
-	// Format names the source document format (sql, xsd, dtd, json).
+	// Format names the source document format (sql, xsd, dtd, json,
+	// jsonschema, avro).
 	Format string `json:"format"`
 	// Content is the original source document, byte for byte.
 	Content string `json:"content"`
+	// Instances is the optional sampled-instances payload attached at
+	// registration (internal/instance JSON form), byte for byte; empty for
+	// instance-free registrations (and omitted from the persisted record,
+	// keeping the on-disk format backward compatible).
+	Instances string `json:"instances,omitempty"`
 }
 
 const (

@@ -74,16 +74,17 @@ type walRecord struct {
 	Fingerprint string `json:"fingerprint,omitempty"`
 	Format      string `json:"format,omitempty"`
 	Content     string `json:"content,omitempty"`
+	Instances   string `json:"instances,omitempty"`
 }
 
 // doc converts a put record back into the snapshot-record shape.
 func (r walRecord) doc() Doc {
-	return Doc{Name: r.Name, Fingerprint: r.Fingerprint, Format: r.Format, Content: r.Content}
+	return Doc{Name: r.Name, Fingerprint: r.Fingerprint, Format: r.Format, Content: r.Content, Instances: r.Instances}
 }
 
 // putRecord frames a Doc as a put mutation.
 func putRecord(d Doc) walRecord {
-	return walRecord{Op: walOpPut, Name: d.Name, Fingerprint: d.Fingerprint, Format: d.Format, Content: d.Content}
+	return walRecord{Op: walOpPut, Name: d.Name, Fingerprint: d.Fingerprint, Format: d.Format, Content: d.Content, Instances: d.Instances}
 }
 
 // delRecord frames a removal.

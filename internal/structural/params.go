@@ -107,6 +107,16 @@ type Params struct {
 	// Compat is the data-type compatibility table used to initialize leaf
 	// structural similarity; nil means DefaultCompat.
 	Compat *CompatTable
+	// LeafCompat, when non-nil, can override the compatibility-table
+	// initialization of a leaf pair: it receives the two leaf elements and
+	// returns (value, true) to supply the initial ssim (expected in
+	// [0, 0.5], like table entries) or (_, false) to fall back to the
+	// table. The core package installs an instance-profile blend here when
+	// both schemas carry sampled instance data. The hook is keyed on
+	// elements, not tree nodes, so every context copy of an element sees
+	// the same value — which preserves the lazy-memo copy-invariance
+	// argument. nil (the default) is exactly the table-only behavior.
+	LeafCompat func(s, t *model.Element) (float64, bool)
 }
 
 // DefaultParams returns the typical values of Table 1.

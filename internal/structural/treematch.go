@@ -82,10 +82,17 @@ func TreeMatch(ts, tt *schematree.Tree, lsim matrix.Matrix, p Params) *Result {
 	tgtLeaves := tt.Leaves(tt.Root)
 	par.For(len(srcLeaves), func(i int) {
 		si := srcLeaves[i]
-		st := ts.Nodes[si].Elem.Type
+		se := ts.Nodes[si].Elem
 		row := m.res.SSim.Row(si)
 		for _, ti := range tgtLeaves {
-			row[ti] = m.compat.Lookup(st, tt.Nodes[ti].Elem.Type)
+			te := tt.Nodes[ti].Elem
+			if p.LeafCompat != nil {
+				if v, ok := p.LeafCompat(se, te); ok {
+					row[ti] = v
+					continue
+				}
+			}
+			row[ti] = m.compat.Lookup(se.Type, te.Type)
 		}
 	})
 

@@ -1,0 +1,156 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Cross-format conformance corpus: the same logical schema per domain
+// family rendered as SQL DDL, JSON Schema and Avro. Each family's schema
+// is two tables (records / object properties) splitting the family
+// vocabulary's ten canonical column names, with column types drawn from a
+// fixed cycle whose spellings map to the same broad class
+// (model.ParseDataType) in every format. The examples/crossformat files
+// are this corpus checked in verbatim (a conformance test keeps them in
+// sync), and the cupidbench crossformat experiment regenerates it to gate
+// format-to-format retrieval quality.
+
+// crossFamilyNames names the familyVocabs domains, in order.
+var crossFamilyNames = []string{
+	"Finance", "Healthcare", "Logistics", "Astronomy", "HumanResources",
+	"Library", "Telemetry", "Travel", "Sports", "Agriculture",
+}
+
+// crossTypes is the per-column type cycle: one concrete spelling per
+// format, all normalizing to the same broad class.
+var crossTypes = []struct{ sql, js, avro string }{
+	{"INT", `{"type": "integer"}`, `"long"`},
+	{"VARCHAR(80)", `{"type": "string"}`, `"string"`},
+	{"DOUBLE", `{"type": "number"}`, `"double"`},
+	{"DATE", `{"type": "string", "format": "date"}`, `{"type": "int", "logicalType": "date"}`},
+	{"TIMESTAMP", `{"type": "string", "format": "date-time"}`, `{"type": "long", "logicalType": "timestamp-millis"}`},
+	{"BOOLEAN", `{"type": "boolean"}`, `"boolean"`},
+}
+
+// CrossFormatDoc is one logical schema rendered in one concrete format.
+type CrossFormatDoc struct {
+	// Family is the domain name ("Finance", ...). It doubles as the schema
+	// name passed to the parser, so the root element carries the same
+	// tokens in every rendering.
+	Family string
+	// Format is the cupid.ParseSchema format key: "sql", "jsonschema" or
+	// "avro".
+	Format string
+	// File is the examples/crossformat file name the rendering is checked
+	// in under ("finance.sql", "finance.jsonschema", "finance.avsc").
+	File string
+	// Content is the rendered schema document.
+	Content string
+}
+
+// CrossFormatFamilies reports how many domain families the corpus covers.
+func CrossFormatFamilies() int { return len(crossFamilyNames) }
+
+// CrossFormatCorpus renders every family in every format: len(families)×3
+// documents, fully deterministic.
+func CrossFormatCorpus() []CrossFormatDoc {
+	var docs []CrossFormatDoc
+	for fam, name := range crossFamilyNames {
+		vocab := familyVocabs[fam]
+		cols := make([]string, len(vocab))
+		for i, v := range vocab {
+			cols[i] = v[0] // canonical spelling
+		}
+		half := len(cols) / 2
+		tables := []struct {
+			name string
+			cols []string
+			off  int // column index offset into the type cycle
+		}{
+			{name + "Master", cols[:half], 0},
+			{name + "Detail", cols[half:], half},
+		}
+		lower := strings.ToLower(name)
+		ext := map[string]string{"sql": ".sql", "jsonschema": ".jsonschema", "avro": ".avsc"}
+		render := map[string]string{
+			"sql":        renderCrossSQL(tables),
+			"jsonschema": renderCrossJSONSchema(name, tables),
+			"avro":       renderCrossAvro(name, tables),
+		}
+		for _, format := range []string{"sql", "jsonschema", "avro"} {
+			docs = append(docs, CrossFormatDoc{
+				Family:  name,
+				Format:  format,
+				File:    lower + ext[format],
+				Content: render[format],
+			})
+		}
+	}
+	return docs
+}
+
+type crossTable = struct {
+	name string
+	cols []string
+	off  int
+}
+
+func renderCrossSQL(tables []crossTable) string {
+	var b strings.Builder
+	for _, t := range tables {
+		fmt.Fprintf(&b, "CREATE TABLE %s (\n", t.name)
+		for i, c := range t.cols {
+			comma := ","
+			if i == len(t.cols)-1 {
+				comma = ""
+			}
+			fmt.Fprintf(&b, "    %s %s%s\n", c, crossTypes[(t.off+i)%len(crossTypes)].sql, comma)
+		}
+		b.WriteString(");\n")
+	}
+	return b.String()
+}
+
+func renderCrossJSONSchema(name string, tables []crossTable) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "{\n  \"title\": %q,\n  \"type\": \"object\",\n  \"properties\": {\n", name)
+	for ti, t := range tables {
+		fmt.Fprintf(&b, "    %q: {\n      \"type\": \"object\",\n      \"properties\": {\n", t.name)
+		for i, c := range t.cols {
+			comma := ","
+			if i == len(t.cols)-1 {
+				comma = ""
+			}
+			fmt.Fprintf(&b, "        %q: %s%s\n", c, crossTypes[(t.off+i)%len(crossTypes)].js, comma)
+		}
+		b.WriteString("      }\n    }")
+		if ti < len(tables)-1 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("  }\n}\n")
+	return b.String()
+}
+
+func renderCrossAvro(name string, tables []crossTable) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "{\n  \"type\": \"record\",\n  \"name\": %q,\n  \"fields\": [\n", name)
+	for ti, t := range tables {
+		fmt.Fprintf(&b, "    {\"name\": %q, \"type\": {\n      \"type\": \"record\",\n      \"name\": \"%sType\",\n      \"fields\": [\n", t.name, t.name)
+		for i, c := range t.cols {
+			comma := ","
+			if i == len(t.cols)-1 {
+				comma = ""
+			}
+			fmt.Fprintf(&b, "        {\"name\": %q, \"type\": %s}%s\n", c, crossTypes[(t.off+i)%len(crossTypes)].avro, comma)
+		}
+		b.WriteString("      ]\n    }}")
+		if ti < len(tables)-1 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("  ]\n}\n")
+	return b.String()
+}

@@ -1,0 +1,122 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Ambiguous-names tie-break corpus: n relational schemas that are
+// byte-identical as SQL — one table of generically named, uniformly typed
+// columns — so name- and type-based matching cannot tell them apart, while
+// each schema's sampled instance values follow a distinct per-column value
+// kind (ints, words, floats, dates, timestamps, booleans, rotated by
+// schema index). A probe drawn from one schema's value distribution ranks
+// all n targets identically without instances (the tie resolves by
+// registry order, ~1/n top-1 accuracy) and should rank its own schema
+// first once instance profiles blend into leaf matching. The cupidbench
+// crossformat experiment gates exactly that separation.
+
+// tieBreakColumns is the per-schema column count; with tieBreakKinds value
+// kinds rotated by schema index, up to tieBreakKinds schemas have pairwise
+// fully distinct per-column kinds.
+const (
+	tieBreakColumns = 6
+	tieBreakKinds   = 6
+)
+
+// TieBreakDoc is one tie-break target: the (shared) SQL rendering and the
+// schema's own sampled-instances payload.
+type TieBreakDoc struct {
+	Name      string
+	SQL       string
+	Instances string
+}
+
+// TieBreakTargets renders the n tie-break target schemas (n capped at
+// tieBreakKinds so per-column value kinds stay pairwise distinct).
+func TieBreakTargets(n int) []TieBreakDoc {
+	if n > tieBreakKinds {
+		n = tieBreakKinds
+	}
+	docs := make([]TieBreakDoc, n)
+	for j := range docs {
+		docs[j] = TieBreakDoc{
+			Name:      fmt.Sprintf("tiebreak%d", j),
+			SQL:       tieBreakSQL(),
+			Instances: tieBreakInstances(j, 0),
+		}
+	}
+	return docs
+}
+
+// TieBreakProbe renders a probe drawn from target j's value distribution:
+// the same SQL document with fresh samples of the same per-column kinds.
+func TieBreakProbe(j int) TieBreakDoc {
+	return TieBreakDoc{
+		Name:      fmt.Sprintf("tiebreak%d_probe", j),
+		SQL:       tieBreakSQL(),
+		Instances: tieBreakInstances(j, 50),
+	}
+}
+
+// tieBreakSQL renders the shared schema: generic names, uniform type.
+func tieBreakSQL() string {
+	var b strings.Builder
+	b.WriteString("CREATE TABLE Records (\n")
+	for i := 0; i < tieBreakColumns; i++ {
+		comma := ","
+		if i == tieBreakColumns-1 {
+			comma = ""
+		}
+		fmt.Fprintf(&b, "    Field%d VARCHAR(64)%s\n", i+1, comma)
+	}
+	b.WriteString(");\n")
+	return b.String()
+}
+
+// tieBreakInstances renders schema j's sampled-instances payload: 16
+// values per column, column i drawing kind (i+j) mod tieBreakKinds, with
+// off shifting the concrete draws (a probe samples the same distribution,
+// not the same values).
+func tieBreakInstances(j, off int) string {
+	var b strings.Builder
+	b.WriteString("{")
+	for i := 0; i < tieBreakColumns; i++ {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%q: [", fmt.Sprintf("Records.Field%d", i+1))
+		for k := 0; k < 16; k++ {
+			if k > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(tieBreakValue((i+j)%tieBreakKinds, j, i, k+off))
+		}
+		b.WriteString("]")
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// tieBreakValue renders one sampled value of the given kind as a JSON
+// scalar literal. Values vary with (j, i, k) so top-k sketches overlap
+// within a distribution without being constant.
+func tieBreakValue(kind, j, i, k int) string {
+	switch kind {
+	case 0: // small integers
+		return fmt.Sprintf("%d", j*100+i*10+k%8)
+	case 1: // words
+		return fmt.Sprintf("%q", fmt.Sprintf("item-%c%c-%02d", 'a'+j, 'a'+i, k%8))
+	case 2: // floats
+		return fmt.Sprintf("%.2f", float64(j+1)*10+float64(k%8)/4)
+	case 3: // dates
+		return fmt.Sprintf("%q", fmt.Sprintf("2024-%02d-%02d", 1+(j+i)%12, 1+k%28))
+	case 4: // timestamps
+		return fmt.Sprintf("%q", fmt.Sprintf("2024-%02d-%02dT0%d:00:00Z", 1+(j+i)%12, 1+k%28, k%10))
+	default: // booleans
+		if (j+i+k)%2 == 0 {
+			return "true"
+		}
+		return "false"
+	}
+}
